@@ -1,0 +1,142 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Figures 6–15, the headline numbers, the tuner
+   and the promotion-policy ablation) on the simulated testbed, then
+   runs a Bechamel microbenchmark suite over the core primitives that
+   those experiments exercise.
+
+   Output shape: one aligned table + CSV block per figure, in paper
+   order; see EXPERIMENTS.md for the measured-vs-paper discussion.
+
+   Set REPRO_QUICK=1 to skip the (slow) full figure regeneration and
+   run only the Bechamel suite. *)
+
+let run_figures () =
+  print_endline
+    "=== TPAL reproduction: regenerating all evaluation figures ===";
+  print_endline
+    "(simulated 15-worker testbed; see DESIGN.md for the substitution \
+     rationale)";
+  let t0 = Unix.gettimeofday () in
+  List.iter Repro.Figures.print_table (Repro.Figures.all ());
+  Printf.printf "=== figures regenerated in %.1f s ===\n%!"
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks: the primitive operations underlying the
+   experiments — abstract-machine evaluation, promotion, simulator
+   engine throughput, runtime substrate operations. *)
+
+open Bechamel
+open Toolkit
+
+let test_prod_serial =
+  Test.make ~name:"eval: prod a=200 serial (abstract machine)"
+    (Staged.stage (fun () ->
+         Tpal.Programs.run_prod
+           ~options:{ Tpal.Eval.default_options with heart = None }
+           ~a:200 ~b:3 ()
+         |> ignore))
+
+let test_prod_heartbeat =
+  Test.make ~name:"eval: prod a=200 heart=20 (promotions+forks)"
+    (Staged.stage (fun () ->
+         Tpal.Programs.run_prod
+           ~options:{ Tpal.Eval.default_options with heart = Some 20 }
+           ~a:200 ~b:3 ()
+         |> ignore))
+
+let test_fib_heartbeat =
+  Test.make ~name:"eval: fib n=12 heart=50 (stack promotions)"
+    (Staged.stage (fun () ->
+         Tpal.Programs.run_fib
+           ~options:{ Tpal.Eval.default_options with heart = Some 50 }
+           ~n:12 ()
+         |> ignore))
+
+let test_parse =
+  let src = Tpal.Printer.program_to_string Tpal.Programs.pow in
+  Test.make ~name:"parser: pow round-trip source"
+    (Staged.stage (fun () -> Tpal.Parser.parse src |> ignore))
+
+let small_ir = Sim.Par_ir.for_const ~n:100_000 ~cycles:10
+
+let engine_test ~name mode mech =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let params = { Sim.Params.default with procs = 15 } in
+         let cfg = Sim.Runnable.make_cfg mode params in
+         let config = Sim.Engine.make_config ~mech cfg in
+         Sim.Engine.run config small_ir |> ignore))
+
+let test_engine_serial =
+  engine_test ~name:"engine: 1M-cycle loop, serial" Sim.Runnable.Serial
+    Sim.Interrupts.Off
+
+let test_engine_cilk =
+  engine_test ~name:"engine: 1M-cycle loop, cilk 15 cores" Sim.Runnable.Cilk
+    Sim.Interrupts.Off
+
+let test_engine_tpal =
+  engine_test ~name:"engine: 1M-cycle loop, tpal 15 cores + ping thread"
+    Sim.Runnable.Tpal Sim.Interrupts.Ping_thread
+
+let test_deque =
+  Test.make ~name:"substrate: wsdeque push/pop x1000"
+    (Staged.stage (fun () ->
+         let d = Sim.Wsdeque.create () in
+         for i = 0 to 999 do
+           Sim.Wsdeque.push_bottom d i
+         done;
+         for _ = 0 to 999 do
+           Sim.Wsdeque.pop_bottom d |> ignore
+         done))
+
+let test_eventq =
+  Test.make ~name:"substrate: event queue add/pop x1000"
+    (Staged.stage (fun () ->
+         let q = Sim.Eventq.create ~dummy:0 in
+         let rng = Sim.Prng.create ~seed:7 in
+         for i = 0 to 999 do
+           Sim.Eventq.add q ~time:(Sim.Prng.int rng 100_000) i
+         done;
+         while not (Sim.Eventq.is_empty q) do
+           Sim.Eventq.pop q |> ignore
+         done))
+
+let benchmark () =
+  let tests =
+    [
+      test_prod_serial;
+      test_prod_heartbeat;
+      test_fib_heartbeat;
+      test_parse;
+      test_engine_serial;
+      test_engine_cilk;
+      test_engine_tpal;
+      test_deque;
+      test_eventq;
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  print_endline "\n=== Bechamel microbenchmarks (core primitives) ===";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ t ] -> Printf.printf "%-55s %12.1f ns/run\n%!" name t
+          | _ -> Printf.printf "%-55s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  if Sys.getenv_opt "REPRO_QUICK" = None then run_figures ();
+  benchmark ()

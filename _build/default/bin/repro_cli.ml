@@ -1,0 +1,30 @@
+(* repro — run one (or all) of the paper's experiments by id and print
+   the regenerated table(s).
+
+   Ids: fig6 fig7 fig8 fig9 fig10 fig11 fig13 fig14 fig15 headline
+   tuner ablation all. *)
+
+open Cmdliner
+
+let id_arg =
+  Arg.(
+    required & pos 0 (some string) None
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          "One of: fig6 fig7 fig8 fig9 fig10 fig11 fig13 fig14 fig15 \
+           headline tuner ablation all.")
+
+let go id =
+  match Repro.Figures.by_name id with
+  | None ->
+      Printf.eprintf "unknown experiment %S\n" id;
+      1
+  | Some tables ->
+      List.iter Repro.Figures.print_table tables;
+      0
+
+let () =
+  let info =
+    Cmd.info "repro" ~doc:"Regenerate one of the paper's figures or tables."
+  in
+  exit (Cmd.eval' (Cmd.v info Term.(const go $ id_arg)))

@@ -1,0 +1,166 @@
+(* tpali — the TPAL assembly interpreter.
+
+   Subcommands:
+     run    parse, check and evaluate a .tpal file
+     check  static well-formedness only
+     trace  evaluate with a step-by-step trace
+
+   Register seeding: [-r a=7 -r b=6]; result extraction: [--result c];
+   heartbeat: [--heart N] (cycles; 0 disables). *)
+
+open Cmdliner
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_program path =
+  match Tpal.Parser.parse_result (read_file path) with
+  | Ok p -> Ok p
+  | Error e -> Error (`Msg e)
+
+let seed_conv : (string * int) Arg.conv =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ r; v ] -> (
+        match int_of_string_opt v with
+        | Some n -> Ok (r, n)
+        | None -> Error (`Msg ("invalid integer in seed " ^ s)))
+    | _ -> Error (`Msg ("expected reg=int, got " ^ s))
+  in
+  let print ppf (r, n) = Format.fprintf ppf "%s=%d" r n in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.tpal")
+
+let seeds_arg =
+  Arg.(
+    value & opt_all seed_conv []
+    & info [ "r"; "reg" ] ~docv:"REG=INT" ~doc:"Seed register $(docv).")
+
+let heart_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "heart" ] ~docv:"CYCLES"
+        ~doc:"Heartbeat threshold in cycles; 0 disables promotion.")
+
+let fuel_arg =
+  Arg.(
+    value & opt int 200_000_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget.")
+
+let result_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "result" ] ~docv:"REG" ~doc:"Print register $(docv) at halt.")
+
+let options ~heart ~fuel =
+  { Tpal.Eval.default_options with
+    heart = (if heart <= 0 then None else Some heart);
+    fuel }
+
+let print_outcome (fin : Tpal.Eval.finished) (results : string list) =
+  List.iter
+    (fun r ->
+      match Tpal.Regfile.find_opt r fin.task.regs with
+      | Some v -> Fmt.pr "%s = %a@." r Tpal.Value.pp v
+      | None -> Fmt.pr "%s = <unbound>@." r)
+    results;
+  Fmt.pr
+    "stopped: %s | instructions=%d promotions=%d forks=%d joins=%d | %a@."
+    (match fin.stop with
+    | Tpal.Eval.Halted -> "halt"
+    | Tpal.Eval.Blocked j -> Printf.sprintf "blocked on j%d" j)
+    fin.stats.instructions fin.stats.promotions fin.stats.forks
+    fin.stats.join_continues Tpal.Cost.pp_summary fin.cost
+
+let run_cmd =
+  let go file seeds heart fuel results =
+    match parse_program file with
+    | Error (`Msg e) ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok p -> (
+        match Tpal.Check.errors p with
+        | _ :: _ as errs ->
+            List.iter (fun d -> Fmt.epr "%a@." Tpal.Check.pp_diagnostic d) errs;
+            1
+        | [] -> (
+            let bindings =
+              List.map (fun (r, n) -> (r, Tpal.Value.Vint n)) seeds
+            in
+            match
+              Tpal.Eval.run_seeded ~options:(options ~heart ~fuel) p bindings
+            with
+            | Ok fin ->
+                print_outcome fin results;
+                0
+            | Error e ->
+                Fmt.epr "machine error: %a@." Tpal.Machine_error.pp e;
+                1))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Parse, check and evaluate a TPAL program.")
+    Term.(const go $ file_arg $ seeds_arg $ heart_arg $ fuel_arg $ result_arg)
+
+let check_cmd =
+  let go file =
+    match parse_program file with
+    | Error (`Msg e) ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok p ->
+        let diags = Tpal.Check.check p in
+        List.iter (fun d -> Fmt.pr "%a@." Tpal.Check.pp_diagnostic d) diags;
+        if List.exists Tpal.Check.is_error diags then 1
+        else begin
+          Fmt.pr "%s: %d blocks, ok@." file (List.length p.blocks);
+          0
+        end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Statically check a TPAL program.")
+    Term.(const go $ file_arg)
+
+let trace_cmd =
+  let limit_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "limit" ] ~docv:"N" ~doc:"Maximum trace entries.")
+  in
+  let watch_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "watch" ] ~docv:"REG" ~doc:"Watch register $(docv).")
+  in
+  let go file seeds heart fuel watch limit =
+    match parse_program file with
+    | Error (`Msg e) ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok p ->
+        let bindings = List.map (fun (r, n) -> (r, Tpal.Value.Vint n)) seeds in
+        let entries, res =
+          Tpal.Trace.collect ~watch_regs:watch ~limit
+            ~options:(options ~heart ~fuel) p bindings
+        in
+        print_endline (Tpal.Trace.to_string entries);
+        (match res with
+        | Ok fin -> print_outcome fin []
+        | Error e -> Fmt.epr "machine error: %a@." Tpal.Machine_error.pp e);
+        0
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Evaluate with a step-by-step trace.")
+    Term.(
+      const go $ file_arg $ seeds_arg $ heart_arg $ fuel_arg $ watch_arg
+      $ limit_arg)
+
+let () =
+  let info =
+    Cmd.info "tpali" ~version:"1.0"
+      ~doc:"Interpreter for TPAL, the Task Parallel Assembly Language."
+  in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; check_cmd; trace_cmd ]))

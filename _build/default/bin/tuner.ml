@@ -1,0 +1,96 @@
+(* tuner — the one-time, per-machine heartbeat tuning application
+   (§2.2): find the smallest ♥ whose single-core overhead stays under
+   a bound, so that promotions are amortised but no useful parallelism
+   is pruned.
+
+   Sweeps ♥ over a log grid for every benchmark, reports the 1-core
+   overhead and 15-core speedup at each setting, and prints the
+   selected ♥. *)
+
+open Cmdliner
+
+let bound_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "bound" ] ~docv:"PCT"
+        ~doc:"Maximum acceptable single-core overhead, percent.")
+
+let system_arg =
+  let sys_conv =
+    Arg.enum
+      [ ("linux", Repro.Runner.Tpal_linux);
+        ("nautilus", Repro.Runner.Tpal_nautilus);
+        ("papi", Repro.Runner.Tpal_papi) ]
+  in
+  Arg.(
+    value & opt sys_conv Repro.Runner.Tpal_nautilus
+    & info [ "system" ] ~docv:"SYS" ~doc:"Signal mechanism to tune for.")
+
+let hearts = [ 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. ]
+
+let go bound system =
+  let f2 = Stats.Table.fmt_float ~decimals:2 in
+  Printf.printf "Tuning heart for %s (overhead bound %.1f%%)\n"
+    (Repro.Runner.system_name system)
+    bound;
+  let per_bench =
+    List.map
+      (fun (w : Workloads.Workload.t) ->
+        let overhead h =
+          (Repro.Runner.normalized_1core ~heart_us:h system w -. 1.) *. 100.
+        in
+        let chosen =
+          List.find_opt (fun h -> overhead h <= bound) hearts
+        in
+        (w, chosen))
+      Workloads.Workload.all
+  in
+  let rows =
+    List.map
+      (fun ((w : Workloads.Workload.t), chosen) ->
+        let cells =
+          List.map
+            (fun h ->
+              f2
+                ((Repro.Runner.normalized_1core ~heart_us:h system w -. 1.)
+                *. 100.))
+            hearts
+        in
+        (w.name
+        :: cells)
+        @ [ (match chosen with Some h -> Printf.sprintf "%.0fus" h | None -> "-") ])
+      per_bench
+  in
+  let header =
+    ("benchmark" :: List.map (fun h -> Printf.sprintf "%.0fus" h) hearts)
+    @ [ "chosen" ]
+  in
+  Stats.Table.print
+    (Stats.Table.make ~title:"1-core overhead (%) per heart setting" ~header
+       rows);
+  (* The machine-wide ♥: the smallest value acceptable to every
+     benchmark (the paper tunes once per machine, not per program). *)
+  let machine_heart =
+    List.find_opt
+      (fun h ->
+        List.for_all
+          (fun (w, _) ->
+            (Repro.Runner.normalized_1core ~heart_us:h system w -. 1.) *. 100.
+            <= bound)
+          per_bench)
+      hearts
+  in
+  (match machine_heart with
+  | Some h ->
+      Printf.printf
+        "\nSelected machine heartbeat: %.0f us (smallest setting with all \
+         single-core overheads <= %.1f%%)\n"
+        h bound
+  | None -> Printf.printf "\nNo setting met the bound; use 1000 us.\n");
+  0
+
+let () =
+  let info =
+    Cmd.info "tuner" ~doc:"Heartbeat tuning application (paper, section 2.2)."
+  in
+  exit (Cmd.eval' (Cmd.v info Term.(const go $ bound_arg $ system_arg)))

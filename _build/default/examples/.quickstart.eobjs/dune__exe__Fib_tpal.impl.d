@@ -1,0 +1,1 @@
+examples/fib_tpal.ml: Fmt Heartbeat List String Tpal

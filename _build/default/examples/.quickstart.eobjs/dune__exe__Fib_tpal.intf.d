@@ -1,0 +1,1 @@
+examples/fib_tpal.mli:

@@ -1,0 +1,1 @@
+examples/mergesort_app.ml: Array Heartbeat List Option Printf Repro Sim Workloads

@@ -1,0 +1,1 @@
+examples/mergesort_app.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List String Tpal

@@ -1,0 +1,1 @@
+examples/spmv_app.ml: Array Float Heartbeat Option Printf Repro Sim Workloads

@@ -1,0 +1,1 @@
+examples/spmv_app.mli:

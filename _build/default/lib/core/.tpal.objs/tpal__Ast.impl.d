@@ -1,0 +1,1 @@
+lib/core/ast.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/core/builder.pp.ml: Ast Check

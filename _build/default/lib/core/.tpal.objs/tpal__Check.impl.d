@@ -1,0 +1,1 @@
+lib/core/check.pp.ml: Ast Fmt Format Heap List Set String

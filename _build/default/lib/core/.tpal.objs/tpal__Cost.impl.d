@@ -1,0 +1,1 @@
+lib/core/cost.pp.ml: Fmt

@@ -1,0 +1,1 @@
+lib/core/eval.pp.ml: Ast Cost Heap Join List Machine_error Printf Regfile Result Step Task Value

@@ -1,0 +1,1 @@
+lib/core/heap.pp.ml: Ast List Machine_error Map Regfile Result String Value

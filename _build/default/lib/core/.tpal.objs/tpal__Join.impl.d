@@ -1,0 +1,1 @@
+lib/core/join.pp.ml: Ast Fmt Int Machine_error Map String

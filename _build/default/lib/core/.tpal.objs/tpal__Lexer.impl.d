@@ -1,0 +1,1 @@
+lib/core/lexer.pp.ml: Ast Fmt Format List String

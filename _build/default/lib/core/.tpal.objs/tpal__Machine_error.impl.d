@@ -1,0 +1,1 @@
+lib/core/machine_error.pp.ml: Ast Fmt

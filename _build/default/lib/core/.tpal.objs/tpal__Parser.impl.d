@@ -1,0 +1,1 @@
+lib/core/parser.pp.ml: Ast Format Lexer List Printf Result

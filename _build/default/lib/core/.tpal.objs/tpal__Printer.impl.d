@@ -1,0 +1,1 @@
+lib/core/printer.pp.ml: Ast Buffer Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/core/programs.pp.ml: Ast Builder Eval Machine_error Regfile Value

@@ -1,0 +1,1 @@
+lib/core/regfile.pp.ml: Ast Fmt List Machine_error Map String Value

@@ -1,0 +1,1 @@
+lib/core/rollforward.pp.ml: Ast Heap List Machine_error Task

@@ -1,0 +1,1 @@
+lib/core/step.pp.ml: Ast Heap Machine_error Regfile Result Task Value

@@ -1,0 +1,1 @@
+lib/core/task.pp.ml: Ast Fmt Heap Int Machine_error Regfile String

@@ -1,0 +1,1 @@
+lib/core/trace.pp.ml: Ast Eval Fmt Heap List Machine_error Option Printer Printf Regfile String Task Value

@@ -1,0 +1,1 @@
+lib/core/value.pp.ml: Array Ast Fmt Int List Option String

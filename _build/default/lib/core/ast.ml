@@ -1,0 +1,199 @@
+(** Abstract syntax of TPAL, the Task Parallel Assembly Language.
+
+    This module follows the grammar of Figure 1 of the paper, extended with
+    the stack-memory instructions of Figure 21 (Appendix B.2).  The
+    highlighted, parallelism-specific syntax of the paper maps to:
+
+    - {!constructor:Jralloc} — join-record allocation ([r := jralloc l]);
+    - {!constructor:Fork} — task creation ([fork r, v]);
+    - the {!terminator} [Join] — join-point synchronization ([join r]);
+    - block {!annot}ations — promotion-ready program points ([prppt l]) and
+      join-target program points ([jtppt jp; ΔR; l]).
+
+    Everything else is a conventional RISC-like subset. *)
+
+type reg = string [@@deriving show, eq, ord]
+(** Register names.  TPAL assumes an unbounded set of virtual registers;
+    we use strings for readability of traces and assembly files. *)
+
+type label = string [@@deriving show, eq, ord]
+(** Code-block labels. *)
+
+(** Join-resolution policies ([jp] in the grammar): whether the combining
+    operation at a join target is merely associative or also commutative.
+    The runtime may resolve joins out of order only under [Assoc_comm]. *)
+type jp = Assoc | Assoc_comm [@@deriving show, eq, ord]
+
+(** Primitive binary operations ([op] in the grammar).  Comparison
+    operators follow TPAL's convention that {e zero means true}: they
+    evaluate to [0] when the comparison holds and [1] otherwise, matching
+    the [if-jump] instruction, which branches when its register is zero. *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncated division; division by zero is a machine error *)
+  | Mod  (** remainder; modulus by zero is a machine error *)
+  | Lt
+  | Le
+  | Eq
+  | Ne
+  | Gt
+  | Ge
+  | And  (** bitwise and *)
+  | Or   (** bitwise or *)
+  | Xor  (** bitwise xor *)
+  | Shl
+  | Shr
+[@@deriving show, eq, ord]
+
+(** Static operands ([v] in the grammar).  Join-record identifiers are
+    run-time values only (they are created by [jralloc]), so they do not
+    appear in source operands. *)
+type operand = Reg of reg | Lab of label | Int of int
+[@@deriving show, eq, ord]
+
+(** Straight-line instructions ([ı] in the grammar).  [If_jump] falls
+    through when the branch is not taken, so it is an ordinary instruction
+    rather than a block terminator. *)
+type instr =
+  | Mov of reg * operand  (** [r := v] *)
+  | Binop of reg * binop * operand * operand  (** [r := v1 op v2] *)
+  | If_jump of reg * operand
+      (** [if-jump r, v]: jump to [v] when [r] holds integer [0]
+          (zero-is-true convention), fall through otherwise. *)
+  | Jralloc of reg * label
+      (** [r := jralloc l]: allocate a fresh join record whose
+          continuation block is [l]; store its identifier in [r]. *)
+  | Fork of reg * operand
+      (** [fork r, v]: register a dependency edge in the join record held
+          in [r], then spawn a child task starting at block [v] with a
+          copy of the parent's register file. *)
+  | Snew of reg  (** [r := snew]: allocate a fresh, empty stack. *)
+  | Salloc of reg * int
+      (** [salloc r, n]: push [n] zero-initialized cells onto the stack
+          held in [r]. *)
+  | Sfree of reg * int  (** [sfree r, n]: pop [n] cells. *)
+  | Load of reg * reg * int  (** [rd := mem[r + n]] *)
+  | Store of reg * int * operand  (** [mem[r + n] := v] *)
+  | Prmpush of reg * int
+      (** [prmpush mem[r + n]]: write a promotion-ready mark into the
+          stack cell at offset [n]. *)
+  | Prmpop of reg * int
+      (** [prmpop mem[r + n]]: remove the mark at offset [n] (which must
+          be a mark; clearing writes [0]). *)
+  | Prmempty of reg * reg
+      (** [rd := prmempty r]: [0] (true) iff the stack in [r] holds no
+          promotion-ready mark, so that the idiom
+          [t := prmempty sp; if-jump t, loop] of Figure 23 aborts a
+          promotion attempt exactly when no latent parallelism is
+          advertised. *)
+  | Prmsplit of reg * reg
+      (** [prmsplit rs, rp]: clear the {e least-recent} (outermost) mark
+          in the stack held in [rs] and set [rp] to its cell offset. *)
+[@@deriving show, eq, ord]
+
+(** Block terminators.  An instruction sequence [I] in the grammar is a
+    list of {!instr} finished by one of these. *)
+type terminator =
+  | Jump of operand  (** [jump v]; [v] may be a label or a register holding one. *)
+  | Halt  (** [halt]: terminate the whole machine. *)
+  | Join of reg  (** [join r]: participate in join resolution on the
+                     join record held in [r]. *)
+[@@deriving show, eq, ord]
+
+(** Register-renaming environments ΔR used by join-target annotations:
+    at a join, each pair [(rs, rt)] copies the child's register [rs] into
+    register [rt] of the merged register file. *)
+type renaming = (reg * reg) list [@@deriving show, eq, ord]
+
+(** Block annotations (★ in the grammar). *)
+type annot =
+  | Plain  (** [·]: no special behaviour. *)
+  | Prppt of label
+      (** [prppt l]: promotion-ready program point; when a heartbeat is
+          pending, control entering this block diverts to handler [l]. *)
+  | Jtppt of jp * renaming * label
+      (** [jtppt jp; ΔR; l]: join-target point with join policy [jp],
+          register merge ΔR, and combining block [l]. *)
+[@@deriving show, eq, ord]
+
+type block = { annot : annot; body : instr list; term : terminator }
+[@@deriving show, eq, ord]
+(** A labeled code block: an annotation, straight-line instructions, and
+    a terminator. *)
+
+type program = { entry : label; blocks : (label * block) list }
+[@@deriving show, eq, ord]
+(** A program is a set of labeled blocks plus a designated entry label.
+    Block order is preserved for printing; lookup is by label
+    (see {!Heap}). *)
+
+(** [block_length b] is the number of machine steps the block can issue:
+    its straight-line instructions plus the terminator. *)
+let block_length (b : block) = List.length b.body + 1
+
+(** [instr_labels i] lists the labels statically mentioned by [i]. *)
+let instr_labels (i : instr) : label list =
+  let of_operand = function Lab l -> [ l ] | Reg _ | Int _ -> [] in
+  match i with
+  | Mov (_, v) -> of_operand v
+  | Binop (_, _, v1, v2) -> of_operand v1 @ of_operand v2
+  | If_jump (_, v) -> of_operand v
+  | Jralloc (_, l) -> [ l ]
+  | Fork (_, v) -> of_operand v
+  | Store (_, _, v) -> of_operand v
+  | Snew _ | Salloc _ | Sfree _ | Load _ | Prmpush _ | Prmpop _ | Prmempty _
+  | Prmsplit _ ->
+      []
+
+(** [term_labels t] lists the labels statically mentioned by [t]. *)
+let term_labels (t : terminator) : label list =
+  match t with
+  | Jump (Lab l) -> [ l ]
+  | Jump (Reg _ | Int _) | Halt | Join _ -> []
+
+(** [annot_labels a] lists the labels mentioned by annotation [a]. *)
+let annot_labels (a : annot) : label list =
+  match a with
+  | Plain -> []
+  | Prppt l -> [ l ]
+  | Jtppt (_, _, l) -> [ l ]
+
+(** [block_labels b] lists every label statically referenced by [b]. *)
+let block_labels (b : block) : label list =
+  annot_labels b.annot
+  @ List.concat_map instr_labels b.body
+  @ term_labels b.term
+
+(** [defined_regs i] is the list of registers written by [i]. *)
+let defined_regs (i : instr) : reg list =
+  match i with
+  | Mov (r, _)
+  | Binop (r, _, _, _)
+  | Jralloc (r, _)
+  | Snew r
+  | Load (r, _, _)
+  | Prmempty (r, _) ->
+      [ r ]
+  | Prmsplit (_, rp) -> [ rp ]
+  | If_jump _ | Fork _ | Salloc _ | Sfree _ | Store _ | Prmpush _ | Prmpop _
+    ->
+      []
+
+(** [used_regs i] is the list of registers read by [i]. *)
+let used_regs (i : instr) : reg list =
+  let of_operand = function Reg r -> [ r ] | Lab _ | Int _ -> [] in
+  match i with
+  | Mov (_, v) -> of_operand v
+  | Binop (_, _, v1, v2) -> of_operand v1 @ of_operand v2
+  | If_jump (r, v) -> r :: of_operand v
+  | Jralloc (_, _) -> []
+  | Fork (r, v) -> r :: of_operand v
+  | Snew _ -> []
+  | Salloc (r, _) | Sfree (r, _) -> [ r ]
+  | Load (_, r, _) -> [ r ]
+  | Store (r, _, v) -> r :: of_operand v
+  | Prmpush (r, _) | Prmpop (r, _) -> [ r ]
+  | Prmempty (_, r) -> [ r ]
+  | Prmsplit (rs, _) -> [ rs ]

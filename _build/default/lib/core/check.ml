@@ -1,0 +1,172 @@
+(** Static well-formedness checking of TPAL programs.
+
+    The abstract machine is defensive at run time; this pass catches the
+    same classes of fault statically, before execution, plus stylistic
+    hazards of the concrete syntax (e.g. a register shadowing a block
+    label, which the parser would silently resolve to the label). *)
+
+type severity = Error | Warning
+
+type diagnostic = { severity : severity; block : Ast.label option; message : string }
+
+let errf ?block fmt =
+  Format.kasprintf (fun message -> { severity = Error; block; message }) fmt
+
+let warnf ?block fmt =
+  Format.kasprintf (fun message -> { severity = Warning; block; message }) fmt
+
+let pp_diagnostic ppf (d : diagnostic) =
+  let sev = match d.severity with Error -> "error" | Warning -> "warning" in
+  match d.block with
+  | Some b -> Fmt.pf ppf "%s (block %s): %s" sev b d.message
+  | None -> Fmt.pf ppf "%s: %s" sev d.message
+
+let is_error (d : diagnostic) = d.severity = Error
+
+module SS = Set.Make (String)
+
+let duplicates (labels : string list) : string list =
+  let rec go seen dups = function
+    | [] -> List.rev dups
+    | l :: rest ->
+        if SS.mem l seen then go seen (l :: dups) rest
+        else go (SS.add l seen) dups rest
+  in
+  go SS.empty [] labels
+
+(* Labels reachable from the entry following static label references. *)
+let reachable (p : Ast.program) : SS.t =
+  let heap = Heap.of_program p in
+  let rec go (frontier : string list) (seen : SS.t) =
+    match frontier with
+    | [] -> seen
+    | l :: rest ->
+        if SS.mem l seen then go rest seen
+        else
+          let seen = SS.add l seen in
+          let succs =
+            match Heap.find_opt l heap with
+            | None -> []
+            | Some b -> Ast.block_labels b
+          in
+          go (succs @ rest) seen
+  in
+  go [ p.entry ] SS.empty
+
+(** [check p] returns all diagnostics for [p]; the program is safe to
+    run (modulo dynamic register contents) when no {!Error}-severity
+    diagnostics are present. *)
+let check (p : Ast.program) : diagnostic list =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let labels = List.map fst p.blocks in
+  let label_set = SS.of_list labels in
+  let defined l = SS.mem l label_set in
+  (* duplicate block labels *)
+  List.iter
+    (fun l -> emit (errf "duplicate block label %s" l))
+    (duplicates labels);
+  (* entry exists *)
+  if not (defined p.entry) then emit (errf "entry label %s is not defined" p.entry);
+  (* collect which labels are jtppt blocks, for jralloc validation *)
+  let jtppt_labels =
+    List.filter_map
+      (fun (l, (b : Ast.block)) ->
+        match b.annot with Ast.Jtppt _ -> Some l | _ -> None)
+      p.blocks
+    |> SS.of_list
+  in
+  let check_label ~block ~context l =
+    if not (defined l) then
+      emit (errf ~block "undefined label %s (%s)" l context)
+  in
+  let check_operand_labels ~block ~context (v : Ast.operand) =
+    match v with
+    | Ast.Lab l -> check_label ~block ~context l
+    | Ast.Reg r ->
+        if defined r then
+          emit
+            (warnf ~block
+               "register %s shadows a block label; the parser resolves bare \
+                identifiers to labels"
+               r)
+    | Ast.Int _ -> ()
+  in
+  List.iter
+    (fun (label, (b : Ast.block)) ->
+      (* annotation targets *)
+      (match b.annot with
+      | Ast.Plain -> ()
+      | Ast.Prppt h -> check_label ~block:label ~context:"prppt handler" h
+      | Ast.Jtppt (_, dr, comb) ->
+          check_label ~block:label ~context:"jtppt combining block" comb;
+          List.iter
+            (fun t ->
+              emit
+                (errf ~block:label
+                   "join renaming assigns register %s more than once" t))
+            (duplicates (List.map snd dr)));
+      (* instruction label references *)
+      List.iter
+        (fun (i : Ast.instr) ->
+          (match i with
+          | Ast.Jralloc (_, cont) ->
+              check_label ~block:label ~context:"join continuation" cont;
+              if defined cont && not (SS.mem cont jtppt_labels) then
+                emit
+                  (errf ~block:label
+                     "jralloc continuation %s is not a join-target (jtppt) \
+                      block"
+                     cont)
+          | Ast.Fork (_, target) ->
+              check_operand_labels ~block:label ~context:"fork target" target
+          | _ -> ());
+          List.iter
+            (fun v ->
+              check_operand_labels ~block:label ~context:"operand"
+                (Ast.Lab v))
+            (Ast.instr_labels i
+            |> List.filter (fun l ->
+                   (* jralloc/fork labels were checked above with more
+                      specific messages *)
+                   match i with
+                   | Ast.Jralloc (_, cont) -> not (String.equal l cont)
+                   | Ast.Fork (_, Ast.Lab t) -> not (String.equal l t)
+                   | _ -> true)))
+        b.body;
+      (* terminator *)
+      match b.term with
+      | Ast.Jump (Ast.Lab l) -> check_label ~block:label ~context:"jump target" l
+      | Ast.Jump (Ast.Int _) ->
+          emit (errf ~block:label "jump target is an integer literal")
+      | Ast.Jump (Ast.Reg r) ->
+          if defined r then
+            emit
+              (warnf ~block:label
+                 "register %s shadows a block label; the parser resolves bare \
+                  identifiers to labels"
+                 r)
+      | Ast.Halt | Ast.Join _ -> ())
+    p.blocks;
+  (* unreachable blocks (warning) *)
+  let reach = reachable p in
+  List.iter
+    (fun (l, _) ->
+      if not (SS.mem l reach) then
+        emit (warnf ~block:l "block %s is unreachable from entry %s" l p.entry))
+    p.blocks;
+  List.rev !diags
+
+(** [errors p] is the error-severity subset of [check p]. *)
+let errors (p : Ast.program) : diagnostic list = List.filter is_error (check p)
+
+(** [check_exn p] raises [Invalid_argument] with rendered diagnostics
+    if [p] has errors; returns [p] otherwise (warnings pass). *)
+let check_exn (p : Ast.program) : Ast.program =
+  match errors p with
+  | [] -> p
+  | errs ->
+      invalid_arg
+        (Fmt.str "@[<v>ill-formed TPAL program:@,%a@]"
+           (Fmt.list ~sep:Fmt.cut pp_diagnostic)
+           errs)

@@ -1,0 +1,364 @@
+(** Parallel evaluation of TPAL — the big-step judgment
+    [J; T ⇓ J'; T'; g] of Figure 30, together with heartbeat-driven
+    promotion.
+
+    The evaluator threads join-record maps and accumulates a
+    {!Cost.summary} of the induced series–parallel cost graph.  Rule
+    correspondence:
+
+    - [seq]: one sequential transition ({!Step.step}) when no promotion
+      is ready; cost [1 · g].
+    - [jralloc]: allocate a fresh, closed join record; cost [1 · g].
+    - [fork]: mark the record open, evaluate parent and child
+      derivations (both with ⋄ = 0), demand both end blocked on the same
+      record, merge register files through the join target's ΔR, heaps
+      and join maps through MergeH/MergeJ, restore the record's previous
+      status, and evaluate the combining block; cost [(g1 ∥ g2) · g'].
+    - [join-block]: a [join] on an open record is terminal for the
+      issuing task; cost [1].
+    - [join-continue]: a [join] on a closed record discharges it and
+      jumps to the join continuation; cost [1 · g].
+    - [try-promote]: when [PromotionReady] (Figure 27) holds — control
+      at offset 0 of a [prppt] block and ⋄ > ♥ — divert to the handler
+      block with ⋄ = 0; cost [1 · g]. *)
+
+type options = {
+  heart : int option;
+      (** ♥, the heartbeat threshold in machine cycles; [None] disables
+          promotion entirely (the irrevocably-sequential execution). *)
+  tau : int;  (** τ, the fork-join cost charged by the cost semantics *)
+  fuel : int;  (** instruction budget; exceeding it is a machine error *)
+  swap_joins : bool;
+      (** when true, joins whose policy is [Assoc_comm] merge with the
+          child playing the parent role.  Tests use it to check that
+          reduction programs declare commutativity honestly; note the
+          swap exchanges the {e whole} register file, which is only a
+          legal runtime freedom when the join continuation is
+          register-symmetric (loop reductions like prod/pow are; fib,
+          whose continuation consumes the parent's stack pointer, is
+          not). *)
+}
+
+let default_options =
+  { heart = Some 1_000; tau = 1; fuel = 500_000_000; swap_joins = false }
+
+(** Dynamic counters of one evaluation. *)
+type stats = {
+  instructions : int;  (** sequential transitions taken *)
+  promotions : int;  (** [try-promote] firings (heartbeat diversions) *)
+  forks : int;  (** [fork] rules fired (tasks created) *)
+  join_continues : int;  (** joins that discharged a closed record *)
+  jrallocs : int;  (** join records allocated *)
+}
+
+let zero_stats =
+  { instructions = 0; promotions = 0; forks = 0; join_continues = 0;
+    jrallocs = 0 }
+
+(** How an evaluation came to rest. *)
+type stop =
+  | Halted  (** reached [halt]: the whole machine stopped *)
+  | Blocked of int
+      (** terminal [join-block] on the given (open) join record *)
+
+type finished = {
+  task : Task.t;  (** the final configuration [T'] *)
+  joins : Join.t;  (** the final join map [J'] *)
+  cost : Cost.summary;  (** digest of the cost graph [g] *)
+  stats : stats;
+  stop : stop;
+}
+
+(** Events emitted during evaluation, for tracing and debugging (the
+    observer sees the rule about to fire and the task it fires on). *)
+type event =
+  | E_step of Task.t  (** a sequential transition is about to be taken *)
+  | E_promote of { task : Task.t; handler : Ast.label }
+  | E_jralloc of { task : Task.t; id : int }
+  | E_fork of { task : Task.t; join : int; child : Ast.label }
+  | E_join_block of { task : Task.t; join : int }
+  | E_join_continue of { task : Task.t; join : int; cont : Ast.label }
+  | E_combine of { join : int; comb : Ast.label }
+  | E_halt of Task.t
+
+(* Mutable evaluation context: fuel and statistics are global to a run
+   (they are bookkeeping, not semantics), so we thread them by
+   mutation to keep the rule transcriptions readable. *)
+type ctx = {
+  opts : options;
+  mutable fuel_left : int;
+  mutable st : stats;
+  hook : (event -> unit) option;
+}
+
+(* Emit an event lazily: the thunk is only forced when a hook is
+   installed, keeping the common case allocation-free. *)
+let emit (ctx : ctx) (ev : unit -> event) : unit =
+  match ctx.hook with None -> () | Some f -> f (ev ())
+
+let ( let* ) = Result.bind
+
+(** [PromotionReady(l[n], H, ⋄)] of Figure 27. *)
+let promotion_ready (opts : options) (t : Task.t) : Ast.label option =
+  match opts.heart with
+  | None -> None
+  | Some heart -> (
+      if t.pc.offset <> 0 || t.cycles <= heart then None
+      else
+        match Heap.find_opt t.pc.label t.heap with
+        | Some { annot = Ast.Prppt handler; _ } -> Some handler
+        | _ -> None)
+
+let spend (ctx : ctx) : (unit, Machine_error.t) result =
+  if ctx.fuel_left <= 0 then
+    Error (Machine_error.Fuel_exhausted { budget = ctx.opts.fuel })
+  else begin
+    ctx.fuel_left <- ctx.fuel_left - 1;
+    ctx.st <- { ctx.st with instructions = ctx.st.instructions + 1 };
+    Ok ()
+  end
+
+(* Enter [label] with a fresh cycle counter — used by [try-promote],
+   [fork] (both branches and the combine block). *)
+let enter_fresh (t : Task.t) (label : Ast.label) :
+    (Task.t, Machine_error.t) result =
+  let* block = Heap.find label t.heap in
+  Ok (Task.enter label block ~cycles:0 ~heap:t.heap ~regs:t.regs)
+
+(* One step of cost: sequential vertices accumulate into the summary as
+   we go ([1 · g] left-folded). *)
+let tick (acc : Cost.summary) : Cost.summary =
+  Cost.seq_summary acc Cost.one_summary
+
+(* The result of one big-step evaluation: final task, join map, and the
+   cost summary of everything this derivation executed. *)
+type partial = {
+  p_task : Task.t;
+  p_joins : Join.t;
+  p_cost : Cost.summary;
+  p_stop : stop;
+}
+
+let rec eval (ctx : ctx) (joins : Join.t) (task : Task.t)
+    (acc : Cost.summary) : (partial, Machine_error.t) result =
+  (* [try-promote] takes priority over every other rule (their common
+     ¬PromotionReady guard). *)
+  match promotion_ready ctx.opts task with
+  | Some handler ->
+      let* () = spend ctx in
+      ctx.st <- { ctx.st with promotions = ctx.st.promotions + 1 };
+      emit ctx (fun () -> E_promote { task; handler });
+      let* diverted = enter_fresh task handler in
+      eval ctx joins diverted (tick acc)
+  | None -> (
+      let* outcome = Step.step task in
+      match outcome with
+      | Step.Stepped task' ->
+          (* [seq] *)
+          let* () = spend ctx in
+          emit ctx (fun () -> E_step task);
+          eval ctx joins task' (tick acc)
+      | Step.Halted task' ->
+          emit ctx (fun () -> E_halt task');
+          (* [halt] is terminal for the whole machine. *)
+          Ok { p_task = task'; p_joins = joins; p_cost = acc; p_stop = Halted }
+      | Step.Parallel (req, task') -> eval_parallel ctx joins task' acc req)
+
+and eval_parallel (ctx : ctx) (joins : Join.t) (task : Task.t)
+    (acc : Cost.summary) (req : Step.parallel_request) :
+    (partial, Machine_error.t) result =
+  match req with
+  | Step.Req_jralloc { dst; cont } ->
+      (* [jralloc]: fresh closed record, result identifier in [dst]. *)
+      let* () = spend ctx in
+      ctx.st <- { ctx.st with jrallocs = ctx.st.jrallocs + 1 };
+      let id, joins' = Join.alloc cont joins in
+      emit ctx (fun () -> E_jralloc { task; id });
+      let rest = List.tl task.code.rest in
+      let regs = Regfile.set dst (Value.Vjoin id) task.regs in
+      let task' =
+        { task with
+          pc = { task.pc with offset = task.pc.offset + 1 };
+          cycles = task.cycles + 1;
+          regs;
+          code = { task.code with rest } }
+      in
+      eval ctx joins' task' (tick acc)
+  | Step.Req_join { jr } -> (
+      let* v = Regfile.find jr task.regs in
+      let* j =
+        match v with
+        | Value.Vjoin j -> Ok j
+        | other ->
+            Error
+              (Machine_error.Type_error
+                 { expected = "join-record"; got = Value.kind other;
+                   context = "join " ^ jr })
+      in
+      let* record = Join.find j joins in
+      match record.status with
+      | Join.Open ->
+          (* [join-block]: terminal; cost 1. *)
+          let* () = spend ctx in
+          emit ctx (fun () -> E_join_block { task; join = j });
+          Ok
+            { p_task = task; p_joins = joins; p_cost = tick acc;
+              p_stop = Blocked j }
+      | Join.Closed ->
+          (* [join-continue]: discharge the record and jump to the join
+             continuation, keeping ⋄. *)
+          let* () = spend ctx in
+          ctx.st <- { ctx.st with join_continues = ctx.st.join_continues + 1 };
+          emit ctx (fun () -> E_join_continue { task; join = j; cont = record.cont });
+          let joins' = Join.remove j joins in
+          let* block = Heap.find record.cont task.heap in
+          let task' =
+            Task.enter record.cont block ~cycles:task.cycles ~heap:task.heap
+              ~regs:task.regs
+          in
+          eval ctx joins' task' (tick acc))
+  | Step.Req_fork { jr; target } -> (
+      let* v = Regfile.find jr task.regs in
+      let* j =
+        match v with
+        | Value.Vjoin j -> Ok j
+        | other ->
+            Error
+              (Machine_error.Type_error
+                 { expected = "join-record"; got = Value.kind other;
+                   context = "fork " ^ jr })
+      in
+      let* record = Join.find j joins in
+      ctx.st <- { ctx.st with forks = ctx.st.forks + 1 };
+      (* J0: register the dependency edge — the record opens. *)
+      let joins0 = Join.set j { record with status = Join.Open } joins in
+      (* Parent derivation: the instructions after [fork], ⋄ = 0. *)
+      let rest = List.tl task.code.rest in
+      let parent0 =
+        { task with
+          pc = { task.pc with offset = task.pc.offset + 1 };
+          cycles = 0;
+          code = { task.code with rest } }
+      in
+      (* Child derivation: block at the fork target, a copy of the
+         parent's register file, ⋄ = 0. *)
+      let* child_label, child_block = Heap.resolve task.heap task.regs target in
+      emit ctx (fun () -> E_fork { task; join = j; child = child_label });
+      let child0 =
+        Task.enter child_label child_block ~cycles:0 ~heap:task.heap
+          ~regs:task.regs
+      in
+      let* p1 = eval ctx joins0 parent0 Cost.zero_summary in
+      (* If a branch halts, the whole machine stops (the [halt]
+         instruction "terminates the whole machine"). *)
+      match p1.p_stop with
+      | Halted ->
+          let cost =
+            Cost.seq_summary acc
+              (Cost.par_summary ~tau:ctx.opts.tau p1.p_cost Cost.zero_summary)
+          in
+          Ok { p1 with p_cost = cost }
+      | Blocked j1 -> (
+          let* () =
+            if j1 = j then Ok ()
+            else
+              Error
+                (Machine_error.Join_misuse
+                   { join = j;
+                     reason =
+                       Printf.sprintf "parent branch joined on j%d instead" j1 })
+          in
+          let* p2 = eval ctx joins0 child0 Cost.zero_summary in
+          match p2.p_stop with
+          | Halted ->
+              let cost =
+                Cost.seq_summary acc
+                  (Cost.par_summary ~tau:ctx.opts.tau p1.p_cost p2.p_cost)
+              in
+              Ok { p2 with p_cost = cost }
+          | Blocked j2 ->
+              let* () =
+                if j2 = j then Ok ()
+                else
+                  Error
+                    (Machine_error.Join_misuse
+                       { join = j;
+                         reason =
+                           Printf.sprintf "child branch joined on j%d instead"
+                             j2 })
+              in
+              join_and_combine ctx ~acc ~task ~j ~record p1 p2)
+  )
+
+(* The second half of the [fork] rule: merge the two finished branches
+   and evaluate the combining block named by the join target. *)
+and join_and_combine (ctx : ctx) ~(acc : Cost.summary) ~(task : Task.t)
+    ~(j : int) ~(record : Join.record) (p1 : partial) (p2 : partial) :
+    (partial, Machine_error.t) result =
+  let* jp, dr, comb_label =
+    match Heap.find_opt record.cont task.heap with
+    | Some { annot = Ast.Jtppt (jp, dr, l); _ } -> Ok (jp, dr, l)
+    | Some _ ->
+        Error
+          (Machine_error.Join_misuse
+             { join = j;
+               reason =
+                 "join continuation " ^ record.cont
+                 ^ " is not a join-target (jtppt) block" })
+    | None -> Error (Machine_error.Unbound_label record.cont)
+  in
+  (* Under an associative-and-commutative policy the runtime may resolve
+     the join with the roles swapped; exercising that freedom must not
+     change program results. *)
+  let r_parent, r_child =
+    match (jp, ctx.opts.swap_joins) with
+    | Ast.Assoc_comm, true -> (p2.p_task.regs, p1.p_task.regs)
+    | (Ast.Assoc | Ast.Assoc_comm), _ -> (p1.p_task.regs, p2.p_task.regs)
+  in
+  let merged_regs = Regfile.merge r_parent r_child dr in
+  let merged_heap = Heap.merge p1.p_task.heap p2.p_task.heap in
+  (* J_c: merge, minus j, plus j at its pre-fork status. *)
+  let merged_joins =
+    Join.set j record (Join.remove j (Join.merge p1.p_joins p2.p_joins))
+  in
+  emit ctx (fun () -> E_combine { join = j; comb = comb_label });
+  let* comb_block = Heap.find comb_label merged_heap in
+  let comb0 =
+    Task.enter comb_label comb_block ~cycles:0 ~heap:merged_heap
+      ~regs:merged_regs
+  in
+  let* p' = eval ctx merged_joins comb0 Cost.zero_summary in
+  let cost =
+    Cost.seq_summary acc
+      (Cost.seq_summary
+         (Cost.par_summary ~tau:ctx.opts.tau p1.p_cost p2.p_cost)
+         p'.p_cost)
+  in
+  Ok { p' with p_cost = cost }
+
+(** [run_task ~options joins task] evaluates an arbitrary starting
+    configuration — used by the tracer and by tests that seed
+    registers. *)
+let run_task ?hook ~(options : options) (joins : Join.t) (task : Task.t) :
+    (finished, Machine_error.t) result =
+  let ctx = { opts = options; fuel_left = options.fuel; st = zero_stats; hook } in
+  let* p = eval ctx joins task Cost.zero_summary in
+  Ok
+    { task = p.p_task; joins = p.p_joins; cost = p.p_cost; stats = ctx.st;
+      stop = p.p_stop }
+
+(** [run ?options program] evaluates [program] from its entry block with
+    an empty register file. *)
+let run ?hook ?(options = default_options) (program : Ast.program) :
+    (finished, Machine_error.t) result =
+  let* task0 = Task.initial program in
+  run_task ?hook ~options Join.empty task0
+
+(** [run_seeded ?options program regs] evaluates [program] with initial
+    register bindings — the usual way to pass arguments. *)
+let run_seeded ?hook ?(options = default_options) (program : Ast.program)
+    (bindings : (Ast.reg * Value.t) list) :
+    (finished, Machine_error.t) result =
+  let* task0 = Task.initial program in
+  run_task ?hook ~options Join.empty
+    { task0 with regs = Regfile.of_list bindings }

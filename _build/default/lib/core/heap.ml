@@ -1,0 +1,58 @@
+(** Heaps [H]: finite maps from labels to heap values (Figure 26).
+
+    In the register-only fragment the heap holds code blocks exclusively;
+    the stack extension's tuples are inlined into {!Value.Vstack} (see the
+    note there), so blocks remain the only heap values here.  We keep the
+    [MergeH] metafunction (Figure 27) because evaluation threads heaps
+    through fork/join merges. *)
+
+module M = Map.Make (String)
+
+type t = Ast.block M.t
+
+let empty : t = M.empty
+let add (l : Ast.label) (b : Ast.block) (h : t) : t = M.add l b h
+let find_opt (l : Ast.label) (h : t) : Ast.block option = M.find_opt l h
+let mem (l : Ast.label) (h : t) : bool = M.mem l h
+
+let find (l : Ast.label) (h : t) : (Ast.block, Machine_error.t) result =
+  match M.find_opt l h with
+  | Some b -> Ok b
+  | None -> Error (Machine_error.Unbound_label l)
+
+let of_program (p : Ast.program) : t =
+  List.fold_left (fun h (l, b) -> add l b h) empty p.Ast.blocks
+
+let bindings (h : t) = M.bindings h
+let cardinal = M.cardinal
+
+(** [merge h1 h2] implements [MergeH(H1, H2)]: the left-biased union —
+    [h1] plus every binding of [h2] whose label is absent from [h1]. *)
+let merge (h1 : t) (h2 : t) : t = M.union (fun _ b1 _ -> Some b1) h1 h2
+
+(** [resolve h rf v] implements the [Ĥ(R, v)] metafunction of Figure 27:
+    evaluate operand [v] to a label via the register file, then look the
+    label up in the heap, yielding the label and its block. *)
+let resolve (h : t) (rf : Regfile.t) (v : Ast.operand) :
+    (Ast.label * Ast.block, Machine_error.t) result =
+  let ( let* ) = Result.bind in
+  let* l =
+    match v with
+    | Ast.Lab l -> Ok l
+    | Ast.Int n ->
+        Error
+          (Machine_error.Type_error
+             { expected = "label"; got = "int " ^ string_of_int n;
+               context = "jump target" })
+    | Ast.Reg r -> (
+        let* value = Regfile.find r rf in
+        match value with
+        | Value.Vlabel l -> Ok l
+        | other ->
+            Error
+              (Machine_error.Type_error
+                 { expected = "label"; got = Value.kind other;
+                   context = "jump target in register " ^ r }))
+  in
+  let* b = find l h in
+  Ok (l, b)

@@ -1,0 +1,69 @@
+(** Join-activation records and their maps [J] (Figure 26), with the
+    [MergeJ] metafunction of Figure 27.
+
+    A join-activation record [jr = (l; js)] pairs the label of the join
+    continuation block with a status: [Closed] when one or zero tasks hold
+    a dependency edge on the record (the state set by [jralloc], and
+    restored when a fork's combine block runs at the outermost level), and
+    [Open] while a fork's parent and child are both outstanding. *)
+
+type status = Open | Closed
+
+let equal_status a b =
+  match (a, b) with
+  | Open, Open | Closed, Closed -> true
+  | (Open | Closed), _ -> false
+
+let pp_status ppf = function
+  | Open -> Fmt.string ppf "jsopen"
+  | Closed -> Fmt.string ppf "jsclosed"
+
+type record = { cont : Ast.label; status : status }
+
+let equal_record a b =
+  String.equal a.cont b.cont && equal_status a.status b.status
+
+let pp_record ppf { cont; status } =
+  Fmt.pf ppf "(%s; %a)" cont pp_status status
+
+module M = Map.Make (Int)
+
+type t = { next : int; records : record M.t }
+(** Join maps also carry the allocator state for fresh identifiers so
+    that evaluation stays purely functional and deterministic. *)
+
+let empty : t = { next = 0; records = M.empty }
+
+(** [alloc cont j] returns a fresh identifier bound to a closed record
+    whose continuation is [cont] (rule [jralloc] of Figure 30). *)
+let alloc (cont : Ast.label) (j : t) : int * t =
+  let id = j.next in
+  ( id,
+    { next = id + 1;
+      records = M.add id { cont; status = Closed } j.records } )
+
+let find (id : int) (j : t) : (record, Machine_error.t) result =
+  match M.find_opt id j.records with
+  | Some r -> Ok r
+  | None -> Error (Machine_error.Unbound_join id)
+
+let find_opt (id : int) (j : t) : record option = M.find_opt id j.records
+let mem (id : int) (j : t) : bool = M.mem id j.records
+
+let set (id : int) (r : record) (j : t) : t =
+  { j with records = M.add id r j.records }
+
+let remove (id : int) (j : t) : t = { j with records = M.remove id j.records }
+let cardinal (j : t) : int = M.cardinal j.records
+let bindings (j : t) = M.bindings j.records
+
+(** [merge j1 j2] implements [MergeJ(J1, J2)]: left-biased union of the
+    record maps.  The allocator counter takes the max so that identifiers
+    remain fresh after the merge. *)
+let merge (j1 : t) (j2 : t) : t =
+  { next = max j1.next j2.next;
+    records = M.union (fun _ r1 _ -> Some r1) j1.records j2.records }
+
+let pp ppf (j : t) =
+  let pp_binding ppf (id, r) = Fmt.pf ppf "j%d ↦ %a" id pp_record r in
+  Fmt.pf ppf "{@[%a@]}" Fmt.(list ~sep:comma pp_binding) (bindings j)

@@ -1,0 +1,155 @@
+(** Lexer for the concrete TPAL assembly syntax.
+
+    The syntax mirrors the paper's figures: labeled blocks with a
+    bracketed annotation, one instruction per line (semicolons also
+    separate instructions), [//] comments.
+
+    Identifiers may contain hyphens ([loop-try-promote],
+    [assoc-comm]), exactly as in the paper.  A hyphen is absorbed into
+    an identifier whenever it is immediately followed by an
+    alphanumeric character, so subtraction must be written with spaces:
+    [a - 1], never [a-1] (which lexes as one identifier). *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | COLON
+  | ASSIGN  (** [:=] *)
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | DOT
+  | SEMI
+  | COMMA
+  | ARROW  (** [->], [|->] or [↦] *)
+  | OP of Ast.binop
+  | PLUS  (** also {!Ast.Add}; kept distinct for [mem[r + n]] addressing *)
+  | NEWLINE
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT n -> Fmt.pf ppf "integer %d" n
+  | COLON -> Fmt.string ppf "':'"
+  | ASSIGN -> Fmt.string ppf "':='"
+  | LBRACKET -> Fmt.string ppf "'['"
+  | RBRACKET -> Fmt.string ppf "']'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | DOT -> Fmt.string ppf "'.'"
+  | SEMI -> Fmt.string ppf "';'"
+  | COMMA -> Fmt.string ppf "','"
+  | ARROW -> Fmt.string ppf "'->'"
+  | OP op -> Fmt.pf ppf "operator %s" (Ast.show_binop op)
+  | PLUS -> Fmt.string ppf "'+'"
+  | NEWLINE -> Fmt.string ppf "end of line"
+  | EOF -> Fmt.string ppf "end of input"
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
+
+let error ~line ~col fmt =
+  Format.kasprintf (fun message -> raise (Error { line; col; message })) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+(** [tokens src] lexes the whole input, raising {!Error} on unexpected
+    characters.  Consecutive newlines are collapsed into one [NEWLINE]
+    token. *)
+let tokens (src : string) : located list =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let emit ~at tok = out := { tok; line = !line; col = at - !bol + 1 } :: !out in
+  let last_is_newline () =
+    match !out with
+    | { tok = NEWLINE; _ } :: _ | [] -> true
+    | _ -> false
+  in
+  let i = ref 0 in
+  while !i < n do
+    let at = !i in
+    let c = src.[at] in
+    let peek k = if at + k < n then Some src.[at + k] else None in
+    if c = '\n' then begin
+      if not (last_is_newline ()) then emit ~at NEWLINE;
+      incr line;
+      incr i;
+      bol := !i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_ident_start c then begin
+      let j = ref at in
+      let continue () =
+        !j < n
+        && (is_ident_char src.[!j]
+           || src.[!j] = '-'
+              && !j + 1 < n
+              && (is_ident_char src.[!j + 1] || is_digit src.[!j + 1]))
+      in
+      while continue () do incr j done;
+      emit ~at (IDENT (String.sub src at (!j - at)));
+      i := !j
+    end
+    else if is_digit c then begin
+      let j = ref at in
+      while !j < n && is_digit src.[!j] do incr j done;
+      emit ~at (INT (int_of_string (String.sub src at (!j - at))));
+      i := !j
+    end
+    else begin
+      let two = if at + 1 < n then String.sub src at 2 else "" in
+      let three = if at + 2 < n then String.sub src at 3 else "" in
+      let simple tok k = emit ~at tok; i := at + k in
+      match (c, two, three) with
+      | _, _, "|->" -> simple ARROW 3
+      | _, "->", _ -> simple ARROW 2
+      | _, ":=", _ -> simple ASSIGN 2
+      | _, "==", _ -> simple (OP Ast.Eq) 2
+      | _, "!=", _ -> simple (OP Ast.Ne) 2
+      | _, "<=", _ -> simple (OP Ast.Le) 2
+      | _, ">=", _ -> simple (OP Ast.Ge) 2
+      | _, "<<", _ -> simple (OP Ast.Shl) 2
+      | _, ">>", _ -> simple (OP Ast.Shr) 2
+      | ':', _, _ -> simple COLON 1
+      | '[', _, _ -> simple LBRACKET 1
+      | ']', _, _ -> simple RBRACKET 1
+      | '{', _, _ -> simple LBRACE 1
+      | '}', _, _ -> simple RBRACE 1
+      | '.', _, _ -> simple DOT 1
+      | ';', _, _ -> simple SEMI 1
+      | ',', _, _ -> simple COMMA 1
+      | '+', _, _ -> simple PLUS 1
+      | '-', _, _ -> simple (OP Ast.Sub) 1
+      | '*', _, _ -> simple (OP Ast.Mul) 1
+      | '/', _, _ -> simple (OP Ast.Div) 1
+      | '%', _, _ -> simple (OP Ast.Mod) 1
+      | '<', _, _ -> simple (OP Ast.Lt) 1
+      | '>', _, _ -> simple (OP Ast.Gt) 1
+      | '&', _, _ -> simple (OP Ast.And) 1
+      | '|', _, _ -> simple (OP Ast.Or) 1
+      | '^', _, _ -> simple (OP Ast.Xor) 1
+      | '\xe2', _, _ when three = "\xe2\x86\xa6" ->
+          (* UTF-8 '↦' *)
+          simple ARROW 3
+      | '\xc2', two, _ when two = "\xc2\xb7" ->
+          (* UTF-8 '·', the paper's empty annotation *)
+          simple DOT 2
+      | _ ->
+          error ~line:!line ~col:(at - !bol + 1) "unexpected character %C" c
+    end
+  done;
+  if not (last_is_newline ()) then emit ~at:n NEWLINE;
+  emit ~at:n EOF;
+  List.rev !out

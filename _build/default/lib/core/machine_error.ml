@@ -1,0 +1,46 @@
+(** Run-time faults of the TPAL abstract machine.
+
+    The formal semantics is partial: configurations with no applicable
+    rule are stuck.  The implementation classifies every stuck state so
+    that tests can assert on the precise failure mode (failure injection)
+    and so that the CLI can print actionable diagnostics. *)
+
+type t =
+  | Unbound_register of Ast.reg
+  | Unbound_label of Ast.label
+  | Type_error of { expected : string; got : string; context : string }
+  | Division_by_zero of { op : string }
+  | Stack_bounds of { context : string; offset : int; depth : int }
+  | Stack_type of { context : string; offset : int; got : string }
+  | No_mark of { context : string }
+  | Unbound_join of int
+  | Join_misuse of { join : int; reason : string }
+  | Fork_target_not_block of string
+  | Pc_out_of_range of { label : Ast.label; offset : int }
+  | Fuel_exhausted of { budget : int }
+  | Halted  (** stepping a machine that already halted *)
+
+let pp ppf = function
+  | Unbound_register r -> Fmt.pf ppf "unbound register %s" r
+  | Unbound_label l -> Fmt.pf ppf "unbound label %s" l
+  | Type_error { expected; got; context } ->
+      Fmt.pf ppf "type error in %s: expected %s, got %s" context expected got
+  | Division_by_zero { op } -> Fmt.pf ppf "%s by zero" op
+  | Stack_bounds { context; offset; depth } ->
+      Fmt.pf ppf "stack access out of bounds in %s: offset %d, depth %d"
+        context offset depth
+  | Stack_type { context; offset; got } ->
+      Fmt.pf ppf "unexpected %s at stack offset %d in %s" got offset context
+  | No_mark { context } ->
+      Fmt.pf ppf "no promotion-ready mark available in %s" context
+  | Unbound_join j -> Fmt.pf ppf "unbound join record j%d" j
+  | Join_misuse { join; reason } -> Fmt.pf ppf "join j%d misuse: %s" join reason
+  | Fork_target_not_block s -> Fmt.pf ppf "fork target is not a block: %s" s
+  | Pc_out_of_range { label; offset } ->
+      Fmt.pf ppf "program counter %s[%d] out of range" label offset
+  | Fuel_exhausted { budget } ->
+      Fmt.pf ppf "evaluation fuel exhausted (budget %d)" budget
+  | Halted -> Fmt.string ppf "machine already halted"
+
+let show e = Fmt.str "%a" pp e
+let equal (a : t) (b : t) = a = b

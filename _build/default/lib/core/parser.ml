@@ -1,0 +1,340 @@
+(** Recursive-descent parser for TPAL assembly.
+
+    Grammar (one block per labeled section; instructions separated by
+    newlines or semicolons):
+
+    {v
+    program   ::= block+
+    block     ::= IDENT ':' '[' annot ']' NL instrs
+    annot     ::= '.' | 'prppt' IDENT
+                | 'jtppt' policy ';' '{' renaming '}' ';' IDENT
+    policy    ::= 'assoc' | 'assoc-comm'
+    renaming  ::= (IDENT '->' IDENT (',' IDENT '->' IDENT)* )?
+    instr     ::= 'jump' operand | 'halt' | 'join' IDENT
+                | 'if-jump' IDENT ',' operand
+                | 'fork' IDENT ',' operand
+                | 'salloc' IDENT ',' INT | 'sfree' IDENT ',' INT
+                | 'prmpush' addr | 'prmpop' addr
+                | 'prmsplit' IDENT ',' IDENT
+                | addr ':=' operand
+                | IDENT ':=' rhs
+    rhs       ::= 'jralloc' IDENT | 'snew' | 'prmempty' IDENT
+                | addr | operand (binop operand)?
+    addr      ::= 'mem' '[' IDENT '+' INT ']'
+    operand   ::= IDENT | INT | '-' INT
+    v}
+
+    Bare identifiers in operand position are ambiguous between
+    registers and labels (the paper writes both bare); a resolution
+    pass after parsing turns every identifier that names a block into
+    {!Ast.Lab} and every other into {!Ast.Reg}. *)
+
+exception Error of { line : int; col : int; message : string }
+
+let error (t : Lexer.located) fmt =
+  Format.kasprintf
+    (fun message -> raise (Error { line = t.line; col = t.col; message }))
+    fmt
+
+type state = { mutable toks : Lexer.located list }
+
+let peek (st : state) : Lexer.located =
+  match st.toks with [] -> assert false | t :: _ -> t
+
+let advance (st : state) : unit =
+  match st.toks with
+  | [] -> assert false
+  | [ _ ] -> () (* EOF stays *)
+  | _ :: rest -> st.toks <- rest
+
+let next (st : state) : Lexer.located =
+  let t = peek st in
+  advance st;
+  t
+
+let expect (st : state) (tok : Lexer.token) ~(what : string) : unit =
+  let t = next st in
+  if t.tok <> tok then error t "expected %s, found %a" what Lexer.pp_token t.tok
+
+let expect_ident (st : state) ~(what : string) : string =
+  let t = next st in
+  match t.tok with
+  | Lexer.IDENT s -> s
+  | other -> error t "expected %s, found %a" what Lexer.pp_token other
+
+let expect_int (st : state) ~(what : string) : int =
+  let t = next st in
+  match t.tok with
+  | Lexer.INT n -> n
+  | Lexer.OP Ast.Sub -> (
+      let t2 = next st in
+      match t2.tok with
+      | Lexer.INT n -> -n
+      | other -> error t2 "expected %s, found %a" what Lexer.pp_token other)
+  | other -> error t "expected %s, found %a" what Lexer.pp_token other
+
+let skip_newlines (st : state) : unit =
+  while (peek st).tok = Lexer.NEWLINE do advance st done
+
+(* During parsing every bare identifier operand is provisionally a
+   register; [resolve_labels] fixes them up. *)
+let parse_operand (st : state) : Ast.operand =
+  let t = next st in
+  match t.tok with
+  | Lexer.IDENT s -> Ast.Reg s
+  | Lexer.INT n -> Ast.Int n
+  | Lexer.OP Ast.Sub -> (
+      let t2 = next st in
+      match t2.tok with
+      | Lexer.INT n -> Ast.Int (-n)
+      | other -> error t2 "expected integer after '-', found %a" Lexer.pp_token other)
+  | other -> error t "expected operand, found %a" Lexer.pp_token other
+
+(* addr ::= 'mem' '[' IDENT '+' INT ']' — returns (base register, offset) *)
+let parse_addr_rest (st : state) : Ast.reg * int =
+  expect st Lexer.LBRACKET ~what:"'[' after mem";
+  let base = expect_ident st ~what:"base register" in
+  expect st Lexer.PLUS ~what:"'+' in address";
+  let off = expect_int st ~what:"address offset" in
+  expect st Lexer.RBRACKET ~what:"']' closing address";
+  (base, off)
+
+let binop_of_token (t : Lexer.token) : Ast.binop option =
+  match t with
+  | Lexer.OP op -> Some op
+  | Lexer.PLUS -> Some Ast.Add
+  | _ -> None
+
+(* rhs of `r := ...` *)
+let parse_rhs (st : state) (dst : Ast.reg) : Ast.instr =
+  match (peek st).tok with
+  | Lexer.IDENT "jralloc" ->
+      advance st;
+      let l = expect_ident st ~what:"join continuation label" in
+      Ast.Jralloc (dst, l)
+  | Lexer.IDENT "snew" ->
+      advance st;
+      Ast.Snew dst
+  | Lexer.IDENT "prmempty" ->
+      advance st;
+      let r = expect_ident st ~what:"stack register" in
+      Ast.Prmempty (dst, r)
+  | Lexer.IDENT "mem" ->
+      advance st;
+      let base, off = parse_addr_rest st in
+      Ast.Load (dst, base, off)
+  | _ -> (
+      let v1 = parse_operand st in
+      match binop_of_token (peek st).tok with
+      | Some op ->
+          advance st;
+          let v2 = parse_operand st in
+          Ast.Binop (dst, op, v1, v2)
+      | None -> Ast.Mov (dst, v1))
+
+type raw_instr = Instr of Ast.instr | Term of Ast.terminator
+
+let parse_instr (st : state) : raw_instr =
+  let t = peek st in
+  match t.tok with
+  | Lexer.IDENT "jump" ->
+      advance st;
+      Term (Ast.Jump (parse_operand st))
+  | Lexer.IDENT "halt" ->
+      advance st;
+      Term Ast.Halt
+  | Lexer.IDENT "join" ->
+      advance st;
+      Term (Ast.Join (expect_ident st ~what:"join register"))
+  | Lexer.IDENT "if-jump" ->
+      advance st;
+      let r = expect_ident st ~what:"branch register" in
+      expect st Lexer.COMMA ~what:"',' in if-jump";
+      Instr (Ast.If_jump (r, parse_operand st))
+  | Lexer.IDENT "fork" ->
+      advance st;
+      let jr = expect_ident st ~what:"join register" in
+      expect st Lexer.COMMA ~what:"',' in fork";
+      Instr (Ast.Fork (jr, parse_operand st))
+  | Lexer.IDENT "salloc" ->
+      advance st;
+      let r = expect_ident st ~what:"stack register" in
+      expect st Lexer.COMMA ~what:"',' in salloc";
+      Instr (Ast.Salloc (r, expect_int st ~what:"cell count"))
+  | Lexer.IDENT "sfree" ->
+      advance st;
+      let r = expect_ident st ~what:"stack register" in
+      expect st Lexer.COMMA ~what:"',' in sfree";
+      Instr (Ast.Sfree (r, expect_int st ~what:"cell count"))
+  | Lexer.IDENT "prmpush" ->
+      advance st;
+      expect st (Lexer.IDENT "mem") ~what:"'mem' after prmpush";
+      let base, off = parse_addr_rest st in
+      Instr (Ast.Prmpush (base, off))
+  | Lexer.IDENT "prmpop" ->
+      advance st;
+      expect st (Lexer.IDENT "mem") ~what:"'mem' after prmpop";
+      let base, off = parse_addr_rest st in
+      Instr (Ast.Prmpop (base, off))
+  | Lexer.IDENT "prmsplit" ->
+      advance st;
+      let rs = expect_ident st ~what:"stack register" in
+      expect st Lexer.COMMA ~what:"',' in prmsplit";
+      Instr (Ast.Prmsplit (rs, expect_ident st ~what:"destination register"))
+  | Lexer.IDENT "mem" ->
+      advance st;
+      let base, off = parse_addr_rest st in
+      expect st Lexer.ASSIGN ~what:"':=' in store";
+      Instr (Ast.Store (base, off, parse_operand st))
+  | Lexer.IDENT dst -> (
+      advance st;
+      match (peek st).tok with
+      | Lexer.ASSIGN ->
+          advance st;
+          Instr (parse_rhs st dst)
+      | other -> error t "expected ':=' after %S, found %a" dst Lexer.pp_token other)
+  | other -> error t "expected instruction, found %a" Lexer.pp_token other
+
+let parse_annot (st : state) : Ast.annot =
+  expect st Lexer.LBRACKET ~what:"'[' opening annotation";
+  let annot =
+    match (peek st).tok with
+    | Lexer.DOT ->
+        advance st;
+        Ast.Plain
+    | Lexer.IDENT "prppt" ->
+        advance st;
+        Ast.Prppt (expect_ident st ~what:"handler label")
+    | Lexer.IDENT "jtppt" ->
+        advance st;
+        let policy =
+          match (next st).tok with
+          | Lexer.IDENT "assoc" -> Ast.Assoc
+          | Lexer.IDENT "assoc-comm" -> Ast.Assoc_comm
+          | other ->
+              error (peek st) "expected join policy, found %a" Lexer.pp_token
+                other
+        in
+        expect st Lexer.SEMI ~what:"';' after join policy";
+        expect st Lexer.LBRACE ~what:"'{' opening renaming";
+        let renaming = ref [] in
+        (if (peek st).tok <> Lexer.RBRACE then
+           let rec pairs () =
+             let src = expect_ident st ~what:"source register" in
+             expect st Lexer.ARROW ~what:"'->' in renaming";
+             let dstr = expect_ident st ~what:"target register" in
+             renaming := (src, dstr) :: !renaming;
+             if (peek st).tok = Lexer.COMMA then begin
+               advance st;
+               pairs ()
+             end
+           in
+           pairs ());
+        expect st Lexer.RBRACE ~what:"'}' closing renaming";
+        expect st Lexer.SEMI ~what:"';' after renaming";
+        let comb = expect_ident st ~what:"combining block label" in
+        Ast.Jtppt (policy, List.rev !renaming, comb)
+    | other -> error (peek st) "expected annotation, found %a" Lexer.pp_token other
+  in
+  expect st Lexer.RBRACKET ~what:"']' closing annotation";
+  annot
+
+let parse_block_body (st : state) ~(label : string) : Ast.block =
+  let annot = parse_annot st in
+  let instrs = ref [] in
+  let term = ref None in
+  let rec loop () =
+    skip_newlines st;
+    match (peek st).tok with
+    | Lexer.EOF -> ()
+    | Lexer.IDENT _ when !term <> None -> ()
+    | _ -> (
+        (* A new block starts with `IDENT :` — look ahead one token. *)
+        match st.toks with
+        | { tok = Lexer.IDENT _; _ } :: { tok = Lexer.COLON; _ } :: _ -> ()
+        | _ ->
+            (match parse_instr st with
+            | Instr i ->
+                if !term <> None then
+                  error (peek st)
+                    "instruction after block terminator in block %S" label
+                else instrs := i :: !instrs
+            | Term t ->
+                if !term <> None then
+                  error (peek st) "two terminators in block %S" label
+                else term := Some t);
+            (* instruction separators: newline or ';' *)
+            (match (peek st).tok with
+            | Lexer.SEMI | Lexer.NEWLINE -> advance st
+            | Lexer.EOF -> ()
+            | other ->
+                error (peek st) "expected end of instruction, found %a"
+                  Lexer.pp_token other);
+            loop ())
+  in
+  loop ();
+  match !term with
+  | None -> error (peek st) "block %S has no terminator (jump/halt/join)" label
+  | Some term -> { Ast.annot; body = List.rev !instrs; term }
+
+let parse_program_tokens (st : state) : Ast.program =
+  skip_newlines st;
+  let blocks = ref [] in
+  let rec loop () =
+    skip_newlines st;
+    match (peek st).tok with
+    | Lexer.EOF -> ()
+    | _ ->
+        let label = expect_ident st ~what:"block label" in
+        expect st Lexer.COLON ~what:"':' after block label";
+        let block = parse_block_body st ~label in
+        blocks := (label, block) :: !blocks;
+        loop ()
+  in
+  loop ();
+  match List.rev !blocks with
+  | [] -> error (peek st) "empty program"
+  | (entry, _) :: _ as blocks -> { Ast.entry; blocks }
+
+(* Fix up the register/label ambiguity: identifiers naming blocks are
+   labels. *)
+let resolve_labels (p : Ast.program) : Ast.program =
+  let is_label l = List.mem_assoc l p.blocks in
+  let operand = function
+    | Ast.Reg r when is_label r -> Ast.Lab r
+    | v -> v
+  in
+  let instr = function
+    | Ast.Mov (r, v) -> Ast.Mov (r, operand v)
+    | Ast.Binop (r, op, v1, v2) -> Ast.Binop (r, op, operand v1, operand v2)
+    | Ast.If_jump (r, v) -> Ast.If_jump (r, operand v)
+    | Ast.Fork (jr, v) -> Ast.Fork (jr, operand v)
+    | Ast.Store (r, n, v) -> Ast.Store (r, n, operand v)
+    | (Ast.Jralloc _ | Ast.Snew _ | Ast.Salloc _ | Ast.Sfree _ | Ast.Load _
+      | Ast.Prmpush _ | Ast.Prmpop _ | Ast.Prmempty _ | Ast.Prmsplit _) as i ->
+        i
+  in
+  let term = function
+    | Ast.Jump v -> Ast.Jump (operand v)
+    | (Ast.Halt | Ast.Join _) as t -> t
+  in
+  let block (b : Ast.block) =
+    { b with Ast.body = List.map instr b.body; term = term b.term }
+  in
+  { p with Ast.blocks = List.map (fun (l, b) -> (l, block b)) p.blocks }
+
+(** [parse src] parses a complete program from source text.  The entry
+    point is the first block.  Raises {!Error} or {!Lexer.Error}. *)
+let parse (src : string) : Ast.program =
+  let st = { toks = Lexer.tokens src } in
+  resolve_labels (parse_program_tokens st)
+
+(** [parse_result src] is {!parse} with errors reified as a
+    human-readable message. *)
+let parse_result (src : string) : (Ast.program, string) result =
+  match parse src with
+  | p -> Ok p
+  | exception Error { line; col; message } ->
+      Result.Error (Printf.sprintf "parse error at %d:%d: %s" line col message)
+  | exception Lexer.Error { line; col; message } ->
+      Result.Error (Printf.sprintf "lex error at %d:%d: %s" line col message)

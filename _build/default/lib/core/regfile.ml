@@ -1,0 +1,44 @@
+(** Register files [R]: finite maps from register names to values
+    (Figure 26), with the [MergeR] metafunction of Figure 27. *)
+
+module M = Map.Make (String)
+
+type t = Value.t M.t
+
+let empty : t = M.empty
+let set (r : Ast.reg) (v : Value.t) (rf : t) : t = M.add r v rf
+let find_opt (r : Ast.reg) (rf : t) : Value.t option = M.find_opt r rf
+let mem (r : Ast.reg) (rf : t) : bool = M.mem r rf
+
+let find (r : Ast.reg) (rf : t) : (Value.t, Machine_error.t) result =
+  match M.find_opt r rf with
+  | Some v -> Ok v
+  | None -> Error (Machine_error.Unbound_register r)
+
+let of_list (bindings : (Ast.reg * Value.t) list) : t =
+  List.fold_left (fun rf (r, v) -> set r v rf) empty bindings
+
+let bindings (rf : t) : (Ast.reg * Value.t) list = M.bindings rf
+let cardinal = M.cardinal
+let equal (a : t) (b : t) = M.equal Value.equal a b
+
+(** [merge parent child dr] implements [MergeR(R1, R2, ΔR)]: the result
+    holds every binding of [parent] whose register is {e not} a target of
+    ΔR, plus, for each pair [(rs, rt)] in ΔR, the binding
+    [rt ↦ child(rs)].  Pairs whose source is unbound in [child] are
+    dropped, mirroring the set comprehension of Figure 27. *)
+let merge (parent : t) (child : t) (dr : Ast.renaming) : t =
+  let targets = List.map snd dr in
+  let kept =
+    M.filter (fun r _ -> not (List.exists (String.equal r) targets)) parent
+  in
+  List.fold_left
+    (fun acc (rs, rt) ->
+      match M.find_opt rs child with
+      | Some v -> M.add rt v acc
+      | None -> acc)
+    kept dr
+
+let pp ppf (rf : t) =
+  let pp_binding ppf (r, v) = Fmt.pf ppf "%s ↦ %a" r Value.pp v in
+  Fmt.pf ppf "{@[%a@]}" Fmt.(list ~sep:comma pp_binding) (bindings rf)

@@ -1,0 +1,245 @@
+(** Sequential transitions of the TPAL abstract machine:
+    [(l̄, H, R, I) → (l̄', H', R', I')] — Figure 29 for the register
+    fragment and Figure 31 for the stack extension.
+
+    The parallel instructions ([jralloc], [fork], [join]) have no
+    sequential rule; stepping them yields a {!outcome.Parallel} request
+    that the evaluator ({!Eval}) services according to Figure 30. *)
+
+type parallel_request =
+  | Req_jralloc of { dst : Ast.reg; cont : Ast.label }
+  | Req_fork of { jr : Ast.reg; target : Ast.operand }
+  | Req_join of { jr : Ast.reg }
+
+type outcome =
+  | Stepped of Task.t  (** one sequential transition was taken *)
+  | Halted of Task.t  (** the [halt] rule: the whole machine stops *)
+  | Parallel of parallel_request * Task.t
+      (** the task is poised at a parallel instruction; the carried task
+          is unchanged (the evaluator advances it as part of the
+          parallel rule) *)
+
+let ( let* ) = Result.bind
+
+(** Evaluate a static operand via the register file (the [R̂] lookup of
+    Figure 27, extended to labels and literals). *)
+let eval_operand (rf : Regfile.t) (v : Ast.operand) :
+    (Value.t, Machine_error.t) result =
+  match v with
+  | Ast.Reg r -> Regfile.find r rf
+  | Ast.Lab l -> Ok (Value.Vlabel l)
+  | Ast.Int n -> Ok (Value.Vint n)
+
+let expect_int ~context (v : Value.t) : (int, Machine_error.t) result =
+  match v with
+  | Value.Vint n -> Ok n
+  | other ->
+      Error
+        (Machine_error.Type_error
+           { expected = "int"; got = Value.kind other; context })
+
+let expect_ptr ~context (v : Value.t) :
+    (Value.stack_obj * int, Machine_error.t) result =
+  match v with
+  | Value.Vptr (s, p) -> Ok (s, p)
+  | other ->
+      Error
+        (Machine_error.Type_error
+           { expected = "stack pointer"; got = Value.kind other; context })
+
+let int_binop (op : Ast.binop) (a : int) (b : int) :
+    (Value.t, Machine_error.t) result =
+  match op with
+  | Ast.Add -> Ok (Value.Vint (a + b))
+  | Ast.Sub -> Ok (Value.Vint (a - b))
+  | Ast.Mul -> Ok (Value.Vint (a * b))
+  | Ast.Div ->
+      if b = 0 then Error (Machine_error.Division_by_zero { op = "division" })
+      else Ok (Value.Vint (a / b))
+  | Ast.Mod ->
+      if b = 0 then Error (Machine_error.Division_by_zero { op = "modulus" })
+      else Ok (Value.Vint (a mod b))
+  | Ast.Lt -> Ok (Value.of_bool (a < b))
+  | Ast.Le -> Ok (Value.of_bool (a <= b))
+  | Ast.Eq -> Ok (Value.of_bool (a = b))
+  | Ast.Ne -> Ok (Value.of_bool (a <> b))
+  | Ast.Gt -> Ok (Value.of_bool (a > b))
+  | Ast.Ge -> Ok (Value.of_bool (a >= b))
+  | Ast.And -> Ok (Value.Vint (a land b))
+  | Ast.Or -> Ok (Value.Vint (a lor b))
+  | Ast.Xor -> Ok (Value.Vint (a lxor b))
+  | Ast.Shl -> Ok (Value.Vint (a lsl b))
+  | Ast.Shr -> Ok (Value.Vint (a asr b))
+
+(** Binary operations.  Besides integer arithmetic, pointer arithmetic
+    is supported for the stack idioms of the [fib] program (Appendix B):
+    [p + k] moves a pointer [k] cells deeper (consistently with the
+    [mem[p + n]] addressing convention), [p - k] moves it [k] cells
+    shallower, and equality compares pointers by identity-and-position. *)
+let apply_binop ~context (op : Ast.binop) (v1 : Value.t) (v2 : Value.t) :
+    (Value.t, Machine_error.t) result =
+  match (op, v1, v2) with
+  | _, Value.Vint a, Value.Vint b -> int_binop op a b
+  | Ast.Add, Value.Vptr (s, p), Value.Vint k
+  | Ast.Add, Value.Vint k, Value.Vptr (s, p) ->
+      Ok (Value.Vptr (s, p - k))
+  | Ast.Sub, Value.Vptr (s, p), Value.Vint k -> Ok (Value.Vptr (s, p + k))
+  | Ast.Eq, Value.Vptr (s1, p1), Value.Vptr (s2, p2) ->
+      Ok (Value.of_bool (s1 == s2 && p1 = p2))
+  | Ast.Ne, Value.Vptr (s1, p1), Value.Vptr (s2, p2) ->
+      Ok (Value.of_bool (not (s1 == s2 && p1 = p2)))
+  | _, a, b ->
+      Error
+        (Machine_error.Type_error
+           { expected = "int (or pointer arithmetic)";
+             got = Value.kind a ^ " " ^ Ast.show_binop op ^ " " ^ Value.kind b;
+             context })
+
+(* Advance past the instruction just issued: bump the offset within the
+   block and the cycle counter ⋄ (each transition costs one cycle, per
+   the [seq] rule of Figure 30). *)
+let advance (t : Task.t) (rest : Ast.instr list) ~(regs : Regfile.t) : Task.t =
+  { t with
+    pc = { t.pc with offset = t.pc.offset + 1 };
+    cycles = t.cycles + 1;
+    regs;
+    code = { t.code with rest } }
+
+(* Transfer control to the first instruction of [block] at [label]. *)
+let goto (t : Task.t) (label : Ast.label) (block : Ast.block) : Task.t =
+  { t with
+    pc = Task.pc label 0;
+    cycles = t.cycles + 1;
+    code = Task.code_of_block block }
+
+let read_stack ~context (s : Value.stack_obj) (p : int) (n : int) :
+    (Value.t, Machine_error.t) result =
+  match Value.read s p n with
+  | Ok v -> Ok v
+  | Error _ ->
+      Error (Machine_error.Stack_bounds { context; offset = n; depth = p + 1 })
+
+let write_stack ~context (s : Value.stack_obj) (p : int) (n : int)
+    (v : Value.t) : (unit, Machine_error.t) result =
+  match Value.write s p n v with
+  | Ok () -> Ok ()
+  | Error _ ->
+      Error (Machine_error.Stack_bounds { context; offset = n; depth = p + 1 })
+
+let step_instr (t : Task.t) (i : Ast.instr) (rest : Ast.instr list) :
+    (outcome, Machine_error.t) result =
+  let rf = t.regs in
+  match i with
+  | Ast.Mov (r, v) ->
+      (* [move] *)
+      let* value = eval_operand rf v in
+      Ok (Stepped (advance t rest ~regs:(Regfile.set r value rf)))
+  | Ast.Binop (r, op, v1, v2) ->
+      (* [binop] *)
+      let context = "binop " ^ Ast.show_binop op in
+      let* a = eval_operand rf v1 in
+      let* b = eval_operand rf v2 in
+      let* value = apply_binop ~context op a b in
+      Ok (Stepped (advance t rest ~regs:(Regfile.set r value rf)))
+  | Ast.If_jump (r, v) ->
+      (* [if-true] / [if-false] *)
+      let* value = Regfile.find r rf in
+      if Value.is_true value then
+        let* l, b = Heap.resolve t.heap rf v in
+        Ok (Stepped (goto t l b))
+      else Ok (Stepped (advance t rest ~regs:rf))
+  | Ast.Jralloc (dst, cont) -> Ok (Parallel (Req_jralloc { dst; cont }, t))
+  | Ast.Fork (jr, target) -> Ok (Parallel (Req_fork { jr; target }, t))
+  | Ast.Snew r ->
+      (* [stack-new] *)
+      Ok (Stepped (advance t rest ~regs:(Regfile.set r (Value.stack_new ()) rf)))
+  | Ast.Salloc (r, n) ->
+      (* [stack-alloc] *)
+      let* v = Regfile.find r rf in
+      let* s, p = expect_ptr ~context:"salloc" v in
+      let p' = Value.salloc s p n in
+      Ok (Stepped (advance t rest ~regs:(Regfile.set r (Value.Vptr (s, p')) rf)))
+  | Ast.Sfree (r, n) -> (
+      (* [stack-free] *)
+      let* v = Regfile.find r rf in
+      let* s, p = expect_ptr ~context:"sfree" v in
+      match Value.sfree p n with
+      | Error _ ->
+          Error
+            (Machine_error.Stack_bounds
+               { context = "sfree"; offset = n; depth = p + 1 })
+      | Ok p' ->
+          Ok
+            (Stepped
+               (advance t rest ~regs:(Regfile.set r (Value.Vptr (s, p')) rf))))
+  | Ast.Load (rd, r, n) ->
+      (* [stack-load] *)
+      let* v = Regfile.find r rf in
+      let* s, p = expect_ptr ~context:"load" v in
+      let* value = read_stack ~context:"load" s p n in
+      Ok (Stepped (advance t rest ~regs:(Regfile.set rd value rf)))
+  | Ast.Store (r, n, v) ->
+      (* [stack-store] *)
+      let* ptr = Regfile.find r rf in
+      let* s, p = expect_ptr ~context:"store" ptr in
+      let* value = eval_operand rf v in
+      let* () = write_stack ~context:"store" s p n value in
+      Ok (Stepped (advance t rest ~regs:rf))
+  | Ast.Prmpush (r, n) ->
+      (* [prm-push] *)
+      let* v = Regfile.find r rf in
+      let* s, p = expect_ptr ~context:"prmpush" v in
+      let* () = write_stack ~context:"prmpush" s p n Value.Vprmark in
+      Ok (Stepped (advance t rest ~regs:rf))
+  | Ast.Prmpop (r, n) -> (
+      (* [prm-pop]: the targeted cell must hold a mark. *)
+      let* v = Regfile.find r rf in
+      let* s, p = expect_ptr ~context:"prmpop" v in
+      let* cell = read_stack ~context:"prmpop" s p n in
+      match cell with
+      | Value.Vprmark ->
+          let* () = write_stack ~context:"prmpop" s p n (Value.Vint 0) in
+          Ok (Stepped (advance t rest ~regs:rf))
+      | other ->
+          Error
+            (Machine_error.Stack_type
+               { context = "prmpop"; offset = n; got = Value.kind other }))
+  | Ast.Prmempty (rd, r) ->
+      (* [prm-empty-true] / [prm-empty-false]: zero-is-true — the result
+         is 0 (true) iff the mark list is empty, so a promotion handler
+         written as [t := prmempty sp; if-jump t, loop] aborts exactly
+         when there is nothing to promote (Figure 23). *)
+      let* v = Regfile.find r rf in
+      let* s, p = expect_ptr ~context:"prmempty" v in
+      let value = Value.of_bool (not (Value.has_mark s p)) in
+      Ok (Stepped (advance t rest ~regs:(Regfile.set rd value rf)))
+  | Ast.Prmsplit (rs, rp) -> (
+      (* [prm-split]: clear the least-recent (deepest) mark and return
+         its offset. *)
+      let* v = Regfile.find rs rf in
+      let* s, p = expect_ptr ~context:"prmsplit" v in
+      match Value.oldest_mark s p with
+      | None -> Error (Machine_error.No_mark { context = "prmsplit" })
+      | Some off ->
+          let* () = write_stack ~context:"prmsplit" s p off (Value.Vint 0) in
+          Ok
+            (Stepped (advance t rest ~regs:(Regfile.set rp (Value.Vint off) rf))))
+
+let step_term (t : Task.t) (term : Ast.terminator) :
+    (outcome, Machine_error.t) result =
+  match term with
+  | Ast.Jump v ->
+      (* [jump] *)
+      let* l, b = Heap.resolve t.heap t.regs v in
+      Ok (Stepped (goto t l b))
+  | Ast.Halt ->
+      (* [halt] — the configuration is final. *)
+      Ok (Halted t)
+  | Ast.Join jr -> Ok (Parallel (Req_join { jr }, t))
+
+(** [step t] takes one sequential transition from [t], or reports that
+    the machine halted or that a parallel rule must fire. *)
+let step (t : Task.t) : (outcome, Machine_error.t) result =
+  match t.code.rest with
+  | i :: rest -> step_instr t i rest
+  | [] -> step_term t t.code.term

@@ -1,0 +1,55 @@
+(** Task configurations ⟨l̄; ⋄; H; R; I⟩ of the abstract machine
+    (Figure 26).
+
+    A program counter [l̄ = l[n]] names a block and an instruction offset
+    within it.  The cycle counter ⋄ counts instructions issued since the
+    task was last (re)seeded at a fork or promotion; it drives
+    [PromotionReady] (Figure 27). *)
+
+type pc = { label : Ast.label; offset : int }
+
+let pp_pc ppf { label; offset } = Fmt.pf ppf "%s[%d]" label offset
+let equal_pc a b = String.equal a.label b.label && Int.equal a.offset b.offset
+let pc label offset = { label; offset }
+
+(** What remains to execute of the current block: the residual
+    instruction sequence [I]. *)
+type code = { rest : Ast.instr list; term : Ast.terminator }
+
+let code_of_block (b : Ast.block) : code = { rest = b.body; term = b.term }
+
+type t = {
+  pc : pc;
+  cycles : int;  (** ⋄: instructions since the last heartbeat reset *)
+  heap : Heap.t;  (** H; code blocks (tasks may only grow it) *)
+  regs : Regfile.t;  (** R: the task-private register file *)
+  code : code;  (** I: residual instructions of the current block *)
+}
+
+(** [enter label block ~cycles ~heap ~regs] is the configuration poised
+    at the first instruction of [block]. *)
+let enter (label : Ast.label) (block : Ast.block) ~(cycles : int)
+    ~(heap : Heap.t) ~(regs : Regfile.t) : t =
+  { pc = pc label 0; cycles; heap; regs; code = code_of_block block }
+
+(** [initial program] is the starting configuration: entry block, zeroed
+    cycle counter, empty register file. *)
+let initial (p : Ast.program) : (t, Machine_error.t) result =
+  let heap = Heap.of_program p in
+  match Heap.find p.entry heap with
+  | Error e -> Error e
+  | Ok b -> Ok (enter p.entry b ~cycles:0 ~heap ~regs:Regfile.empty)
+
+(** The instruction (or terminator) the task will issue next, for traces. *)
+type current = Instr of Ast.instr | Term of Ast.terminator
+
+let current (t : t) : current =
+  match t.code.rest with i :: _ -> Instr i | [] -> Term t.code.term
+
+let pp_current ppf = function
+  | Instr i -> Fmt.pf ppf "%s" (Ast.show_instr i)
+  | Term t -> Fmt.pf ppf "%s" (Ast.show_terminator t)
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "@[<v>pc = %a, ⋄ = %d@,R = %a@,next = %a@]" pp_pc t.pc t.cycles
+    Regfile.pp t.regs pp_current (current t)

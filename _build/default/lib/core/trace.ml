@@ -1,0 +1,82 @@
+(** Execution tracing, in the style of the worked traces of Appendix D:
+    one line per machine event showing the cycle counter ⋄, the program
+    counter, and the instruction about to issue, with optional register
+    watches. *)
+
+type entry = {
+  index : int;  (** ordinal of the event in the run *)
+  cycles : int;  (** ⋄ of the task at the event *)
+  pc : Task.pc;
+  what : string;  (** rendered rule / instruction *)
+  watched : (Ast.reg * string) list;  (** watched register contents *)
+}
+
+let pp_entry ppf (e : entry) =
+  let pp_watch ppf (r, v) = Fmt.pf ppf "%s ↦ %s" r v in
+  Fmt.pf ppf "%4d  ⋄=%-4d %-24s %-40s %a" e.index e.cycles
+    (Fmt.str "%a" Task.pp_pc e.pc)
+    e.what
+    Fmt.(list ~sep:(any ", ") pp_watch)
+    e.watched
+
+let render_current (t : Task.t) : string =
+  match Task.current t with
+  | Task.Instr i -> Printer.instr_to_string i
+  | Task.Term tm -> Printer.term_to_string tm
+
+let watch (regs : Ast.reg list) (t : Task.t) : (Ast.reg * string) list =
+  List.filter_map
+    (fun r ->
+      Option.map (fun v -> (r, Value.show v)) (Regfile.find_opt r t.regs))
+    regs
+
+(** [collect ?watch_regs ?limit ~options program bindings] runs
+    [program] under [options] with registers [bindings] seeded,
+    returning the event log (truncated to [limit] entries, default
+    10_000) together with the evaluation result. *)
+let collect ?(watch_regs : Ast.reg list = []) ?(limit = 10_000)
+    ~(options : Eval.options) (program : Ast.program)
+    (bindings : (Ast.reg * Value.t) list) :
+    entry list * (Eval.finished, Machine_error.t) result =
+  let log = ref [] in
+  let count = ref 0 in
+  let push (t : Task.t) (what : string) =
+    if !count < limit then begin
+      incr count;
+      log :=
+        { index = !count; cycles = t.cycles; pc = t.pc; what;
+          watched = watch watch_regs t }
+        :: !log
+    end
+  in
+  let hook : Eval.event -> unit = function
+    | Eval.E_step t -> push t (render_current t)
+    | Eval.E_promote { task; handler } ->
+        push task (Printf.sprintf "[try-promote → %s]" handler)
+    | Eval.E_jralloc { task; id } ->
+        push task (Printf.sprintf "[jralloc → j%d]" id)
+    | Eval.E_fork { task; join; child } ->
+        push task (Printf.sprintf "[fork j%d, child %s]" join child)
+    | Eval.E_join_block { task; join } ->
+        push task (Printf.sprintf "[join-block j%d]" join)
+    | Eval.E_join_continue { task; join; cont } ->
+        push task (Printf.sprintf "[join-continue j%d → %s]" join cont)
+    | Eval.E_combine { join; comb } ->
+        push
+          { pc = Task.pc comb 0; cycles = 0; heap = Heap.empty;
+            regs = Regfile.empty;
+            code = { rest = []; term = Ast.Halt } }
+          (Printf.sprintf "[combine j%d at %s]" join comb)
+    | Eval.E_halt t -> push t "[halt]"
+  in
+  let result = Eval.run_seeded ~hook ~options program bindings in
+  (List.rev !log, result)
+
+(** [to_string entries] renders a trace as one line per entry. *)
+let to_string (entries : entry list) : string =
+  String.concat "\n" (List.map (Fmt.str "%a" pp_entry) entries)
+
+(** Events of interest for compact summaries: promotions, forks and
+    joins only. *)
+let milestones (entries : entry list) : entry list =
+  List.filter (fun e -> String.length e.what > 0 && e.what.[0] = '[') entries

@@ -1,0 +1,153 @@
+(** Run-time values of the TPAL abstract machine (Figure 26).
+
+    The formal model presents stacks as tuple heap-values referenced by
+    [uptr].  The paper notes (Appendix B.2) that "our semantics is
+    prescriptive only for the high-level behavior of the stack, not to
+    its implementation: it may involve copying out the frames ... or
+    allowing regions of the stack to be divided among parent and child
+    tasks".  We implement the {e usual linear C representation}: a stack
+    is a growable array of cells, and a stack value is a {e pointer} — a
+    pair of the underlying stack object and an absolute cell position.
+
+    This choice is forced by the [fib] program of Figures 22–24, which
+    takes interior pointers ([sp-top]) into the stack, mutates the
+    promoted frame through them, and frees frames by pointer arithmetic
+    in [joink]; those idioms require genuine aliasing, which immutable
+    tuples cannot express.
+
+    Addressing convention: [mem[p + n]] reads the cell [n] positions
+    {e below} the pointer (toward the bottom of the stack), matching the
+    paper's frames, whose offset 0 is the most recently allocated cell.
+    Consequently pointer arithmetic [p + k] moves the pointer [k] cells
+    deeper. *)
+
+(** A stack object: a growable cell array indexed from the bottom.
+    [hwm] is the high-water mark — one past the highest cell ever
+    allocated; cells above a pointer are simply stale memory, as in a
+    real linear stack.  [sid] is a fresh identifier used only for
+    printing and pointer equality diagnostics. *)
+type stack_obj = { sid : int; mutable cells : t array; mutable hwm : int }
+
+and t =
+  | Vint of int  (** integer literals [n] *)
+  | Vlabel of Ast.label  (** code labels [l] *)
+  | Vjoin of int  (** join-record identifiers [j] *)
+  | Vptr of stack_obj * int
+      (** [uptr]: a pointer to absolute cell position [pos] of a stack;
+          [pos = -1] denotes the empty stack returned by [snew]. *)
+  | Vprmark  (** [prmark], a promotion-ready mark *)
+
+let next_sid = ref 0
+
+(** [stack_new ()] is a pointer to a fresh, empty stack (rule
+    [stack-new]). *)
+let stack_new () : t =
+  let sid = !next_sid in
+  incr next_sid;
+  Vptr ({ sid; cells = [||]; hwm = 0 }, -1)
+
+(* Grow [s.cells] so that absolute position [pos] is addressable,
+   zero-filling fresh cells. *)
+let ensure_capacity (s : stack_obj) (pos : int) : unit =
+  let needed = pos + 1 in
+  if Array.length s.cells < needed then begin
+    let cap = max 8 (max needed (2 * Array.length s.cells)) in
+    let cells = Array.make cap (Vint 0) in
+    Array.blit s.cells 0 cells 0 (Array.length s.cells);
+    s.cells <- cells
+  end;
+  if s.hwm < needed then s.hwm <- needed
+
+(** Cells visible through a pointer: from its position down to the
+    bottom of the stack, i.e. offsets [0 .. pos]. *)
+let segment (s : stack_obj) (pos : int) : t list =
+  let rec go i acc = if i > pos then acc else go (i + 1) (s.cells.(i) :: acc) in
+  if pos < 0 then [] else go 0 []
+
+let rec equal a b =
+  match (a, b) with
+  | Vint x, Vint y -> Int.equal x y
+  | Vlabel x, Vlabel y -> String.equal x y
+  | Vjoin x, Vjoin y -> Int.equal x y
+  | Vptr (s1, p1), Vptr (s2, p2) ->
+      (* Structural equality of the visible segments; physical identity
+         is not required so that tests may compare stacks built
+         independently. *)
+      Int.equal p1 p2 && List.equal equal (segment s1 p1) (segment s2 p2)
+  | Vprmark, Vprmark -> true
+  | (Vint _ | Vlabel _ | Vjoin _ | Vptr _ | Vprmark), _ -> false
+
+let rec pp ppf = function
+  | Vint n -> Fmt.int ppf n
+  | Vlabel l -> Fmt.pf ppf "%s" l
+  | Vjoin j -> Fmt.pf ppf "j%d" j
+  | Vptr (s, p) ->
+      Fmt.pf ppf "uptr@%d+%d tup (@[%a@])" s.sid p
+        Fmt.(list ~sep:comma pp)
+        (segment s p)
+  | Vprmark -> Fmt.string ppf "prmark"
+
+let show v = Fmt.str "%a" pp v
+
+(** Human-readable name of a value's class, used in error messages. *)
+let kind = function
+  | Vint _ -> "int"
+  | Vlabel _ -> "label"
+  | Vjoin _ -> "join-record"
+  | Vptr _ -> "stack pointer"
+  | Vprmark -> "prmark"
+
+(** TPAL's zero-is-true convention. *)
+let of_bool b = Vint (if b then 0 else 1)
+
+(** [is_true v] holds when [v] is the integer zero — the value on which
+    [if-jump] takes its branch. *)
+let is_true = function Vint 0 -> true | _ -> false
+
+(** [read p n] reads [mem[p + n]]; [Error] carries the faulting depth. *)
+let read (s : stack_obj) (pos : int) (n : int) : (t, int) result =
+  let i = pos - n in
+  if i < 0 || i >= s.hwm then Error i else Ok s.cells.(i)
+
+(** [write p n v] writes [mem[p + n] := v].  Writing at or above the
+    pointer grows the stack (like storing into freshly [salloc]ed
+    memory); writing below position 0 is a bounds error. *)
+let write (s : stack_obj) (pos : int) (n : int) (v : t) : (unit, int) result =
+  let i = pos - n in
+  if i < 0 then Error i
+  else begin
+    ensure_capacity s i;
+    s.cells.(i) <- v;
+    Ok ()
+  end
+
+(** [salloc p n] pushes [n] zero-initialised cells, returning the new
+    top-of-stack position (rule [stack-alloc]). *)
+let salloc (s : stack_obj) (pos : int) (n : int) : int =
+  let pos' = pos + n in
+  ensure_capacity s pos';
+  (* Zero the fresh cells: previously freed memory must not leak. *)
+  for i = pos + 1 to pos' do
+    s.cells.(i) <- Vint 0
+  done;
+  pos'
+
+(** [sfree p n] pops [n] cells, returning the new position; [Error]
+    signals underflow (rule [stack-free]). *)
+let sfree (pos : int) (n : int) : (int, int) result =
+  let pos' = pos - n in
+  if pos' < -1 then Error pos' else Ok pos'
+
+(** Offset (relative to [pos]) of the {e least-recent} promotion-ready
+    mark visible through the pointer — the mark deepest in the stack,
+    per the [prm-split] side condition that no mark lies below it. *)
+let oldest_mark (s : stack_obj) (pos : int) : int option =
+  let rec go i =
+    if i > pos then None
+    else match s.cells.(i) with Vprmark -> Some (pos - i) | _ -> go (i + 1)
+  in
+  if pos < 0 then None else go 0
+
+(** [has_mark s pos]: does any visible cell hold a mark? *)
+let has_mark (s : stack_obj) (pos : int) : bool =
+  Option.is_some (oldest_mark s pos)

@@ -1,0 +1,1 @@
+lib/heartbeat/hb_runtime.ml: Effect Option Queue Thread Unix

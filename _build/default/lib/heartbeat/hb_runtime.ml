@@ -1,0 +1,355 @@
+(** A real heartbeat-scheduling runtime for OCaml computations, built
+    on OCaml 5 effect handlers.
+
+    This is the executable counterpart of the paper's C++ runtime
+    (§3): user code exposes {e latent} parallelism through {!par_for}
+    and {!fork2}, which run {e serially by default}; on each heartbeat
+    the runtime {e promotes} the outermost latent construct of the
+    running computation into a real task.  Joins suspend the waiting
+    computation with an effect, so promotion costs nothing on the
+    serial fast path — the near-zero-cost-abstraction property TPAL is
+    designed around.
+
+    Correspondence to the paper's machinery:
+    - the promotion-ready mark list (§B.2) is the task's {!marks}
+      stack, one entry per live [fork2]/[par_for] frame;
+    - heartbeat interrupts are software polls ({!poll}) at
+      promotion-ready program points — loop headers and spawn/join
+      sites (the rollforward-equivalent: a poll can only land where
+      promotion is legal, by construction);
+    - the beat comes from a {e ping thread} (a real OS thread setting
+      a flag every ♥ µs, as in §3.4) or from direct clock polling;
+    - join records are {!join} values; join resolution resumes the
+      suspended continuation of the parent when its last child
+      finishes, and loop promotions of a child share the original
+      join record, exactly like [loop-par-try-promote] in the paper's
+      prod program.
+
+    The scheduler is single-domain (promoted tasks interleave on one
+    core — the container has one CPU): real parallel speedup is not
+    measurable here, but every promotion, suspension and join takes
+    the real code path, and the queue discipline (FIFO — oldest,
+    outermost task first) matches the paper's steal order. *)
+
+type join = {
+  mutable pending : int;  (** outstanding promoted children *)
+  mutable waiter : (unit, unit) Effect.Deep.continuation option;
+  mutable waiter_marks : entry list ref option;
+      (** the suspended task's mark list, restored on resume *)
+}
+
+and branch_state = { mutable thunk : (unit -> unit) option; bjr : join }
+
+and loop_state = {
+  mutable lo : int;
+  mutable hi : int;
+  f : int -> unit;
+  ljr : join;
+}
+
+(** Promotion-ready marks: one per live promotable construct. *)
+and entry = E_branch of branch_state | E_loop of loop_state
+
+type marks = entry list ref
+
+type task = { run : unit -> unit; marks : marks }
+
+type config = {
+  heart_us : float;  (** ♥ in microseconds *)
+  source : [ `Ping_thread | `Polling ];
+      (** beat source: a dedicated thread flipping a flag every ♥
+          (the Linux ping thread of §3.4), or direct clock polling *)
+  poll_stride : int;
+      (** loop iterations between polls, amortising the poll cost on
+          very fine-grained loops *)
+}
+
+let default_config =
+  { heart_us = 100.; source = `Ping_thread; poll_stride = 32 }
+
+type stats = {
+  beats : int;  (** heartbeats observed at promotion-ready points *)
+  promotions : int;  (** tasks created by promotion *)
+  loop_promotions : int;
+  branch_promotions : int;
+  joins : int;  (** suspensions on a join record *)
+  max_queue : int;  (** peak length of the promoted-task queue *)
+}
+
+type state = {
+  cfg : config;
+  queue : task Queue.t;
+  mutable current_marks : marks;
+  mutable beat_flag : bool;
+  mutable last_beat : float;
+  mutable ticker_stop : bool;
+  mutable st_beats : int;
+  mutable st_promotions : int;
+  mutable st_loop_promotions : int;
+  mutable st_branch_promotions : int;
+  mutable st_joins : int;
+  mutable st_max_queue : int;
+}
+
+let state : state option ref = ref None
+
+let get_state () : state =
+  match !state with
+  | Some s -> s
+  | None ->
+      invalid_arg "Hb_runtime: par_for/fork2 used outside Hb_runtime.run"
+
+type _ Effect.t += Wait : join -> unit Effect.t
+
+let fresh_join () = { pending = 0; waiter = None; waiter_marks = None }
+
+(* A promoted child finished: resolve the join; the last arrival
+   resumes the suspended parent (with its mark list restored). *)
+let finish (s : state) (jr : join) : unit =
+  jr.pending <- jr.pending - 1;
+  if jr.pending = 0 then
+    match jr.waiter with
+    | None -> ()
+    | Some k ->
+        jr.waiter <- None;
+        let m = Option.get jr.waiter_marks in
+        jr.waiter_marks <- None;
+        s.current_marks <- m;
+        Effect.Deep.continue k ()
+
+let push_mark (s : state) (e : entry) : unit =
+  s.current_marks := e :: !(s.current_marks)
+
+(* Marks obey strict LIFO nesting: the entry being removed is always
+   the innermost. *)
+let pop_mark (s : state) (e : entry) : unit =
+  match !(s.current_marks) with
+  | top :: rest when top == e -> s.current_marks := rest
+  | _ -> assert false
+
+let enqueue (s : state) (t : task) : unit =
+  Queue.add t s.queue;
+  s.st_max_queue <- max s.st_max_queue (Queue.length s.queue)
+
+(* [promote]: split the outermost (least-recent) promotable entry of
+   the running task — the paper's outermost-first policy.  Loop
+   children re-enter the promotable runner with the shared join
+   record, so their remaining iterations promote recursively. *)
+let rec promote (s : state) : unit =
+  let promotable = function
+    | E_branch { thunk = Some _; _ } -> true
+    | E_branch _ -> false
+    | E_loop { lo; hi; _ } -> hi - lo >= 2
+  in
+  let rec oldest = function
+    | [] -> None
+    | e :: rest -> (
+        match oldest rest with
+        | Some _ as found -> found
+        | None -> if promotable e then Some e else None)
+  in
+  match oldest !(s.current_marks) with
+  | None -> ()
+  | Some (E_branch b) ->
+      let thunk = Option.get b.thunk in
+      b.thunk <- None;
+      b.bjr.pending <- b.bjr.pending + 1;
+      s.st_promotions <- s.st_promotions + 1;
+      s.st_branch_promotions <- s.st_branch_promotions + 1;
+      let jr = b.bjr in
+      enqueue s
+        { run = (fun () -> thunk (); finish s jr); marks = ref [] }
+  | Some (E_loop l) ->
+      let mid = l.lo + ((l.hi - l.lo + 1) / 2) in
+      let child_lo = mid and child_hi = l.hi in
+      l.hi <- mid;
+      l.ljr.pending <- l.ljr.pending + 1;
+      s.st_promotions <- s.st_promotions + 1;
+      s.st_loop_promotions <- s.st_loop_promotions + 1;
+      let f = l.f and jr = l.ljr in
+      enqueue s
+        { run =
+            (fun () ->
+              par_for_range child_lo child_hi f jr;
+              finish s jr);
+          marks = ref [] }
+
+(* [poll]: the promotion-ready program point — observe a pending beat
+   and promote. *)
+and poll () : unit =
+  let s = get_state () in
+  let due =
+    match s.cfg.source with
+    | `Ping_thread ->
+        if s.beat_flag then begin
+          s.beat_flag <- false;
+          true
+        end
+        else false
+    | `Polling ->
+        let now = Unix.gettimeofday () in
+        if (now -. s.last_beat) *. 1e6 >= s.cfg.heart_us then begin
+          s.last_beat <- now;
+          true
+        end
+        else false
+  in
+  if due then begin
+    s.st_beats <- s.st_beats + 1;
+    promote s
+  end
+
+(* The promotable loop runner: iterations of [lo, hi) with the range
+   advertised on the mark list; polls every [poll_stride] iterations. *)
+and par_for_range (lo : int) (hi : int) (f : int -> unit) (jr : join) : unit =
+  if lo < hi then begin
+    let s = get_state () in
+    let l = { lo; hi; f; ljr = jr } in
+    let e = E_loop l in
+    push_mark s e;
+    let stride = max 1 s.cfg.poll_stride in
+    let k = ref 0 in
+    while l.lo < l.hi do
+      f l.lo;
+      l.lo <- l.lo + 1;
+      incr k;
+      if !k >= stride then begin
+        k := 0;
+        poll ()
+      end
+    done;
+    pop_mark s e
+  end
+
+(** [par_for ~lo ~hi f]: a parallel-for with latent parallelism only —
+    runs serially unless heartbeats promote remaining iterations. *)
+let par_for ~(lo : int) ~(hi : int) (f : int -> unit) : unit =
+  let s = get_state () in
+  let jr = fresh_join () in
+  par_for_range lo hi f jr;
+  poll ();
+  if jr.pending > 0 then begin
+    s.st_joins <- s.st_joins + 1;
+    Effect.perform (Wait jr)
+  end
+
+(** [fork2 a b]: run [a] then [b] serially by default, advertising [b]
+    for promotion while [a] runs (the cilk_spawn/cilk_sync pair). *)
+let fork2 (a : unit -> unit) (b : unit -> unit) : unit =
+  let s = get_state () in
+  let jr = fresh_join () in
+  let bs = { thunk = Some b; bjr = jr } in
+  let e = E_branch bs in
+  push_mark s e;
+  a ();
+  pop_mark s e;
+  poll ();
+  match bs.thunk with
+  | Some b ->
+      bs.thunk <- None;
+      b ()
+  | None ->
+      if jr.pending > 0 then begin
+        s.st_joins <- s.st_joins + 1;
+        Effect.perform (Wait jr)
+      end
+
+let stats () : stats =
+  let s = get_state () in
+  {
+    beats = s.st_beats;
+    promotions = s.st_promotions;
+    loop_promotions = s.st_loop_promotions;
+    branch_promotions = s.st_branch_promotions;
+    joins = s.st_joins;
+    max_queue = s.st_max_queue;
+  }
+
+(** [run ?config main] executes [main] under the heartbeat scheduler
+    and returns its result together with the run's statistics.
+    Runs cannot nest. *)
+let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
+  if !state <> None then invalid_arg "Hb_runtime.run: already running";
+  let s =
+    {
+      cfg = config;
+      queue = Queue.create ();
+      current_marks = ref [];
+      beat_flag = false;
+      last_beat = Unix.gettimeofday ();
+      ticker_stop = false;
+      st_beats = 0;
+      st_promotions = 0;
+      st_loop_promotions = 0;
+      st_branch_promotions = 0;
+      st_joins = 0;
+      st_max_queue = 0;
+    }
+  in
+  state := Some s;
+  let ticker =
+    match config.source with
+    | `Polling -> None
+    | `Ping_thread ->
+        Some
+          (Thread.create
+             (fun () ->
+               while not s.ticker_stop do
+                 Thread.delay (config.heart_us *. 1e-6);
+                 s.beat_flag <- true
+               done)
+             ())
+  in
+  let result = ref None in
+  (* Each task body runs under its own deep handler; a suspended
+     continuation carries that handler with it, so resuming it (from
+     [finish], wherever that happens to run) re-enters the scheduler's
+     discipline automatically.  Parking a waiter simply returns from
+     the task's [match_with], handing control back to [drain]. *)
+  let handler : (unit, unit) Effect.Deep.handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait jr ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  if jr.pending = 0 then Effect.Deep.continue k ()
+                  else begin
+                    jr.waiter <- Some k;
+                    jr.waiter_marks <- Some s.current_marks
+                    (* return: the enclosing task's match_with ends;
+                       [finish] resumes the parked continuation when
+                       its last child arrives *)
+                  end)
+          | _ -> None);
+    }
+  in
+  let exec (body : unit -> unit) = Effect.Deep.match_with body () handler in
+  let rec drain () =
+    match Queue.take_opt s.queue with
+    | None -> ()
+    | Some t ->
+        s.current_marks <- t.marks;
+        exec t.run;
+        drain ()
+  in
+  let finalize () =
+    s.ticker_stop <- true;
+    Option.iter Thread.join ticker;
+    state := None
+  in
+  (try
+     exec (fun () -> result := Some (main ()));
+     drain ()
+   with e ->
+     finalize ();
+     raise e);
+  let st = stats () in
+  finalize ();
+  match !result with
+  | Some r -> (r, st)
+  | None ->
+      invalid_arg "Hb_runtime.run: computation did not complete (deadlock?)"

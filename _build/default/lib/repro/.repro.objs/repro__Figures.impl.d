@@ -1,0 +1,1 @@
+lib/repro/figures.ml: Float Lazy List Option Paper_values Printf Runner Sim Stats Tpal Workload Workloads

@@ -1,0 +1,1 @@
+lib/repro/runner.ml: Hashtbl Lazy Sim Workloads

@@ -1,0 +1,418 @@
+(** Regeneration of every figure of the paper's evaluation (§4, §5,
+    Appendix A).  Each [figNN] builds the same rows/series the paper
+    plots, as a text table (plus a CSV block), with the paper's
+    reported value alongside where it is legible.
+
+    Absolute cycle counts are from the simulated testbed (DESIGN.md
+    §2) — the claim under test is the {e shape}: who wins, by roughly
+    what factor, where the crossovers fall. *)
+
+open Workloads
+
+let f2 = Stats.Table.fmt_float ~decimals:2
+let f1 = Stats.Table.fmt_float ~decimals:1
+
+let suite () = Workload.all
+
+let geomean_over (ws : Workload.t list) (f : Workload.t -> float) : float =
+  Stats.geomean (List.map f ws)
+
+(* Rows for all workloads plus per-group geomean rows, where [cols w]
+   yields the numeric columns for one workload and [geo ws] the
+   geomean columns over a group. *)
+let table_with_geomeans ~(cols : Workload.t -> float list) : string list list =
+  let row (w : Workload.t) = w.name :: List.map f2 (cols w) in
+  let geo label ws =
+    let n = List.length (cols (List.hd ws)) in
+    label
+    :: List.init n (fun i ->
+           f2 (geomean_over ws (fun w -> List.nth (cols w) i)))
+  in
+  List.map row Workload.iterative
+  @ [ geo "geomean (iterative)" Workload.iterative ]
+  @ List.map row Workload.recursive
+  @ [ geo "geomean (recursive)" Workload.recursive ]
+
+let print_table (t : Stats.Table.t) : unit =
+  print_newline ();
+  Stats.Table.print t;
+  print_newline ();
+  print_endline "CSV:";
+  print_endline (Stats.Table.to_csv t);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+
+(** Figure 6 — task-creation overheads: single-core execution time of
+    Cilk and TPAL (Linux and Nautilus signals, ♥ = 100 µs) normalized
+    to Serial/Linux. *)
+let fig6 () : Stats.Table.t =
+  let cols (w : Workload.t) =
+    [
+      Runner.normalized_1core Runner.Cilk_sys w;
+      Runner.normalized_1core Runner.Tpal_linux w;
+      Runner.normalized_1core Runner.Tpal_nautilus w;
+      Option.value ~default:nan (Paper_values.lookup Paper_values.fig6_cilk w.name);
+    ]
+  in
+  Stats.Table.make
+    ~title:
+      "Figure 6: single-core execution time normalized to Serial (task \
+       creation overheads), heart=100us"
+    ~header:
+      [ "benchmark"; "Cilk/Linux"; "TPAL/Linux"; "TPAL/Nautilus";
+        "paper Cilk" ]
+    (table_with_geomeans ~cols)
+
+(** Figure 7 — speedup over Serial/Linux on 15 cores, Cilk vs
+    TPAL/Linux. *)
+let fig7 () : Stats.Table.t =
+  let cols (w : Workload.t) =
+    [
+      Runner.speedup Runner.Cilk_sys w;
+      Runner.speedup Runner.Tpal_linux w;
+    ]
+  in
+  Stats.Table.make
+    ~title:"Figure 7: speedup over Serial/Linux, 15 cores, heart=100us"
+    ~header:[ "benchmark"; "Cilk/Linux"; "TPAL 100us/Linux" ]
+    (table_with_geomeans ~cols)
+
+(** Figure 8 — TPAL binaries with the heartbeat mechanism off: pure
+    compilation overhead, single core. *)
+let fig8 () : Stats.Table.t =
+  let cols (w : Workload.t) =
+    [
+      Runner.normalized_1core ~interrupts:false Runner.Tpal_linux w;
+      Option.value ~default:nan (Paper_values.lookup Paper_values.fig8_tpal w.name);
+    ]
+  in
+  Stats.Table.make
+    ~title:
+      "Figure 8: TPAL sans heartbeat interrupts, single core, normalized to \
+       Serial"
+    ~header:[ "benchmark"; "TPAL (no beats)"; "paper" ]
+    (table_with_geomeans ~cols)
+
+(* Interrupt-overhead figure shared by Figures 9 (Linux) and 13
+   (Nautilus): serial + interrupts only, and TPAL with interrupts +
+   promotions, at 100 µs and 20 µs, single core. *)
+let interrupt_overheads ~(system : Runner.system) ~(title : string) () :
+    Stats.Table.t =
+  let serial_with_beats heart_us (w : Workload.t) =
+    (* the serial program with the interrupt mechanism running: beats
+       cost their handler time but promote nothing *)
+    let m =
+      Runner.measure
+        (Runner.spec ~procs:1 ~heart_us ~promotions:false
+           (match system with
+           | Runner.Tpal_nautilus -> Runner.Tpal_nautilus
+           | _ -> Runner.Tpal_linux)
+           w)
+    in
+    (* normalize against the undilated serial baseline: use the Serial
+       system's own dilation by measuring mode Serial? The paper's
+       "Serial, interrupts" bars run the serial binary, so exclude
+       TPAL's compile dilation: divide out the TPAL dilation. *)
+    let tpal_dil = float_of_int w.tpal_dilation_pct /. 100. in
+    float_of_int m.makespan
+    /. tpal_dil
+    /. float_of_int (Runner.serial_time w)
+  in
+  let tpal_with_promotions heart_us (w : Workload.t) =
+    Runner.normalized_1core ~heart_us system w
+  in
+  let cols (w : Workload.t) =
+    [
+      serial_with_beats 100. w;
+      tpal_with_promotions 100. w;
+      serial_with_beats 20. w;
+      tpal_with_promotions 20. w;
+    ]
+  in
+  Stats.Table.make ~title
+    ~header:
+      [ "benchmark"; "Serial,100us ints"; "TPAL 100us,ints+promo";
+        "Serial,20us ints"; "TPAL 20us,ints+promo" ]
+    (table_with_geomeans ~cols)
+
+(** Figure 9 — overheads of interrupts only, and interrupts plus
+    promotions, on Linux, single core. *)
+let fig9 () =
+  interrupt_overheads ~system:Runner.Tpal_linux
+    ~title:
+      "Figure 9: interrupt & promotion overheads on Linux, single core, \
+       normalized to Serial"
+    ()
+
+(** Figure 13 — the same on Nautilus. *)
+let fig13 () =
+  interrupt_overheads ~system:Runner.Tpal_nautilus
+    ~title:
+      "Figure 13: interrupt & promotion overheads on Nautilus, single core, \
+       normalized to Serial"
+    ()
+
+(** Figure 10 — achieved vs target fleet-wide heartbeat rate, 15
+    cores, Linux vs Nautilus, at (a) 100 µs and (b) 20 µs. *)
+let fig10 ~(heart_us : float) () : Stats.Table.t =
+  let params = { Sim.Params.default with heart_us } in
+  let target = Sim.Params.target_rate params in
+  let achieved system (w : Workload.t) =
+    let m = Runner.measure (Runner.spec ~heart_us system w) in
+    Sim.Metrics.achieved_rate params m
+  in
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        [
+          w.name;
+          Stats.Table.fmt_int_grouped (int_of_float target);
+          Stats.Table.fmt_int_grouped
+            (int_of_float (achieved Runner.Tpal_linux w));
+          Stats.Table.fmt_int_grouped
+            (int_of_float (achieved Runner.Tpal_nautilus w));
+        ])
+      (suite ())
+  in
+  Stats.Table.make
+    ~title:
+      (Printf.sprintf
+         "Figure 10%s: achieved vs target heartbeat rate (beats/s, 15 \
+          cores), heart=%.0fus"
+         (if heart_us = 100. then "a" else "b")
+         heart_us)
+    ~header:[ "benchmark"; "target"; "TPAL/Linux"; "TPAL/Nautilus" ]
+    rows
+
+(** Figure 11 — speedup curves over core counts, Cilk vs TPAL/Linux.
+    One table per benchmark, cores on rows. *)
+let fig11 ?(cores = [ 1; 3; 5; 7; 9; 11; 13; 15 ]) () : Stats.Table.t list =
+  List.map
+    (fun (w : Workload.t) ->
+      let rows =
+        List.map
+          (fun p ->
+            [
+              string_of_int p;
+              f2 (Runner.speedup ~procs:p Runner.Cilk_sys w);
+              f2 (Runner.speedup ~procs:p Runner.Tpal_linux w);
+            ])
+          cores
+      in
+      Stats.Table.make
+        ~title:
+          (Printf.sprintf "Figure 11 (%s, %s): speedup vs cores" w.name
+             w.descr)
+        ~header:[ "cores"; "Cilk/Linux"; "TPAL 100us/Linux" ]
+        rows)
+    (suite ())
+
+(** Figure 14 — speedups at scale for all three systems, with the
+    paper's geomeans alongside. *)
+let fig14 () : Stats.Table.t =
+  let cols (w : Workload.t) =
+    [
+      Runner.speedup Runner.Cilk_sys w;
+      Runner.speedup Runner.Tpal_linux w;
+      Runner.speedup Runner.Tpal_nautilus w;
+    ]
+  in
+  Stats.Table.make
+    ~title:
+      "Figure 14: speedup over Serial/Linux, 15 cores: Cilk vs TPAL/Linux \
+       vs TPAL/Nautilus (paper geomeans: Cilk 1.9/2.4, TPAL/Linux 4.0/3.2, \
+       TPAL/Nautilus 4.4/3.6 for iterative/recursive)"
+    ~header:[ "benchmark"; "Cilk/Linux"; "TPAL/Linux"; "TPAL/Nautilus" ]
+    (table_with_geomeans ~cols)
+
+(** Figure 15a — number of created tasks (promotions for TPAL), and
+    15b — utilization, on 15 cores. *)
+let fig15 () : Stats.Table.t =
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let mc = Runner.measure (Runner.spec Runner.Cilk_sys w) in
+        let mt = Runner.measure (Runner.spec Runner.Tpal_linux w) in
+        [
+          w.name;
+          Stats.Table.fmt_int_grouped mc.tasks_created;
+          Stats.Table.fmt_int_grouped mt.tasks_created;
+          f2 (100. *. Sim.Metrics.utilization ~procs:15 mc);
+          f2 (100. *. Sim.Metrics.utilization ~procs:15 mt);
+        ])
+      (suite ())
+  in
+  Stats.Table.make
+    ~title:
+      "Figure 15: tasks created (15a) and utilization % (15b), 15 cores"
+    ~header:
+      [ "benchmark"; "tasks Cilk"; "tasks TPAL"; "util% Cilk"; "util% TPAL" ]
+    rows
+
+(** §1/§4.3 headline numbers: the task-overhead advantage, and the
+    speedup over Cilk split by amenability to recurrent decomposition. *)
+let headline () : Stats.Table.t =
+  let ws = suite () in
+  (* 1-core task-creation overhead (time beyond serial), floored to
+     0.5 % to keep the ratio meaningful on benchmarks with ~zero TPAL
+     overhead *)
+  let overhead sys w =
+    Float.max 0.005 (Runner.normalized_1core sys w -. 1.)
+  in
+  let ratio =
+    Stats.geomean
+      (List.map
+         (fun w -> overhead Runner.Cilk_sys w /. overhead Runner.Tpal_linux w)
+         ws)
+  in
+  let vs_cilk w =
+    Runner.speedup Runner.Tpal_linux w /. Runner.speedup Runner.Cilk_sys w
+  in
+  let amenable, not_amenable =
+    List.partition (fun w -> vs_cilk w >= 1.) ws
+  in
+  let speedup_pct =
+    (Stats.geomean (List.map vs_cilk amenable) -. 1.) *. 100.
+  in
+  let slowdown_pct =
+    match not_amenable with
+    | [] -> 0.
+    | ws -> (1. -. Stats.geomean (List.map vs_cilk ws)) *. 100.
+  in
+  Stats.Table.make ~title:"Headline numbers (vs the paper's §1/§4.3)"
+    ~header:[ "metric"; "measured"; "paper" ]
+    [
+      [ "task-creation overhead, Cilk/TPAL (geomean)"; f1 ratio;
+        f1 Paper_values.headline_task_overhead_ratio ^ "x" ];
+      [ Printf.sprintf
+          "TPAL speedup over Cilk, amenable benchmarks (%d/%d), %%"
+          (List.length amenable) (List.length ws);
+        f1 speedup_pct;
+        f1 Paper_values.headline_speedup_over_cilk_pct ];
+      [ "TPAL slowdown vs Cilk, others, %"; f1 slowdown_pct;
+        f1 Paper_values.headline_slowdown_pct ];
+    ]
+
+(** The heartbeat tuner (§2.2): sweep ♥ on one benchmark and report
+    single-core overhead vs 15-core speedup — the two sides of the
+    amortisation trade-off the one-time tuning process balances. *)
+let tuner ?(workload = "spmv-random")
+    ?(hearts = [ 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. ]) () :
+    Stats.Table.t =
+  let w = Option.get (Workload.find workload) in
+  let rows =
+    List.map
+      (fun h ->
+        [
+          f1 h;
+          f2 (Runner.normalized_1core ~heart_us:h Runner.Tpal_nautilus w);
+          f2 (Runner.speedup ~heart_us:h Runner.Tpal_nautilus w);
+        ])
+      hearts
+  in
+  Stats.Table.make
+    ~title:
+      (Printf.sprintf
+         "Heartbeat tuner (%s, Nautilus): 1-core overhead vs 15-core \
+          speedup across heart values"
+         workload)
+    ~header:[ "heart (us)"; "1-core normalized"; "15-core speedup" ]
+    rows
+
+(** Ablation: outermost-first vs innermost-first promotion on the
+    nested-loop benchmarks (§2.3's policy requirement). *)
+let ablation_policy () : Stats.Table.t =
+  let nested = [ "spmv-random"; "spmv-powerlaw"; "spmv-arrowhead"; "mandelbrot" ] in
+  let speedup_with ~innermost (w : Workload.t) =
+    let params = { Sim.Params.default with procs = 15 } in
+    let cfg =
+      Sim.Runnable.make_cfg ~dilation_pct:w.tpal_dilation_pct
+        ~promote_innermost:innermost Sim.Runnable.Tpal params
+    in
+    let config =
+      Sim.Engine.make_config ~mech:Sim.Interrupts.Nautilus_ipi
+        ~mem_intensity:w.mem_intensity ~bw_cap:w.bw_cap cfg
+    in
+    let m = Sim.Engine.run config (Lazy.force w.ir) in
+    float_of_int (Runner.serial_time w) /. float_of_int m.makespan
+  in
+  let rows =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun (w : Workload.t) ->
+            [
+              w.name;
+              f2 (speedup_with ~innermost:false w);
+              f2 (speedup_with ~innermost:true w);
+            ])
+          (Workload.find name))
+      nested
+  in
+  Stats.Table.make
+    ~title:
+      "Ablation: outermost-first vs innermost-first promotion, 15 cores, \
+       Nautilus (the paper's policy requirement, S2.3)"
+    ~header:[ "benchmark"; "outermost-first"; "innermost-first" ]
+    rows
+
+(** Ablation: expanded vs reduced block style (Appendix D.5) on the
+    abstract machine's prod program — the serial-path instruction tax
+    and the behaviour under promotion. *)
+let ablation_style () : Stats.Table.t =
+  let run p heart a =
+    let options =
+      { Tpal.Eval.default_options with heart; fuel = 50_000_000 }
+    in
+    match
+      Tpal.Eval.run_seeded ~options p
+        [ ("a", Tpal.Value.Vint a); ("b", Tpal.Value.Vint 3) ]
+    with
+    | Ok fin -> fin
+    | Error e ->
+        invalid_arg ("ablation_style: " ^ Tpal.Machine_error.show e)
+  in
+  let row name p =
+    let serial = run p None 5_000 in
+    let beating = run p (Some 200) 5_000 in
+    [
+      name;
+      string_of_int serial.stats.instructions;
+      string_of_int beating.stats.instructions;
+      string_of_int beating.stats.forks;
+      string_of_int beating.cost.span;
+    ]
+  in
+  Stats.Table.make
+    ~title:
+      "Ablation: expanded vs reduced block style (Appendix D.5), prod with        a=5000, heart=200 cycles on the abstract machine"
+    ~header:
+      [ "style"; "serial instrs"; "beating instrs"; "forks"; "span (tau=1)" ]
+    [ row "expanded (Fig 2)" Tpal.Programs.prod;
+      row "reduced (D.5)" Tpal.Programs.prod_reduced ]
+
+(** Everything, in paper order. *)
+let all () : Stats.Table.t list =
+  [ fig6 (); fig7 (); fig8 (); fig9 () ]
+  @ [ fig10 ~heart_us:100. (); fig10 ~heart_us:20. () ]
+  @ fig11 ()
+  @ [ fig13 (); fig14 (); fig15 (); headline (); tuner (); ablation_policy ();
+      ablation_style () ]
+
+let by_name (name : string) : Stats.Table.t list option =
+  match name with
+  | "fig6" -> Some [ fig6 () ]
+  | "fig7" -> Some [ fig7 () ]
+  | "fig8" -> Some [ fig8 () ]
+  | "fig9" -> Some [ fig9 () ]
+  | "fig10" -> Some [ fig10 ~heart_us:100. (); fig10 ~heart_us:20. () ]
+  | "fig11" -> Some (fig11 ())
+  | "fig13" -> Some [ fig13 () ]
+  | "fig14" -> Some [ fig14 () ]
+  | "fig15" | "fig15a" | "fig15b" -> Some [ fig15 () ]
+  | "headline" -> Some [ headline () ]
+  | "tuner" -> Some [ tuner () ]
+  | "ablation" -> Some [ ablation_policy (); ablation_style () ]
+  | "all" -> Some (all ())
+  | _ -> None

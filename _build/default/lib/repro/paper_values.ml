@@ -1,0 +1,69 @@
+(** The paper's reported numbers, for side-by-side comparison columns
+    in the regenerated tables (values read from the figures and the
+    prose of §1, §4 and §5; "–" where the paper gives no legible
+    per-benchmark value). *)
+
+(** Figure 6: Cilk Plus single-core execution time normalized to
+    Serial/Linux (the annotated bar values). *)
+let fig6_cilk : (string * float) list =
+  [
+    ("plus-reduce-array", 8.1);
+    ("spmv-random", 16.0);
+    ("spmv-powerlaw", 6.8);
+    ("spmv-arrowhead", 16.2);
+    ("mandelbrot", 1.0);
+    ("kmeans", 2.4);
+    ("srad", 4.1);
+    ("floyd-warshall-1K", 2.6);
+    ("floyd-warshall-2K", 4.2);
+    ("knapsack", 2.0);
+    ("mergesort-uniform", 1.1);
+    ("mergesort-exp", 1.1);
+  ]
+
+(** Figure 8: TPAL (heartbeat off) single-core time normalized to
+    Serial/Linux — the compilation overhead (§4.4 prose values; other
+    benchmarks are "at most 6 % slower"). *)
+let fig8_tpal : (string * float) list =
+  [
+    ("plus-reduce-array", 1.03);
+    ("spmv-random", 1.04);
+    ("spmv-powerlaw", 1.04);
+    ("spmv-arrowhead", 1.06);
+    ("mandelbrot", 1.02);
+    ("kmeans", 1.17);
+    ("srad", 1.04);
+    ("floyd-warshall-1K", 1.10);
+    ("floyd-warshall-2K", 1.10);
+    ("knapsack", 1.51);
+    ("mergesort-uniform", 1.05);
+    ("mergesort-exp", 1.06);
+  ]
+
+(** §5.3 / Figure 14 geomean speedups at 15 cores. *)
+let fig14_geomeans =
+  [
+    ("Cilk/Linux", (1.9, 2.4));
+    ("TPAL/Linux", (4.0, 3.2));
+    ("TPAL/Nautilus", (4.4, 3.6));
+  ]
+
+(** §1/§4.3 headline numbers. *)
+let headline_task_overhead_ratio = 13.8
+(* geomean of TPAL's task-creation overhead advantage *)
+
+let headline_speedup_over_cilk_pct = 53.
+(* on benchmarks amenable to recurrent decomposition *)
+
+let headline_slowdown_pct = 9.8
+(* on the others *)
+
+(** Figure 10 heartbeat rates (fleet-wide beats/s, 15 workers). *)
+let target_rate_100us = 150_000.
+
+let target_rate_20us = 750_000.
+let linux_rate_range_20us = (83_000., 281_000.)
+let linux_low_rate_100us = 82_362.
+
+let lookup (table : (string * float) list) (name : string) : float option =
+  List.assoc_opt name table

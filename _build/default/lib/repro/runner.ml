@@ -1,0 +1,96 @@
+(** Shared experiment runner: maps the paper's system configurations
+    onto simulator configurations and caches run results, since many
+    figures reuse the same (workload, system, P, ♥) measurement. *)
+
+(** The systems compared in the evaluation. *)
+type system =
+  | Serial_sys  (** the Serial/Linux baseline *)
+  | Cilk_sys  (** Cilk Plus/Linux (interrupt-free) *)
+  | Tpal_linux  (** TPAL with the Linux ping-thread signals *)
+  | Tpal_papi  (** TPAL with Linux PAPI counter interrupts *)
+  | Tpal_nautilus  (** TPAL with Nautilus Nemo IPIs *)
+
+let system_name = function
+  | Serial_sys -> "Serial/Linux"
+  | Cilk_sys -> "Cilk/Linux"
+  | Tpal_linux -> "TPAL/Linux"
+  | Tpal_papi -> "TPAL-PAPI/Linux"
+  | Tpal_nautilus -> "TPAL/Nautilus"
+
+type spec = {
+  workload : string;
+  system : system;
+  procs : int;
+  heart_us : float;
+  interrupts : bool;
+      (** heartbeat interrupts delivered (irrelevant for Serial_sys /
+          Cilk_sys unless explicitly measuring interrupt overhead) *)
+  promotions : bool;  (** promotions serviced on beats *)
+}
+
+let spec ?(procs = 15) ?(heart_us = 100.) ?(interrupts = true)
+    ?(promotions = true) (system : system) (workload : Workloads.Workload.t) :
+    spec =
+  { workload = workload.name; system; procs; heart_us; interrupts; promotions }
+
+let mech_of (s : spec) : Sim.Interrupts.mech =
+  if not s.interrupts then Sim.Interrupts.Off
+  else
+    match s.system with
+    | Serial_sys -> Sim.Interrupts.Ping_thread
+    | Cilk_sys -> Sim.Interrupts.Off
+    | Tpal_linux -> Sim.Interrupts.Ping_thread
+    | Tpal_papi -> Sim.Interrupts.Papi
+    | Tpal_nautilus -> Sim.Interrupts.Nautilus_ipi
+
+let config_of (s : spec) (w : Workloads.Workload.t) : Sim.Engine.config =
+  let params =
+    { Sim.Params.default with procs = s.procs; heart_us = s.heart_us }
+  in
+  let mode, dilation, bw =
+    match s.system with
+    | Serial_sys -> (Sim.Runnable.Serial, 100, w.bw_cap)
+    | Cilk_sys -> (Sim.Runnable.Cilk, w.cilk_dilation_pct, w.cilk_bw_cap)
+    | Tpal_linux | Tpal_papi | Tpal_nautilus ->
+        (Sim.Runnable.Tpal, w.tpal_dilation_pct, w.bw_cap)
+  in
+  let cfg = Sim.Runnable.make_cfg ~dilation_pct:dilation mode params in
+  Sim.Engine.make_config ~mech:(mech_of s) ~promote:s.promotions
+    ~mem_intensity:w.mem_intensity ~bw_cap:bw cfg
+
+let cache : (spec, Sim.Metrics.t) Hashtbl.t = Hashtbl.create 256
+
+(** [measure spec] simulates (or retrieves) the execution described by
+    [spec]; results are memoized for the lifetime of the process. *)
+let measure (s : spec) : Sim.Metrics.t =
+  match Hashtbl.find_opt cache s with
+  | Some m -> m
+  | None ->
+      let w =
+        match Workloads.Workload.find s.workload with
+        | Some w -> w
+        | None -> invalid_arg ("Runner.measure: unknown workload " ^ s.workload)
+      in
+      let m = Sim.Engine.run (config_of s w) (Lazy.force w.ir) in
+      Hashtbl.replace cache s m;
+      m
+
+(** Serial baseline time in cycles (engine-measured, one core, no
+    interrupts). *)
+let serial_time (w : Workloads.Workload.t) : int =
+  (measure (spec ~procs:1 ~interrupts:false Serial_sys w)).makespan
+
+(** Normalized 1-core execution time (Figures 6, 8, 9, 13). *)
+let normalized_1core ?(heart_us = 100.) ?(interrupts = true)
+    ?(promotions = true) (system : system) (w : Workloads.Workload.t) : float =
+  let m =
+    measure (spec ~procs:1 ~heart_us ~interrupts ~promotions system w)
+  in
+  float_of_int m.makespan /. float_of_int (serial_time w)
+
+(** Speedup over the serial baseline at [procs] cores (Figures 7, 11,
+    14). *)
+let speedup ?(procs = 15) ?(heart_us = 100.) (system : system)
+    (w : Workloads.Workload.t) : float =
+  let m = measure (spec ~procs ~heart_us system w) in
+  float_of_int (serial_time w) /. float_of_int m.makespan

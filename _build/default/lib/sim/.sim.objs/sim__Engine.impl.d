@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Eventq Float Interrupts List Metrics Option Par_ir Params Prng Runnable Wsdeque

@@ -1,0 +1,1 @@
+lib/sim/interrupts.ml: Array Params Prng

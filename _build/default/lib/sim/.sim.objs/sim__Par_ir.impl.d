@@ -1,0 +1,1 @@
+lib/sim/par_ir.ml: List

@@ -1,0 +1,1 @@
+lib/sim/runnable.ml: List Option Par_ir Params

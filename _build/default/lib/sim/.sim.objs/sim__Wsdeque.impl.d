@@ -1,0 +1,1 @@
+lib/sim/wsdeque.ml: Array List

@@ -1,0 +1,328 @@
+(** The multicore discrete-event engine — the substitute for the
+    paper's 16-core testbed.
+
+    P simulated worker cores execute {!Runnable} tasks under one of the
+    three scheduling modes, with randomized work stealing between their
+    deques and heartbeat interrupts delivered by an {!Interrupts}
+    mechanism.  Virtual time is in CPU cycles; all scheduling costs
+    come from {!Params}.
+
+    Event-ordering invariant: a core's running segment never spans a
+    heartbeat delivery time, because segment budgets are capped at the
+    next known delivery; ties at the same instant resolve in insertion
+    order, which places the beat first (it was scheduled when the
+    previous beat fired, strictly earlier than any racing resume). *)
+
+type config = {
+  cfg : Runnable.cfg;
+  mech : Interrupts.mech;
+  promote : bool;
+      (** promotions enabled on beats; with [false] beats only pay
+          their handler cost (the "Serial, interrupts only" bars of
+          Figures 9 and 13) *)
+  mem_intensity : float;
+      (** workload memory-boundedness ∈ [0,1]; degrades Linux signal
+          delivery (see {!Interrupts}) *)
+  bw_cap : float;
+      (** memory-bandwidth ceiling: the maximum aggregate rate (in
+          multiples of one core's serial rate) at which the workload's
+          cycles can be retired fleet-wide.  With [k] cores active and
+          [k > bw_cap], every core's progress dilates by [k / bw_cap] —
+          the saturation that bounds streaming benchmarks (mergesort,
+          plus-reduce) on the paper's one-NUMA-node testbed.
+          [infinity] = compute-bound. *)
+}
+
+let make_config ?(mech = Interrupts.Off) ?(promote = true)
+    ?(mem_intensity = 0.3) ?(bw_cap = infinity) (cfg : Runnable.cfg) : config =
+  { cfg; mech; promote; mem_intensity; bw_cap }
+
+type ev = Resume of int | Beat of Interrupts.delivery
+
+type core = {
+  id : int;
+  deque : Runnable.task Wsdeque.t;
+  mutable current : Runnable.task option;
+  mutable pending_handler : int;  (** handler cycles to charge at resume *)
+  mutable pending_beats : int;  (** beats awaiting service at resume *)
+  mutable work : int;
+  mutable overhead : int;
+  mutable idle : int;
+  mutable last_active : int;
+  mutable parked : bool;  (** no further events scheduled for this core *)
+  mutable busy : bool;  (** a work segment is in flight until the next
+                            resume (virtual busy interval) *)
+  mutable steal_fails : int;  (** consecutive failed steal scans, for
+                                  exponential back-off *)
+}
+
+(* Segment length bound: spawned work must become stealable, and the
+   bandwidth model samples the active-core count, at this granularity
+   (run_for additionally stops early whenever it spawns). *)
+let max_chunk = 250_000
+
+let run (config : config) (ir : Par_ir.t) : Metrics.t =
+  let params = config.cfg.params in
+  let procs = max 1 params.procs in
+  let rng = Prng.create ~seed:params.seed in
+  let cores =
+    Array.init procs (fun id ->
+        {
+          id;
+          deque = Wsdeque.create ();
+          current = None;
+          pending_handler = 0;
+          pending_beats = 0;
+          work = 0;
+          overhead = 0;
+          idle = 0;
+          last_active = 0;
+          parked = false;
+          busy = false;
+          steal_fails = 0;
+        })
+  in
+  let q = Eventq.create ~dummy:(Resume 0) in
+  let interrupts =
+    Interrupts.create params config.mech ~mem_intensity:config.mem_intensity
+  in
+  let next_beat_time = ref max_int in
+  let schedule_beat () =
+    match Interrupts.next interrupts with
+    | None -> next_beat_time := max_int
+    | Some d ->
+        next_beat_time := d.at;
+        Eventq.add q ~time:d.at (Beat d)
+  in
+  (* counters *)
+  let remaining = ref 1 in
+  let tasks_created = ref 0 in
+  let promotions = ref 0 in
+  let promotion_attempts = ref 0 in
+  let steals = ref 0 in
+  let beats_delivered = ref 0 in
+  let makespan = ref 0 in
+  (* number of cores with a work segment in flight, for the bandwidth
+     model: a core counts as active from the event that starts its
+     segment until the resume event that ends it *)
+  let active = ref 0 in
+  let slowdown () =
+    let k = float_of_int (max 1 !active) in
+    if k > config.bw_cap then k /. config.bw_cap else 1.
+  in
+  (* initial state: the whole program on core 0 *)
+  cores.(0).current <- Some (Runnable.of_ir config.cfg ir);
+  for c = 0 to procs - 1 do
+    Eventq.add q ~time:0 (Resume c)
+  done;
+  schedule_beat ();
+  let push_tasks (core : core) (ts : Runnable.task list) =
+    List.iter
+      (fun t ->
+        incr tasks_created;
+        incr remaining;
+        Wsdeque.push_bottom core.deque t)
+      ts
+  in
+  (* A task completed: signal its parent's join; the last child to
+     arrive resumes the waiting parent on this core (continuations run
+     where the final strand ran, as in Cilk). *)
+  let finish_task (core : core) (task : Runnable.task) (t : int) =
+    decr remaining;
+    core.last_active <- t;
+    if t > !makespan then makespan := t;
+    match task.on_finish with
+    | None -> ()
+    | Some s ->
+        s.pending <- s.pending - 1;
+        if s.pending = 0 then (
+          match s.waiter with
+          | None -> ()
+          | Some w ->
+              s.waiter <- None;
+              Wsdeque.push_bottom core.deque w)
+  in
+  (* Service pending heartbeats on a running core: handler cost plus
+     (in TPAL mode with promotion enabled) one promotion attempt per
+     beat, outermost-first.  Returns the cycles consumed. *)
+  let service_beats (core : core) : int =
+    let cost = ref core.pending_handler in
+    let beats = core.pending_beats in
+    core.pending_handler <- 0;
+    core.pending_beats <- 0;
+    if
+      config.promote
+      && config.cfg.mode = Runnable.Tpal
+      && Option.is_some core.current
+    then begin
+      let task = Option.get core.current in
+      for _ = 1 to beats do
+        incr promotion_attempts;
+        match Runnable.try_promote config.cfg task with
+        | Some child ->
+            incr promotions;
+            cost := !cost + params.tau_promote + params.join_cost;
+            push_tasks core [ child ]
+        | None -> ()
+      done
+    end;
+    core.overhead <- core.overhead + !cost;
+    !cost
+  in
+  (* Acquire work: own deque first, then a scan over up to P random
+     victims.  Returns the cycles the acquisition occupied. *)
+  let try_acquire (core : core) : int option =
+    match Wsdeque.pop_bottom core.deque with
+    | Some t ->
+        core.current <- Some t;
+        core.steal_fails <- 0;
+        core.overhead <- core.overhead + params.pop_cost;
+        Some params.pop_cost
+    | None ->
+        if procs = 1 then None
+        else begin
+          let found = ref None in
+          let tries = ref 0 in
+          while !found = None && !tries < procs do
+            incr tries;
+            let victim = Prng.int rng procs in
+            if victim <> core.id then
+              match Wsdeque.steal_top cores.(victim).deque with
+              | Some t -> found := Some t
+              | None -> ()
+          done;
+          match !found with
+          | Some t ->
+              incr steals;
+              core.overhead <- core.overhead + params.steal_cost;
+              core.current <- Some t;
+              core.steal_fails <- 0;
+              Some params.steal_cost
+          | None ->
+              core.steal_fails <- core.steal_fails + 1;
+              None
+        end
+  in
+  let handle_resume (core : core) (t : int) =
+    core.parked <- false;
+    if core.busy then begin
+      (* the segment scheduled by the previous resume has ended *)
+      core.busy <- false;
+      decr active
+    end;
+    let beat_cost =
+      if core.pending_beats > 0 then service_beats core else 0
+    in
+    let t = t + beat_cost in
+    match core.current with
+    | Some task ->
+        core.busy <- true;
+        incr active;
+        let dilate = slowdown () in
+        let budget =
+          let cap =
+            if !next_beat_time = max_int then max_chunk
+            else max 1 (!next_beat_time - t)
+          in
+          (* the segment's wall-clock extent is capped at [cap]; when
+             the workload is bandwidth-bound beyond its compute
+             dilation, correspondingly fewer cycles retire per unit of
+             wall-clock *)
+          let compute_dilation =
+            float_of_int config.cfg.dilation_pct /. 100.
+          in
+          let stretch = Float.max 1. (dilate /. compute_dilation) in
+          max 1 (int_of_float (float_of_int (min cap max_chunk) /. stretch))
+        in
+        let out = Runnable.run_for config.cfg task ~budget in
+        core.work <- core.work + out.work_done;
+        core.overhead <- core.overhead + out.overhead_done;
+        push_tasks core out.spawned;
+        (* wall-clock: the larger of compute time (dilated work +
+           scheduling) and memory time (raw traffic through the
+           saturated bus) *)
+        let mem_time =
+          out.overhead_done
+          + int_of_float (float_of_int out.raw_done *. dilate)
+        in
+        let elapsed = max 1 (max out.consumed mem_time) in
+        let t2 = t + elapsed in
+        core.last_active <- t2;
+        (if out.finished then begin
+           core.current <- None;
+           finish_task core task t2
+         end
+         else
+           match out.blocked with
+           | Some s ->
+               (* the join: park the task until its last child signals *)
+               core.current <- None;
+               s.waiter <- Some task
+           | None -> ());
+        Eventq.add q ~time:t2 (Resume core.id)
+    | None -> (
+        match try_acquire core with
+        | Some cost -> Eventq.add q ~time:(t + max 1 cost) (Resume core.id)
+        | None ->
+            if !remaining > 0 then begin
+              (* exponential back-off bounds the probing traffic (and
+                 the simulator's event count) during work droughts *)
+              let wait =
+                min 20_000
+                  (params.steal_retry * (1 lsl min 6 core.steal_fails))
+              in
+              core.idle <- core.idle + wait;
+              Eventq.add q ~time:(t + wait) (Resume core.id)
+            end
+            else core.parked <- true)
+  in
+  let handle_beat (d : Interrupts.delivery) =
+    if !remaining > 0 then begin
+      incr beats_delivered;
+      if d.core < procs then begin
+        let core = cores.(d.core) in
+        core.pending_handler <- core.pending_handler + d.handler_cost;
+        core.pending_beats <- core.pending_beats + 1;
+        (* wake a parked core so the handler cost is accounted (it may
+           also find freshly promoted work from others) *)
+        if core.parked then begin
+          core.parked <- false;
+          Eventq.add q ~time:d.at (Resume core.id)
+        end
+      end;
+      schedule_beat ()
+    end
+    else next_beat_time := max_int
+  in
+  let running = ref true in
+  while !running do
+    match Eventq.pop q with
+    | None -> running := false
+    | Some (t, Resume c) -> handle_resume cores.(c) t
+    | Some (_, Beat d) -> handle_beat d
+  done;
+  let heart = Params.heart_cycles params in
+  let work = Array.fold_left (fun acc c -> acc + c.work) 0 cores in
+  let overhead = Array.fold_left (fun acc c -> acc + c.overhead) 0 cores in
+  let idle = Array.fold_left (fun acc c -> acc + c.idle) 0 cores in
+  {
+    Metrics.makespan = !makespan;
+    work;
+    overhead;
+    idle;
+    tasks_created = !tasks_created;
+    promotions = !promotions;
+    promotion_attempts = !promotion_attempts;
+    steals = !steals;
+    beats_delivered = !beats_delivered;
+    beats_target =
+      (if config.mech = Interrupts.Off || heart = 0 then 0
+       else procs * (!makespan / heart));
+    beats_lost = Interrupts.lost interrupts;
+  }
+
+(** [serial_time params ir] — the Serial baseline: pure algorithm work
+    on one core, no scheduler, no interrupts. *)
+let serial_time (params : Params.t) (ir : Par_ir.t) : int =
+  ignore params;
+  Par_ir.work ir

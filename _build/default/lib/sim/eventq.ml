@@ -1,0 +1,81 @@
+(** Binary min-heap event queue for the discrete-event simulator.
+
+    Events are ordered by (time, sequence number): ties in virtual time
+    break deterministically in insertion order, which keeps whole
+    simulations reproducible. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  dummy : 'a entry;
+}
+
+let create ~(dummy : 'a) : 'a t =
+  let dummy = { time = 0; seq = 0; payload = dummy } in
+  { heap = Array.make 64 dummy; size = 0; next_seq = 0; dummy }
+
+let is_empty (q : 'a t) : bool = q.size = 0
+let length (q : 'a t) : int = q.size
+
+let lt (a : 'a entry) (b : 'a entry) : bool =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow (q : 'a t) : unit =
+  let heap = Array.make (2 * Array.length q.heap) q.dummy in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+(** [add q ~time payload] schedules [payload] at virtual [time]. *)
+let add (q : 'a t) ~(time : int) (payload : 'a) : unit =
+  if q.size = Array.length q.heap then grow q;
+  let e = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  (* sift up *)
+  let i = ref q.size in
+  q.size <- q.size + 1;
+  q.heap.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt q.heap.(!i) q.heap.(parent) then begin
+      let tmp = q.heap.(parent) in
+      q.heap.(parent) <- q.heap.(!i);
+      q.heap.(!i) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+(** [peek_time q] is the time of the earliest event. *)
+let peek_time (q : 'a t) : int option =
+  if q.size = 0 then None else Some q.heap.(0).time
+
+(** [pop q] removes and returns the earliest event. *)
+let pop (q : 'a t) : (int * 'a) option =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    q.heap.(0) <- q.heap.(q.size);
+    q.heap.(q.size) <- q.dummy;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < q.size && lt q.heap.(l) q.heap.(!smallest) then smallest := l;
+      if r < q.size && lt q.heap.(r) q.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = q.heap.(!smallest) in
+        q.heap.(!smallest) <- q.heap.(!i);
+        q.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some (top.time, top.payload)
+  end

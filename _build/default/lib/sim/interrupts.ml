@@ -1,0 +1,154 @@
+(** Heartbeat interrupt delivery mechanisms (§3.4, §5).
+
+    Each mechanism turns the nominal beat schedule (every ♥ µs on every
+    worker) into a stream of {e deliveries} — (time, core, handler
+    cost) triples — reproducing the characteristic behaviour the paper
+    measures:
+
+    - {!constructor:Ping_thread} (Linux): a dedicated thread sends
+      per-worker signals {e sequentially}.  Each send occupies the ping
+      thread for [signal_send] cycles, so one sweep over P workers
+      takes [P · signal_send]; when that exceeds ♥ the next sweep
+      starts late and the achieved rate saturates well below target
+      (Figure 10, 20 µs: 83–281 K beats/s of a 750 K target).
+      Deliveries also suffer random jitter and, on memory-intensive
+      workloads, outright losses — signals arriving while the target
+      sits in uninterruptible kernel paths get coalesced; the paper
+      notes Linux "largely misses its target heartbeat rate" even at
+      100 µs.
+    - {!constructor:Papi} (Linux): per-core performance-counter
+      interrupts; no sweep serialisation, but a much costlier handler
+      path ("always incurs much higher overheads", §4.4).
+    - {!constructor:Nautilus_ipi}: a local-APIC timer on core 0
+      broadcasts Nemo IPIs; delivery within a few thousand cycles,
+      negligible jitter, no losses — Nautilus "practically always
+      achieves the heartbeat rate" (§5.2).
+    - {!constructor:Off}: no heartbeats (the sequential-baseline and
+      Figure 8 configurations). *)
+
+type mech = Off | Ping_thread | Papi | Nautilus_ipi
+
+let mech_name = function
+  | Off -> "off"
+  | Ping_thread -> "INT-PingThread"
+  | Papi -> "INT-Papi"
+  | Nautilus_ipi -> "Nautilus-IPI"
+
+type delivery = { at : int; core : int; handler_cost : int }
+
+type t = {
+  params : Params.t;
+  mech : mech;
+  heart : int;  (** ♥ in cycles *)
+  loss_prob : float;
+      (** probability a Linux signal is lost/coalesced; derived from
+          the workload's memory intensity *)
+  rng : Prng.t;
+  (* ping-thread sweep state *)
+  mutable sweep_start : int;  (** when the current sweep began *)
+  mutable sweep_pos : int;  (** next worker in the current sweep *)
+  (* per-core nominal schedules (Papi, Nautilus) *)
+  mutable per_core_next : int array;
+  (* accounting *)
+  mutable delivered : int;
+  mutable lost : int;
+}
+
+(** [create params mech ~mem_intensity] instantiates a delivery stream.
+    [mem_intensity ∈ [0,1]] models how often the workload sits in
+    memory-stall / kernel paths that defer Linux signal delivery; it
+    has no effect on Nautilus IPIs. *)
+let create (params : Params.t) (mech : mech) ~(mem_intensity : float) : t =
+  let heart = Params.heart_cycles params in
+  {
+    params;
+    mech;
+    heart;
+    loss_prob = 0.08 +. (0.45 *. mem_intensity);
+    rng = Prng.create ~seed:(params.seed lxor 0x1E77);
+    sweep_start = heart;
+    sweep_pos = 0;
+    per_core_next = Array.make (max 1 params.procs) heart;
+    delivered = 0;
+    lost = 0;
+  }
+
+let jitter (t : t) : int =
+  if t.params.signal_jitter = 0 then 0
+  else Prng.int t.rng t.params.signal_jitter
+
+(* One candidate delivery from the ping-thread sweep model; loses the
+   signal with probability [loss_prob] but still consumes the send
+   slot (the ping thread paid for it either way). *)
+let rec next_ping (t : t) : delivery option =
+  let p = t.params in
+  if p.procs = 0 then None
+  else begin
+    if t.sweep_pos >= p.procs then begin
+      (* sweep finished: the next one starts at the later of its
+         nominal time and now (the ping thread may be running late) *)
+      let sweep_end = t.sweep_start + (p.procs * p.signal_send) in
+      let nominal = t.sweep_start + t.heart in
+      t.sweep_start <- max nominal sweep_end;
+      t.sweep_pos <- 0
+    end;
+    let core = t.sweep_pos in
+    let send_done = t.sweep_start + ((core + 1) * p.signal_send) in
+    t.sweep_pos <- t.sweep_pos + 1;
+    if Prng.float t.rng < t.loss_prob then begin
+      t.lost <- t.lost + 1;
+      next_ping t
+    end
+    else begin
+      t.delivered <- t.delivered + 1;
+      Some { at = send_done + jitter t; core; handler_cost = p.signal_handle }
+    end
+  end
+
+(* Per-core independent schedules: emit the globally earliest pending
+   delivery and advance that core's clock by ♥. *)
+let rec next_percore (t : t) ~(handler_cost : int) ~(latency : int)
+    ~(jittered : bool) ~(lossy : bool) : delivery option =
+  let p = t.params in
+  if p.procs = 0 then None
+  else begin
+    let core = ref 0 in
+    for c = 1 to p.procs - 1 do
+      if t.per_core_next.(c) < t.per_core_next.(!core) then core := c
+    done;
+    let nominal = t.per_core_next.(!core) in
+    t.per_core_next.(!core) <- nominal + t.heart;
+    if lossy && Prng.float t.rng < t.loss_prob then begin
+      t.lost <- t.lost + 1;
+      next_percore t ~handler_cost ~latency ~jittered ~lossy
+    end
+    else begin
+      t.delivered <- t.delivered + 1;
+      let j = if jittered then jitter t else 0 in
+      Some { at = nominal + latency + j; core = !core; handler_cost }
+    end
+  end
+
+(** [next t] is the next delivery in time order, advancing the
+    mechanism's internal state; [None] when the mechanism is off. *)
+let next (t : t) : delivery option =
+  match t.mech with
+  | Off -> None
+  | Ping_thread -> next_ping t
+  | Papi ->
+      next_percore t ~handler_cost:t.params.papi_handle ~latency:0
+        ~jittered:true ~lossy:true
+  | Nautilus_ipi ->
+      next_percore t ~handler_cost:t.params.ipi_handle
+        ~latency:t.params.ipi_latency ~jittered:false ~lossy:false
+
+(** Beats actually delivered so far. *)
+let delivered (t : t) : int = t.delivered
+
+(** Beats lost so far (Linux signal coalescing). *)
+let lost (t : t) : int = t.lost
+
+(** Fleet-wide target beat count for a run of [horizon] cycles. *)
+let target_count (t : t) ~(horizon : int) : int =
+  if t.mech = Off || t.heart = 0 then 0
+  else t.params.procs * (horizon / t.heart)

@@ -1,0 +1,51 @@
+(** Aggregate measurements of one simulated execution — the quantities
+    the paper's figures report. *)
+
+type t = {
+  makespan : int;  (** virtual cycles from start to last task completion *)
+  work : int;  (** useful (algorithm) cycles executed, summed over cores *)
+  overhead : int;
+      (** scheduling cycles: spawns, promotions, marks, joins, steals,
+          interrupt handlers *)
+  idle : int;  (** cycles cores spent without work *)
+  tasks_created : int;  (** tasks spawned (Cilk) or promoted (TPAL) —
+                            the y-axis of Figure 15a *)
+  promotions : int;  (** successful heartbeat promotions *)
+  promotion_attempts : int;  (** handler entries (incl. aborted attempts) *)
+  steals : int;  (** successful steals *)
+  beats_delivered : int;  (** heartbeat interrupts delivered *)
+  beats_target : int;  (** nominal beats for the elapsed makespan *)
+  beats_lost : int;  (** Linux signals lost/coalesced *)
+}
+
+let zero =
+  {
+    makespan = 0;
+    work = 0;
+    overhead = 0;
+    idle = 0;
+    tasks_created = 0;
+    promotions = 0;
+    promotion_attempts = 0;
+    steals = 0;
+    beats_delivered = 0;
+    beats_target = 0;
+    beats_lost = 0;
+  }
+
+(** Fraction of total core-time spent on useful work — Figure 15b. *)
+let utilization ~(procs : int) (m : t) : float =
+  if m.makespan = 0 then 0.
+  else float_of_int m.work /. (float_of_int procs *. float_of_int m.makespan)
+
+(** Achieved fleet-wide heartbeat rate in beats per second. *)
+let achieved_rate (params : Params.t) (m : t) : float =
+  let secs = Params.seconds_of_cycles params m.makespan in
+  if secs <= 0. then 0. else float_of_int m.beats_delivered /. secs
+
+let pp ppf (m : t) =
+  Fmt.pf ppf
+    "makespan=%d work=%d overhead=%d idle=%d tasks=%d promotions=%d \
+     steals=%d beats=%d/%d"
+    m.makespan m.work m.overhead m.idle m.tasks_created m.promotions m.steals
+    m.beats_delivered m.beats_target

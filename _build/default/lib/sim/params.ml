@@ -1,0 +1,87 @@
+(** Machine and runtime cost parameters of the simulated testbed.
+
+    The defaults model the paper's test bench: a 2.7 GHz 16-core AMD
+    EPYC 7281 running Linux 5.8 (one core reserved for the ping thread
+    or left idle; up to [procs = 15] workers).  All times are in CPU
+    {e cycles} of virtual time.
+
+    Calibration sources (paper section / figure in brackets):
+    - ♥ = 100 µs default and 20 µs stress value [§4.2, §4.4]
+      → 270_000 and 54_000 cycles at 2.7 GHz.
+    - Cilk spawn cost: Cilk Plus's clone-optimised spawn plus reducer
+      access; tens to ~hundred cycles per spawn, which combined with
+      its [8·P]-chunk loop decomposition reproduces the 1-core
+      overheads of Figure 6 (up to 16× on fine-grained inner loops).
+    - TPAL promotion cost: join-record allocation + task reification +
+      deque push [§4.4 "Promotion overhead is low", ≲11 % at 100 µs].
+    - Linux signal delivery: the ping thread sends signals one worker
+      at a time; per-signal send ~3 µs and handler ~1 µs of combined
+      software overhead reproduce both the interrupt-only overheads of
+      Figure 9 and the saturation of the achieved heartbeat rate of
+      Figure 10 (max ≈ 280 K signals/s fleet-wide, vs the 750 K/s
+      target at 20 µs).
+    - Nautilus Nemo IPIs: "within a few thousand cycles, most of which
+      is interrupt handling on the receive side" [§5.1]. *)
+
+type t = {
+  procs : int;  (** worker cores P (the paper uses 15 of 16) *)
+  cycles_per_us : int;  (** clock: 2700 cycles per µs at 2.7 GHz *)
+  heart_us : float;  (** ♥ in microseconds *)
+  (* scheduling costs *)
+  tau_cilk : int;  (** per-spawn cost of the Cilk baseline, cycles *)
+  tau_promote : int;  (** TPAL promotion (jralloc + fork + push), cycles *)
+  mark_cost : int;
+      (** TPAL per-call-site cost of pushing/popping a promotion-ready
+          stack mark (§4.4: visible on [knapsack], 4–6 % on mergesort) *)
+  join_cost : int;  (** join-resolution cost paid at task completion *)
+  steal_cost : int;  (** successful steal, cycles *)
+  pop_cost : int;  (** popping one's own deque, cycles *)
+  steal_retry : int;  (** idle back-off between failed steal attempts *)
+  (* interrupt mechanism costs *)
+  signal_send : int;  (** ping thread: per-worker signal send, cycles *)
+  signal_handle : int;  (** Linux: signal handler entry/exit, cycles *)
+  papi_handle : int;  (** Linux PAPI: counter-interrupt handler, cycles *)
+  ipi_latency : int;  (** Nautilus: IPI delivery latency, cycles *)
+  ipi_handle : int;  (** Nautilus: receive-side handler, cycles *)
+  signal_jitter : int;  (** Linux: max random delivery jitter, cycles *)
+  seed : int;  (** PRNG seed for steals/jitter *)
+}
+
+let default : t =
+  {
+    procs = 15;
+    cycles_per_us = 2_700;
+    heart_us = 100.;
+    tau_cilk = 55;
+    tau_promote = 900;
+    mark_cost = 52;
+    join_cost = 45;
+    steal_cost = 700;
+    pop_cost = 20;
+    steal_retry = 300;
+    signal_send = 8_100 (* ≈3 µs: syscall + kernel signal dispatch *);
+    signal_handle = 2_700 (* ≈1 µs: frame setup, ucontext inspection *);
+    papi_handle = 8_100 (* ≈3 µs: perf-counter interrupt path *);
+    ipi_latency = 1_500;
+    ipi_handle = 900;
+    signal_jitter = 27_000 (* up to 10 µs of OS-induced delay *);
+    seed = 0x7541;
+  }
+
+(** ♥ in cycles. *)
+let heart_cycles (p : t) : int =
+  int_of_float (p.heart_us *. float_of_int p.cycles_per_us)
+
+(** Target fleet-wide heartbeat rate, beats per second across all
+    [procs] workers (the horizontal line of Figure 10). *)
+let target_rate (p : t) : float = float_of_int p.procs /. (p.heart_us *. 1e-6)
+
+let with_heart_us (heart_us : float) (p : t) : t = { p with heart_us }
+let with_procs (procs : int) (p : t) : t = { p with procs }
+
+(** [us_of_cycles p c] converts virtual cycles to microseconds. *)
+let us_of_cycles (p : t) (c : int) : float =
+  float_of_int c /. float_of_int p.cycles_per_us
+
+(** [seconds_of_cycles p c] converts virtual cycles to seconds. *)
+let seconds_of_cycles (p : t) (c : int) : float = us_of_cycles p c *. 1e-6

@@ -1,0 +1,64 @@
+(** Work-stealing deque, simulated.
+
+    Each core owns one: the owner pushes and pops at the {e bottom}
+    (LIFO, preserving locality), thieves steal from the {e top} (FIFO,
+    taking the oldest — and in heartbeat scheduling the outermost —
+    task), exactly the discipline of Chase–Lev deques in the paper's
+    runtime.  The simulator is single-threaded, so no synchronisation
+    is modelled here; the {e cost} of steals is charged by the engine. *)
+
+type 'a t = { mutable items : 'a array; mutable head : int; mutable tail : int }
+(* items.(head .. tail-1) are live; head = top (steal end),
+   tail = bottom (owner end). *)
+
+let create () : 'a t = { items = [||]; head = 0; tail = 0 }
+let length (d : 'a t) : int = d.tail - d.head
+let is_empty (d : 'a t) : bool = length d = 0
+
+let ensure (d : 'a t) (x : 'a) : unit =
+  let cap = Array.length d.items in
+  if d.tail = cap then
+    if length d = 0 then begin
+      d.head <- 0;
+      d.tail <- 0;
+      if cap = 0 then d.items <- Array.make 8 x
+    end
+    else begin
+      let live = length d in
+      let cap' = max 8 (2 * live) in
+      let items = Array.make cap' x in
+      Array.blit d.items d.head items 0 live;
+      d.items <- items;
+      d.head <- 0;
+      d.tail <- live
+    end
+
+(** Owner push at the bottom. *)
+let push_bottom (d : 'a t) (x : 'a) : unit =
+  ensure d x;
+  d.items.(d.tail) <- x;
+  d.tail <- d.tail + 1
+
+(** Owner pop at the bottom (LIFO). *)
+let pop_bottom (d : 'a t) : 'a option =
+  if is_empty d then None
+  else begin
+    d.tail <- d.tail - 1;
+    Some d.items.(d.tail)
+  end
+
+(** Thief steal from the top (FIFO — the oldest task). *)
+let steal_top (d : 'a t) : 'a option =
+  if is_empty d then None
+  else begin
+    let x = d.items.(d.head) in
+    d.head <- d.head + 1;
+    Some x
+  end
+
+let to_list (d : 'a t) : 'a list =
+  List.init (length d) (fun i -> d.items.(d.head + i))
+
+let clear (d : 'a t) : unit =
+  d.head <- 0;
+  d.tail <- 0

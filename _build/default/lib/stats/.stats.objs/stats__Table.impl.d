@@ -1,0 +1,1 @@
+lib/stats/table.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/workloads/csr.ml: Array Exec List Sim

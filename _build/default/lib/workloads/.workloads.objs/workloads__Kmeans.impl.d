@@ -1,0 +1,1 @@
+lib/workloads/kmeans.ml: Array Exec Sim

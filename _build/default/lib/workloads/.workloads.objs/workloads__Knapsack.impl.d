@@ -1,0 +1,1 @@
+lib/workloads/knapsack.ml: Array Exec Sim

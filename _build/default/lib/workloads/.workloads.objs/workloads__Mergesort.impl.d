@@ -1,0 +1,1 @@
+lib/workloads/mergesort.ml: Array Exec Sim

@@ -1,0 +1,1 @@
+lib/workloads/plus_reduce.ml: Array Exec Sim

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Lazy List Mandelbrot Printf Sim String

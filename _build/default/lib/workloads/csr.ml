@@ -1,0 +1,151 @@
+(** Compressed-sparse-row matrices, with the paper's three input
+    classes (§4.1):
+
+    - {!random}: uniformly random rows, maximum row length 100;
+    - {!powerlaw}: Zipf-distributed row lengths — the largest row holds
+      a few percent of all non-zeros, stressing irregular nested
+      parallelism;
+    - {!arrowhead}: non-zeros on the diagonal, first row and first
+      column — "particularly challenging for task scheduling"
+      [Tessem 2013] because one row dwarfs all others.
+
+    The [spmv] kernel is the classic CSR sparse-matrix × dense-vector
+    product, parallel over rows with a nested (parallelisable)
+    reduction per row. *)
+
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array;  (** length [nrows + 1] *)
+  col_idx : int array;  (** length [nnz] *)
+  values : float array;  (** length [nnz] *)
+}
+
+let nnz (m : t) : int = m.row_ptr.(m.nrows)
+let row_length (m : t) (r : int) : int = m.row_ptr.(r + 1) - m.row_ptr.(r)
+
+(** Build a CSR matrix from per-row (column, value) lists; the lists
+    need not be sorted — they are sorted and deduplicated here. *)
+let of_rows ~(ncols : int) (rows : (int * float) list array) : t =
+  let nrows = Array.length rows in
+  let clean =
+    Array.map
+      (fun entries ->
+        let sorted =
+          List.sort_uniq (fun (c1, _) (c2, _) -> compare c1 c2) entries
+        in
+        sorted)
+      rows
+  in
+  let row_ptr = Array.make (nrows + 1) 0 in
+  for r = 0 to nrows - 1 do
+    row_ptr.(r + 1) <- row_ptr.(r) + List.length clean.(r)
+  done;
+  let total = row_ptr.(nrows) in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0. in
+  Array.iteri
+    (fun r entries ->
+      List.iteri
+        (fun k (c, v) ->
+          if c < 0 || c >= ncols then invalid_arg "Csr.of_rows: column range";
+          col_idx.(row_ptr.(r) + k) <- c;
+          values.(row_ptr.(r) + k) <- v)
+        entries)
+    clean;
+  { nrows; ncols; row_ptr; col_idx; values }
+
+(** Uniformly random sparse matrix: every row non-empty, row lengths
+    uniform in [1, max_row_len] (the paper's random matrix has maximum
+    column size 100). *)
+let random ~(rng : Sim.Prng.t) ~(nrows : int) ~(ncols : int)
+    ~(max_row_len : int) : t =
+  let rows =
+    Array.init nrows (fun _ ->
+        let len = 1 + Sim.Prng.int rng max_row_len in
+        List.init len (fun _ ->
+            (Sim.Prng.int rng ncols, Sim.Prng.float rng)))
+  in
+  of_rows ~ncols rows
+
+(** Power-law matrix: row lengths follow a Zipf distribution with
+    exponent [s]; the head rows are orders of magnitude longer than
+    the tail (the paper's powerlaw matrix has a single row holding 3 %
+    of all non-zeros). *)
+let powerlaw ~(rng : Sim.Prng.t) ~(nrows : int) ~(ncols : int)
+    ~(max_row_len : int) ?(s = 1.9) () : t =
+  let rows =
+    Array.init nrows (fun r ->
+        (* rank-based lengths: row r gets ~ max_row_len / (r+1)^(s-?) ;
+           randomised assignment keeps heavy rows scattered *)
+        let rank = 1 + Sim.Prng.int rng nrows in
+        let len =
+          max 1
+            (int_of_float
+               (float_of_int max_row_len /. (float_of_int rank ** (s -. 1.))))
+        in
+        let len = min len ncols in
+        ignore r;
+        List.init len (fun _ ->
+            (Sim.Prng.int rng ncols, Sim.Prng.float rng)))
+  in
+  of_rows ~ncols rows
+
+(** Arrowhead matrix: dense diagonal, dense first row, dense first
+    column. *)
+let arrowhead ~(n : int) : t =
+  let rows =
+    Array.init n (fun r ->
+        if r = 0 then List.init n (fun c -> (c, 1.0))
+        else [ (0, 1.0); (r, 1.0) ])
+  in
+  of_rows ~ncols:n rows
+
+(** [spmv (module E) m x y] computes [y = m · x], parallel over rows.
+    Long rows (≥ [row_grain]) compute their dot product with a nested
+    parallel reduction, mirroring the paper's nested-loop spmv. *)
+let spmv ?(row_grain = 4096) (module E : Exec.S) (m : t) (x : float array)
+    (y : float array) : unit =
+  if Array.length x < m.ncols || Array.length y < m.nrows then
+    invalid_arg "Csr.spmv: vector size";
+  E.par_for ~lo:0 ~hi:m.nrows (fun r ->
+      let lo = m.row_ptr.(r) and hi = m.row_ptr.(r + 1) in
+      if hi - lo < row_grain then begin
+        let acc = ref 0. in
+        for k = lo to hi - 1 do
+          acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+        done;
+        y.(r) <- !acc
+      end
+      else begin
+        (* nested parallel reduction over a long row *)
+        let rec sum lo hi =
+          if hi - lo < row_grain then begin
+            let acc = ref 0. in
+            for k = lo to hi - 1 do
+              acc := !acc +. (m.values.(k) *. x.(m.col_idx.(k)))
+            done;
+            !acc
+          end
+          else begin
+            let mid = (lo + hi) / 2 in
+            let a = ref 0. and b = ref 0. in
+            E.fork2 (fun () -> a := sum lo mid) (fun () -> b := sum mid hi);
+            !a +. !b
+          end
+        in
+        y.(r) <- sum lo hi
+      end)
+
+(** Serial reference for cross-checking. *)
+let spmv_serial (m : t) (x : float array) : float array =
+  let y = Array.make m.nrows 0. in
+  spmv (module Exec.Serial) m x y;
+  y
+
+(** Simulator cost model: the per-row iteration cost of spmv in
+    cycles, [cost_per_nnz] per non-zero plus a fixed row cost.  Used
+    by the workload registry to build {!Sim.Par_ir} programs whose
+    irregularity matches the actual generated matrix. *)
+let row_cost ?(cost_per_nnz = 10) ?(row_fixed = 14) (m : t) (r : int) : int =
+  row_fixed + (cost_per_nnz * row_length m r)

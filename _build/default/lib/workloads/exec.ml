@@ -1,0 +1,29 @@
+(** The parallel-execution interface benchmark kernels are written
+    against, so the same kernel code runs serially, under the
+    heartbeat effects runtime, or under any other scheduler.
+
+    This mirrors the paper's source level: [par_for] is [cilk_for]
+    (with an optional reduction) and [fork2] is
+    [cilk_spawn]/[cilk_sync]. *)
+
+module type S = sig
+  val par_for : lo:int -> hi:int -> (int -> unit) -> unit
+  (** Execute [f i] for [lo ≤ i < hi]; iterations may run in any order
+      and concurrently. *)
+
+  val fork2 : (unit -> unit) -> (unit -> unit) -> unit
+  (** Run both thunks, possibly in parallel; returns when both
+      finished. *)
+end
+
+(** The serial executor: the baseline the paper normalises against. *)
+module Serial : S = struct
+  let par_for ~lo ~hi f =
+    for i = lo to hi - 1 do
+      f i
+    done
+
+  let fork2 a b =
+    a ();
+    b ()
+end

@@ -1,0 +1,48 @@
+(** floyd-warshall: all-pairs shortest paths, the paper's purely
+    loop-based benchmark (1K and 2K vertex inputs).
+
+    The [k] phases are inherently sequential; each phase relaxes the
+    full n × n matrix in parallel.  The 1K input is the paper's case
+    study of Cilk's granularity heuristic failing: per-phase work is
+    small, so eager 8·P-chunking creates many tiny tasks whose
+    overhead exceeds the work (§4.3). *)
+
+let inf = max_int / 4
+
+(** Random weighted digraph as a dense adjacency matrix with
+    probability [density] per edge and weights in [1, max_w]. *)
+let random_graph ~(rng : Sim.Prng.t) ~(n : int) ?(density = 0.3)
+    ?(max_w = 100) () : int array array =
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if i = j then 0
+          else if Sim.Prng.float rng < density then 1 + Sim.Prng.int rng max_w
+          else inf))
+
+(** In-place Floyd–Warshall over the distance matrix, phases serial,
+    rows of each phase parallel.  In-place phase updates are safe
+    because row [k] and column [k] are fixed points of phase [k]. *)
+let run (module E : Exec.S) (dist : int array array) : unit =
+  let n = Array.length dist in
+  for k = 0 to n - 1 do
+    E.par_for ~lo:0 ~hi:n (fun i ->
+        let dik = dist.(i).(k) in
+        if dik < inf then begin
+          let row_i = dist.(i) and row_k = dist.(k) in
+          for j = 0 to n - 1 do
+            let via = dik + row_k.(j) in
+            if via < row_i.(j) then row_i.(j) <- via
+          done
+        end)
+  done
+
+let run_serial (dist : int array array) : unit =
+  run (module Exec.Serial) dist
+
+(** Checksum for cross-scheduler validation. *)
+let checksum (dist : int array array) : int =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun a d -> a + if d >= inf then 7 else d mod 1009) acc
+        row)
+    0 dist

@@ -1,0 +1,90 @@
+(** knapsack: the branch-and-bound 0/1 knapsack search ported from the
+    Cilk benchmark suite (the paper's 36-item input).
+
+    The search tree forks at every item (take / leave) and prunes with
+    the fractional-relaxation upper bound against the best value seen
+    so far.  It is the paper's only non-deterministic benchmark: the
+    amount of work depends on how quickly good incumbents propagate,
+    i.e. on the schedule.  Under a shared incumbent this implementation
+    is deterministic for the serial executor and near-deterministic in
+    simulation (the simulator does not model incumbent races; the
+    workload registry scales parallel work by a documented speculation
+    factor instead). *)
+
+type item = { value : int; weight : int }
+
+type instance = { items : item array; capacity : int }
+
+(** Deterministic instance in the style of the Cilk suite inputs:
+    weights and values correlated with noise, capacity at about half
+    the total weight.  Items are pre-sorted by value density, as the
+    bound requires. *)
+let instance ~(rng : Sim.Prng.t) ~(n : int) : instance =
+  let items =
+    Array.init n (fun _ ->
+        let weight = 1 + Sim.Prng.int rng 100 in
+        let value = weight + Sim.Prng.int rng 50 in
+        { value; weight })
+  in
+  Array.sort
+    (fun a b ->
+      compare
+        (float_of_int b.value /. float_of_int b.weight)
+        (float_of_int a.value /. float_of_int a.weight))
+    items;
+  let total = Array.fold_left (fun acc it -> acc + it.weight) 0 items in
+  { items; capacity = total * 2 / 5 }
+
+(* Fractional-relaxation upper bound from item [i] with [cap] budget. *)
+let bound (inst : instance) (i : int) (cap : int) (value : int) : float =
+  let n = Array.length inst.items in
+  let rec go i cap acc =
+    if i >= n || cap = 0 then acc
+    else
+      let it = inst.items.(i) in
+      if it.weight <= cap then go (i + 1) (cap - it.weight) (acc +. float_of_int it.value)
+      else
+        acc
+        +. (float_of_int it.value *. float_of_int cap /. float_of_int it.weight)
+  in
+  go i cap (float_of_int value)
+
+type result = { best : int; nodes : int }
+
+(** Exhaustive branch-and-bound search.  [best] is shared through a
+    ref so parallel executors racing on it only prune more or less —
+    never produce a wrong optimum. *)
+let search (module E : Exec.S) (inst : instance) : result =
+  let best = ref 0 in
+  let nodes = ref 0 in
+  let n = Array.length inst.items in
+  let rec go i cap value =
+    incr nodes;
+    if value > !best then best := value;
+    if i < n && bound inst i cap value > float_of_int !best then begin
+      let it = inst.items.(i) in
+      if it.weight <= cap then
+        E.fork2
+          (fun () -> go (i + 1) (cap - it.weight) (value + it.value))
+          (fun () -> go (i + 1) cap value)
+      else go (i + 1) cap value
+    end
+  in
+  go 0 inst.capacity 0;
+  { best = !best; nodes = !nodes }
+
+let search_serial (inst : instance) : result =
+  search (module Exec.Serial) inst
+
+(** Serial dynamic-programming reference for validating the optimum
+    on moderate capacities. *)
+let dp_optimum (inst : instance) : int =
+  let cap = inst.capacity in
+  let table = Array.make (cap + 1) 0 in
+  Array.iter
+    (fun it ->
+      for c = cap downto it.weight do
+        table.(c) <- max table.(c) (table.(c - it.weight) + it.value)
+      done)
+    inst.items;
+  table.(cap)

@@ -1,0 +1,399 @@
+(** The registry of the paper's 12 benchmark configurations (§4.1),
+    as simulator workloads.
+
+    Each workload pairs a {!Sim.Par_ir} program — whose fork-join
+    structure mirrors the benchmark's actual parallelisation (nested
+    loops where the paper's code nests [cilk_for], spawn trees where it
+    recurses) and whose leaf costs are calibrated to the kernel's
+    arithmetic — with three scheduler-specific constants:
+
+    - [cilk_dilation_pct]: how much slower the Cilk {e loop body
+      itself} runs compared to the serial body, from reducer-variable
+      indirection and the optimisations [cilk_for] lowering blocks.
+      This is a compilation property, measured per benchmark by the
+      paper's Figure 6 single-core experiment, that a scheduling
+      simulator cannot derive — so it is taken as a calibrated input.
+      The {e spawn-driven} part of Cilk's overhead (τ per task for the
+      8·P-chunk decomposition) is emergent, not calibrated.
+    - [tpal_dilation_pct]: TPAL's compile-time transformation cost
+      (nop padding, auxiliary accumulators — Figure 8).  For the
+      recursive benchmarks this is left at 100 because their overhead
+      (promotion-ready mark pushes) is charged mechanically per spawn
+      site and {e emerges} (e.g. knapsack's 51 %).
+    - [mem_intensity ∈ [0,1]]: how memory/kernel-bound the benchmark
+      is; degrades Linux signal delivery (see {!Sim.Interrupts}).
+    - [bw_cap]: the benchmark's memory-bandwidth ceiling — the maximum
+      aggregate speedup its cycles can achieve on the one-NUMA-node
+      testbed regardless of scheduler (streaming kernels saturate DDR4
+      well before 15×; [infinity] for compute-bound kernels).
+
+    Input sizes are the paper's scaled down ~20–100× (documented per
+    workload) so the whole evaluation simulates in CI time; scaling
+    preserves the ratios that determine scheduling behaviour
+    (work ≫ ♥, latent parallelism ≫ P). *)
+
+type kind = Iterative | Recursive
+
+type t = {
+  name : string;
+  kind : kind;
+  descr : string;  (** input shape, relative to the paper's *)
+  ir : Sim.Par_ir.t Lazy.t;
+  cilk_dilation_pct : int;
+  tpal_dilation_pct : int;
+  mem_intensity : float;
+  bw_cap : float;
+  cilk_bw_cap : float;
+      (** bandwidth/locality ceiling under Cilk's fine-grained eager
+          decomposition — the cache-sharing degradation of tiny chunks
+          (notably floyd-warshall's 8-row chunks bouncing matrix rows,
+          §4.3).  Equal to [bw_cap] where granularity does not change
+          locality. *)
+}
+
+let seed = 0xBEA7
+
+(* ------------------------------------------------------------------ *)
+(* Iterative benchmarks                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* plus-reduce-array — paper: 100 M doubles.  Scaled: 40 M elements of
+   4 cycles (load + add + loop control).  Cilk's reducer makes each
+   access ~8× costlier (Figure 6: 8.1). *)
+let plus_reduce_array =
+  {
+    name = "plus-reduce-array";
+    kind = Iterative;
+    descr = "40M doubles (paper: 100M)";
+    ir = lazy (Sim.Par_ir.for_const ~n:40_000_000 ~cycles:4);
+    cilk_dilation_pct = 760;
+    tpal_dilation_pct = 101;
+    mem_intensity = 0.85;
+    bw_cap = 7.5 (* pure streaming: one load per add *);
+    cilk_bw_cap = 7.5;
+  }
+
+(* spmv — paper: 273 M nnz random / 186 M nnz powerlaw / arrowhead.
+   Scaled to a few million nnz with identical row-length structure.
+   The matrix structure is generated once (lengths only; actual CSR
+   matrices for correctness tests live in {!Csr}). *)
+
+let spmv_ir (row_lengths : int array) : Sim.Par_ir.t =
+  let nrows = Array.length row_lengths in
+  Sim.Par_ir.for_nested ~n:nrows (fun r ->
+      let len = row_lengths.(r) in
+      if len <= 8 then Sim.Par_ir.leaf (14 + (10 * len))
+      else
+        Sim.Par_ir.seq
+          [ Sim.Par_ir.leaf 14; Sim.Par_ir.for_const ~n:len ~cycles:10 ])
+
+let random_lengths ~n ~max_len =
+  let rng = Sim.Prng.create ~seed in
+  Array.init n (fun _ -> 1 + Sim.Prng.int rng max_len)
+
+let powerlaw_lengths ~n ~max_len ~s =
+  let rng = Sim.Prng.create ~seed:(seed + 1) in
+  Array.init n (fun _ ->
+      let rank = 1 + Sim.Prng.int rng n in
+      max 1
+        (min max_len
+           (int_of_float (float_of_int max_len /. (float_of_int rank ** (s -. 1.))))))
+
+let spmv_random =
+  {
+    name = "spmv-random";
+    kind = Iterative;
+    descr = "100K rows, uniform lengths <=100, ~5M nnz (paper: 273M nnz)";
+    ir = lazy (spmv_ir (random_lengths ~n:100_000 ~max_len:100));
+    (* Figure 6 measures ~16x for Cilk spmv: reducer-based row sums
+       turn a 10-cycle element update into an indirected access *)
+    cilk_dilation_pct = 1500;
+    tpal_dilation_pct = 103;
+    mem_intensity = 0.8;
+    bw_cap = 9.;
+    cilk_bw_cap = 9.;
+  }
+
+let spmv_powerlaw =
+  {
+    name = "spmv-powerlaw";
+    kind = Iterative;
+    descr =
+      "300K rows, Zipf lengths, heavy head rows, ~4M nnz (paper: 186M nnz)";
+    ir = lazy (spmv_ir (powerlaw_lengths ~n:300_000 ~max_len:120_000 ~s:1.9));
+    (* Figure 6: 6.8x — lighter than spmv-random because the heavy
+       head rows amortise the reducer setup *)
+    cilk_dilation_pct = 620;
+    tpal_dilation_pct = 103;
+    mem_intensity = 0.7;
+    bw_cap = 9.;
+    cilk_bw_cap = 9.;
+  }
+
+let spmv_arrowhead =
+  {
+    name = "spmv-arrowhead";
+    kind = Iterative;
+    descr = "1.5M x 1.5M arrowhead, ~4.5M nnz";
+    ir =
+      lazy
+        (let n = 1_500_000 in
+         Sim.Par_ir.for_nested ~n (fun r ->
+             if r = 0 then
+               Sim.Par_ir.seq
+                 [ Sim.Par_ir.leaf 14; Sim.Par_ir.for_const ~n ~cycles:10 ]
+             else Sim.Par_ir.leaf (14 + (10 * 3))));
+    (* Figure 6: 16.2x — two-element tail rows drown in per-task cost *)
+    cilk_dilation_pct = 1520;
+    tpal_dilation_pct = 106;
+    mem_intensity = 0.8;
+    bw_cap = 9.;
+    cilk_bw_cap = 9.;
+  }
+
+(* mandelbrot — paper: 4k × 4k pixels.  Scaled: 1k × 1k, max 64
+   iterations; per-pixel costs computed from the actual escape-time
+   function so the image's irregularity (cheap border, expensive
+   interior) is exact.  Plain nested loops, no reducers: Cilk body
+   dilation ~none (the one benchmark where Cilk's single core matches
+   serial and beats TPAL by 2 %). *)
+let mandelbrot_costs =
+  lazy
+    (let width = 1024 and height = 1024 in
+     let max_iter = 256 in
+     let costs = Array.make (width * height) 0 in
+     for row = 0 to height - 1 do
+       for col = 0 to width - 1 do
+         costs.((row * width) + col) <-
+           Mandelbrot.pixel_cost ~max_iter ~width ~height row col
+       done
+     done;
+     costs)
+
+let mandelbrot =
+  {
+    name = "mandelbrot";
+    kind = Iterative;
+    descr = "1k x 1k pixels, 256 max iters (paper: 4k x 4k)";
+    ir =
+      lazy
+        (let width = 1024 and height = 1024 in
+         let costs = Lazy.force mandelbrot_costs in
+         Sim.Par_ir.for_nested ~n:height (fun row ->
+             Sim.Par_ir.for_fn ~n:width (fun col ->
+                 costs.((row * width) + col))));
+    cilk_dilation_pct = 100;
+    tpal_dilation_pct = 102;
+    (* compute-bound, yet §4.3 reports Linux signal delivery cannot
+       sustain the task-creation throughput mandelbrot needs — the
+       kernel-path fraction is raised to model the observed signal
+       shortfall (TPAL/Linux ~9.5x vs ~14x on Nautilus) *)
+    mem_intensity = 0.55;
+    bw_cap = infinity;
+    cilk_bw_cap = infinity;
+  }
+
+(* kmeans — paper: Rodinia, 1 M objects.  Scaled: 300 K points, 4
+   dims, 5 clusters, 8 Lloyd rounds; the assignment loop dominates.
+   TPAL pays 17 % for its auxiliary centroid accumulator (§4.4);
+   Cilk's reducer-based accumulation costs ~2.4× (Figure 6). *)
+let kmeans =
+  {
+    name = "kmeans";
+    kind = Iterative;
+    descr = "300K points x 4 dims, k=5, 8 rounds (paper: 1M objects)";
+    ir =
+      lazy
+        (let n = 300_000 and rounds = 8 in
+         let assign_cost = 110 and update = n * 8 / 10 in
+         Sim.Par_ir.seq
+           (List.concat
+              (List.init rounds (fun _ ->
+                   [ Sim.Par_ir.for_const ~n ~cycles:assign_cost;
+                     Sim.Par_ir.leaf update ]))));
+    cilk_dilation_pct = 235;
+    tpal_dilation_pct = 117;
+    mem_intensity = 0.5;
+    bw_cap = 6. (* point/centroid traffic saturates before 15x *);
+    cilk_bw_cap = 6.;
+  }
+
+(* srad — paper: Rodinia, 4k × 4k.  Scaled: 1k × 1k, 8 iterations of
+   two row-parallel sweeps plus a serial statistics pass. *)
+let srad =
+  {
+    name = "srad";
+    kind = Iterative;
+    descr = "1k x 1k image, 8 iterations (paper: 4k items)";
+    ir =
+      lazy
+        (let rows = 1_000 and cols = 1_000 and iters = 8 in
+         Sim.Par_ir.seq
+           (List.concat
+              (List.init iters (fun _ ->
+                   [ Sim.Par_ir.leaf (rows * cols * 3 / 2);
+                     Sim.Par_ir.for_nested ~n:rows (fun _ ->
+                         Sim.Par_ir.for_const ~n:cols ~cycles:22);
+                     Sim.Par_ir.for_nested ~n:rows (fun _ ->
+                         Sim.Par_ir.for_const ~n:cols ~cycles:12) ]))));
+    cilk_dilation_pct = 405;
+    tpal_dilation_pct = 104;
+    mem_intensity = 0.6;
+    bw_cap = 5. (* five-array stencil traffic *);
+    cilk_bw_cap = 5.;
+  }
+
+(* floyd-warshall — paper: 1K and 2K vertices.  Scaled: 512 and 724.
+   n sequential phases, each a row-parallel n × n relaxation with a
+   serial inner loop (the paper's purely loop-based port).  The small
+   input is the paper's showcase of Cilk's granularity heuristic
+   failing: per-phase work is tiny, eager chunking drowns in task
+   overhead (§4.3). *)
+let floyd_warshall ~(label : string) ~(n : int) ~(cilk_dilation_pct : int)
+    ~(cilk_bw_cap : float) =
+  {
+    name = "floyd-warshall-" ^ label;
+    kind = Iterative;
+    descr = Printf.sprintf "%d vertices (paper's size, unscaled)" n;
+    ir =
+      lazy
+        (Sim.Par_ir.seq
+           (List.init n (fun _k ->
+                Sim.Par_ir.for_const ~n ~cycles:((n * 6) + 16))));
+    cilk_dilation_pct;
+    tpal_dilation_pct = 110;
+    mem_intensity = 0.45;
+    bw_cap = 5.0 (* streaming dist rows saturates well before 15x *);
+    cilk_bw_cap;
+  }
+
+(* Unscaled: the phase-work / ♥ ratio is the whole point of this
+   benchmark (§4.3), so the 1K and 2K vertex counts are kept as-is.
+   Figure 6 measures 2.6x and 4.2x for Cilk; at scale Cilk's ~8-row
+   chunks additionally thrash shared matrix rows (the §4.3 case study:
+   82 % utilisation yet 67 % slower than TPAL). *)
+let floyd_warshall_1k =
+  floyd_warshall ~label:"1K" ~n:1_000 ~cilk_dilation_pct:240 ~cilk_bw_cap:2.3
+let floyd_warshall_2k =
+  floyd_warshall ~label:"2K" ~n:2_000 ~cilk_dilation_pct:400 ~cilk_bw_cap:3.3
+
+(* ------------------------------------------------------------------ *)
+(* Recursive benchmarks                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* knapsack — paper: Cilk suite, 36 items; non-deterministic
+   branch-and-bound.  The simulated tree reproduces the search shape:
+   an irregular binary tree whose path depths vary with a per-path
+   hash (pruning), ~1.3 M nodes of ~55 cycles (a bound evaluation is
+   a short loop; "almost no computation besides recursive calls").
+   TPAL's 51 % serial overhead is emergent: mark_cost per node on
+   ~55-cycle nodes.  Superlinear effects from incumbent propagation
+   are not modelled (documented in EXPERIMENTS.md). *)
+let knapsack_tree : Sim.Par_ir.t =
+  let hash x =
+    let x = x * 0x9E3779B1 in
+    let x = x lxor (x lsr 16) in
+    x land 0x3FFFFFFF
+  in
+  let rec node (path : int) (budget : int) : Sim.Par_ir.t =
+    if budget <= 0 then Sim.Par_ir.leaf 55
+    else
+      let h = hash (path + budget) in
+      (* pruning: some subtrees die early, with irregular depth *)
+      let cut = 1 + (h mod 3) in
+      Sim.Par_ir.seq
+        [ Sim.Par_ir.leaf 55;
+          Sim.Par_ir.spawn2
+            (fun () -> node ((path * 2) + 1) (budget - 1))
+            (fun () -> node ((path * 2) + 2) (budget - cut)) ]
+  in
+  node 0 29
+
+let knapsack =
+  {
+    name = "knapsack";
+    kind = Recursive;
+    descr = "~1.3M-node irregular B&B tree (paper: 36 items)";
+    ir = lazy knapsack_tree;
+    cilk_dilation_pct = 100;
+    tpal_dilation_pct = 100;
+    mem_intensity = 0.1;
+    bw_cap = infinity;
+    cilk_bw_cap = infinity;
+  }
+
+(* mergesort — paper: Cilk suite, 20 M ints, uniform & exponential.
+   Scaled: 4 M.  Recursive sort and merge (spawn trees) plus the
+   parallel copy loop; the exponential input skews merge costs. *)
+let mergesort_ir ~(skew : bool) : Sim.Par_ir.t =
+  let base = 10_000 in
+  let leaf_cost = 14 and merge_cost = 4 and copy_cost = 2 in
+  let rec sort (n : int) (depth : int) : Sim.Par_ir.t =
+    if n <= base then Sim.Par_ir.leaf (n * leaf_cost)
+    else
+      let nl = if skew && depth mod 2 = 0 then n * 2 / 5 else n / 2 in
+      let nr = n - nl in
+      Sim.Par_ir.seq
+        [ Sim.Par_ir.spawn2
+            (fun () -> sort nl (depth + 1))
+            (fun () -> sort nr (depth + 1));
+          (* parallel merge + parallel copy of the merged run *)
+          Sim.Par_ir.for_const ~n ~cycles:merge_cost;
+          Sim.Par_ir.for_const ~n ~cycles:copy_cost ]
+  in
+  sort 4_000_000 0
+
+let mergesort_uniform =
+  {
+    name = "mergesort-uniform";
+    kind = Recursive;
+    descr = "4M ints, uniform (paper: 20M)";
+    ir = lazy (mergesort_ir ~skew:false);
+    cilk_dilation_pct = 105;
+    tpal_dilation_pct = 105;
+    mem_intensity = 0.55;
+    bw_cap = 2.1 (* merge passes are pure streaming over 20M ints *);
+    cilk_bw_cap = 2.1;
+  }
+
+let mergesort_exp =
+  {
+    name = "mergesort-exp";
+    kind = Recursive;
+    descr = "4M ints, exponential (paper: 20M)";
+    ir = lazy (mergesort_ir ~skew:true);
+    cilk_dilation_pct = 105;
+    tpal_dilation_pct = 105;
+    mem_intensity = 0.55;
+    bw_cap = 2.1;
+    cilk_bw_cap = 2.1;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** The benchmark suite, in the paper's figure order. *)
+let all : t list =
+  [
+    plus_reduce_array;
+    spmv_random;
+    spmv_powerlaw;
+    spmv_arrowhead;
+    mandelbrot;
+    kmeans;
+    srad;
+    floyd_warshall_1k;
+    floyd_warshall_2k;
+    knapsack;
+    mergesort_uniform;
+    mergesort_exp;
+  ]
+
+let iterative : t list = List.filter (fun w -> w.kind = Iterative) all
+let recursive : t list = List.filter (fun w -> w.kind = Recursive) all
+
+let find (name : string) : t option =
+  List.find_opt (fun w -> String.equal w.name name) all
+
+(** Serial work of the workload in cycles (memoised via the lazy IR —
+    recomputed per call; cheap relative to simulation). *)
+let serial_work (w : t) : int = Sim.Par_ir.work (Lazy.force w.ir)

@@ -1,0 +1,1 @@
+test/suite_assets.ml: Alcotest Ast Check Eval Filename Fun List Machine_error Parser Printf Programs Regfile Sys Tpal Value

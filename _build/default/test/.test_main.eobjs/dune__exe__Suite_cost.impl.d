@@ -1,0 +1,1 @@
+test/suite_cost.ml: Alcotest Cost QCheck QCheck_alcotest Tpal

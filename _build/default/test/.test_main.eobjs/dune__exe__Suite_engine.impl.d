@@ -1,0 +1,1 @@
+test/suite_engine.ml: Alcotest Engine Interrupts List Par_ir Params Printf QCheck QCheck_alcotest Runnable Sim

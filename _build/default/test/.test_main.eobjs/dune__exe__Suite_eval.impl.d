@@ -1,0 +1,1 @@
+test/suite_eval.ml: Alcotest Ast Builder Eval Join List Machine_error Printf Programs QCheck QCheck_alcotest Regfile Result Tpal Value

@@ -1,0 +1,1 @@
+test/suite_heartbeat.ml: Alcotest Array Atomic Fun Heartbeat QCheck QCheck_alcotest Sim Sys Workloads

@@ -1,0 +1,1 @@
+test/suite_machine.ml: Alcotest Ast Gen Heap Join List Option QCheck QCheck_alcotest Regfile Result Test Tpal Value

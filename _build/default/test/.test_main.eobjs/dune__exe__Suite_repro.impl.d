@@ -1,0 +1,1 @@
+test/suite_repro.ml: Alcotest Figures List Option Paper_values Repro Runner Sim Unix Workloads

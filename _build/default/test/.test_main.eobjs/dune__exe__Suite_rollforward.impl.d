@@ -1,0 +1,1 @@
+test/suite_rollforward.ml: Alcotest Ast Eval Join List Machine_error Programs QCheck QCheck_alcotest Regfile Result Rollforward Step Task Tpal Value

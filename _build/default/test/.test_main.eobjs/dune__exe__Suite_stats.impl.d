@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Float List QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/suite_step.ml: Alcotest Ast Builder Machine_error Regfile Result Step Task Tpal Value

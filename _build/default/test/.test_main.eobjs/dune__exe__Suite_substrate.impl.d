@@ -1,0 +1,1 @@
+test/suite_substrate.ml: Alcotest Array Eventq Interrupts List Option Params Prng QCheck QCheck_alcotest Sim Wsdeque

@@ -1,0 +1,1 @@
+test/suite_syntax.ml: Alcotest Ast Builder Check List Parser Printer Programs QCheck QCheck_alcotest Result Tpal

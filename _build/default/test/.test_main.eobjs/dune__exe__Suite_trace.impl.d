@@ -1,0 +1,1 @@
+test/suite_trace.ml: Alcotest Eval List Printf Programs Result String Tpal Trace Value

@@ -1,0 +1,1 @@
+test/suite_value.ml: Alcotest Array List Option QCheck QCheck_alcotest Result Tpal Value

@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Alcotest Array Csr Exec Float Floyd_warshall Fun Kmeans Knapsack List Mandelbrot Mergesort Plus_reduce Printf Sim Srad Workload Workloads

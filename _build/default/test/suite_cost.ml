@@ -1,0 +1,110 @@
+(* Tests for the cost semantics (Figure 28): graph algebra, work/span,
+   summaries, and agreement between the two representations. *)
+
+open Tpal
+
+let check_int = Alcotest.(check int)
+let check = Alcotest.(check bool)
+
+let g1 = Cost.Seq (Cost.One, Cost.Seq (Cost.One, Cost.One))
+let gpar = Cost.Par (g1, Cost.One)
+
+let test_work_span_basic () =
+  check_int "work of 0" 0 (Cost.work ~tau:1 Cost.Zero);
+  check_int "span of 0" 0 (Cost.span ~tau:1 Cost.Zero);
+  check_int "work of 1" 1 (Cost.work ~tau:1 Cost.One);
+  check_int "seq work" 3 (Cost.work ~tau:1 g1);
+  check_int "seq span" 3 (Cost.span ~tau:1 g1);
+  (* par: work = tau + both sides; span = tau + max *)
+  check_int "par work" (5 + 3 + 1) (Cost.work ~tau:5 gpar);
+  check_int "par span" (5 + 3) (Cost.span ~tau:5 gpar);
+  check_int "forks" 1 (Cost.forks gpar);
+  check_int "vertices" 4 (Cost.vertices gpar)
+
+let test_tau_zero () =
+  check_int "tau 0 work" 4 (Cost.work ~tau:0 gpar);
+  check_int "tau 0 span" 3 (Cost.span ~tau:0 gpar)
+
+let test_deep_graphs_no_overflow () =
+  (* a million-vertex chain in both directions *)
+  let left = ref Cost.Zero in
+  for _ = 1 to 1_000_000 do
+    left := Cost.Seq (!left, Cost.One)
+  done;
+  check_int "left-nested chain" 1_000_000 (Cost.work ~tau:1 !left);
+  let right = ref Cost.Zero in
+  for _ = 1 to 1_000_000 do
+    right := Cost.Seq (Cost.One, !right)
+  done;
+  check_int "right-nested chain" 1_000_000 (Cost.work ~tau:1 !right);
+  check_int "right span" 1_000_000 (Cost.span ~tau:1 !right)
+
+let test_summary_ops () =
+  let s1 = Cost.seq_summary Cost.one_summary Cost.one_summary in
+  check_int "seq work" 2 s1.work;
+  check_int "seq span" 2 s1.span;
+  let p = Cost.par_summary ~tau:3 s1 Cost.one_summary in
+  check_int "par work" (3 + 2 + 1) p.work;
+  check_int "par span" (3 + 2) p.span;
+  check_int "par forks" 1 p.forks
+
+let test_parallelism_and_brent () =
+  let s = { Cost.work = 100; span = 10; forks = 5 } in
+  Alcotest.(check (float 1e-9)) "parallelism" 10. (Cost.parallelism s);
+  Alcotest.(check (float 1e-9)) "brent p=10" 20.
+    (Cost.brent_bound ~procs:10 s)
+
+(* random graph generator *)
+let gen_graph : Cost.graph QCheck.Gen.t =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then oneofl [ Cost.Zero; Cost.One ]
+           else
+             frequency
+               [ (1, oneofl [ Cost.Zero; Cost.One ]);
+                 (2, map2 (fun a b -> Cost.Seq (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> Cost.Par (a, b)) (self (n / 2)) (self (n / 2)))
+               ]))
+
+let prop_summary_agrees =
+  QCheck.Test.make ~name:"summarize agrees with work/span/forks" ~count:300
+    (QCheck.make gen_graph)
+    (fun g ->
+      let s = Cost.summarize ~tau:3 g in
+      s.work = Cost.work ~tau:3 g
+      && s.span = Cost.span ~tau:3 g
+      && s.forks = Cost.forks g)
+
+let prop_work_ge_span =
+  QCheck.Test.make ~name:"work >= span for any graph/tau" ~count:300
+    QCheck.(pair (make gen_graph) (int_bound 10))
+    (fun (g, tau) -> Cost.work ~tau g >= Cost.span ~tau g)
+
+let prop_work_monotone_tau =
+  QCheck.Test.make ~name:"work monotone in tau" ~count:200
+    (QCheck.make gen_graph)
+    (fun g -> Cost.work ~tau:7 g >= Cost.work ~tau:2 g)
+
+let prop_seq_adds_work =
+  QCheck.Test.make ~name:"work distributes over Seq" ~count:200
+    QCheck.(pair (make gen_graph) (make gen_graph))
+    (fun (a, b) ->
+      Cost.work ~tau:2 (Cost.Seq (a, b))
+      = Cost.work ~tau:2 a + Cost.work ~tau:2 b)
+
+let suite =
+  ( "cost",
+    [
+      Alcotest.test_case "work/span basics" `Quick test_work_span_basic;
+      Alcotest.test_case "tau = 0" `Quick test_tau_zero;
+      Alcotest.test_case "deep graphs (iterative fold)" `Quick
+        test_deep_graphs_no_overflow;
+      Alcotest.test_case "summary operations" `Quick test_summary_ops;
+      Alcotest.test_case "parallelism & Brent bound" `Quick
+        test_parallelism_and_brent;
+      QCheck_alcotest.to_alcotest prop_summary_agrees;
+      QCheck_alcotest.to_alcotest prop_work_ge_span;
+      QCheck_alcotest.to_alcotest prop_work_monotone_tau;
+      QCheck_alcotest.to_alcotest prop_seq_adds_work;
+    ] )

@@ -1,0 +1,360 @@
+(* Tests for parallel evaluation (Figure 30): the paper programs under
+   many heartbeat settings, join resolution, promotion dynamics, cost
+   accounting and failure modes. *)
+
+open Tpal
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let opts ?(fuel = 5_000_000) heart =
+  { Eval.default_options with heart; fuel }
+
+(* --- prod --- *)
+
+let test_prod_serial_exact () =
+  match Programs.run_prod ~options:(opts None) ~a:12 ~b:11 () with
+  | Ok (c, fin) ->
+      check_int "result" 132 c;
+      check_int "no promotions" 0 fin.stats.promotions;
+      check_int "no forks" 0 fin.stats.forks;
+      check "halted" true (fin.stop = Eval.Halted);
+      (* serial cost: work = span = instruction count *)
+      check_int "work=instructions" fin.stats.instructions fin.cost.work;
+      check_int "span=work when serial" fin.cost.work fin.cost.span
+  | Error e -> Alcotest.failf "prod failed: %s" (Machine_error.show e)
+
+let test_prod_all_hearts () =
+  (* the parallel result equals the serial result at every viable ♥ *)
+  List.iter
+    (fun heart ->
+      match Programs.run_prod ~options:(opts (Some heart)) ~a:500 ~b:3 () with
+      | Ok (c, _) -> check_int (Printf.sprintf "heart=%d" heart) 1500 c
+      | Error e ->
+          Alcotest.failf "prod heart=%d: %s" heart (Machine_error.show e))
+    [ 2; 3; 5; 8; 13; 50; 100; 1000 ]
+
+let test_prod_promotes () =
+  match Programs.run_prod ~options:(opts (Some 10)) ~a:200 ~b:2 () with
+  | Ok (_, fin) ->
+      check "promotions happened" true (fin.stats.promotions > 0);
+      check "forks happened" true (fin.stats.forks > 0);
+      check_int "every record discharged exactly once"
+        fin.stats.jrallocs fin.stats.join_continues;
+      check "span below work (parallelism manifested)" true
+        (fin.cost.span < fin.cost.work);
+      check "join map drained" true (Join.cardinal fin.joins = 0)
+  | Error e -> Alcotest.failf "prod: %s" (Machine_error.show e)
+
+let test_prod_edge_inputs () =
+  List.iter
+    (fun (a, b) ->
+      match Programs.run_prod ~options:(opts (Some 8)) ~a ~b () with
+      | Ok (c, _) -> check_int (Printf.sprintf "%d*%d" a b) (a * b) c
+      | Error e -> Alcotest.failf "prod: %s" (Machine_error.show e))
+    [ (0, 5); (1, 5); (2, 5); (3, 0); (7, 1); (64, 64) ]
+
+(* --- pow (nested loops, outermost-first) --- *)
+
+let test_pow_serial () =
+  match Programs.run_pow ~options:(opts None) ~d:3 ~e:4 () with
+  | Ok (f, fin) ->
+      check_int "3^4" 81 f;
+      check_int "no forks" 0 fin.stats.forks
+  | Error e -> Alcotest.failf "pow: %s" (Machine_error.show e)
+
+let test_pow_all_hearts () =
+  List.iter
+    (fun heart ->
+      match Programs.run_pow ~options:(opts (Some heart)) ~d:2 ~e:16 () with
+      | Ok (f, _) -> check_int (Printf.sprintf "heart=%d" heart) 65536 f
+      | Error e ->
+          Alcotest.failf "pow heart=%d: %s" heart (Machine_error.show e))
+    [ 8; 10; 15; 25; 60; 150; 1000 ]
+
+let test_pow_nested_promotions () =
+  (* with a small heart on a big outer loop, the outer loop is
+     promoted first, then inner prods *)
+  match Programs.run_pow ~options:(opts (Some 12)) ~d:5 ~e:9 () with
+  | Ok (f, fin) ->
+      check_int "5^9" 1_953_125 f;
+      check "forked" true (fin.stats.forks > 0);
+      check "parallelism manifested" true (fin.cost.span < fin.cost.work)
+  | Error e -> Alcotest.failf "pow: %s" (Machine_error.show e)
+
+let test_pow_inner_only_parallelism () =
+  (* e = 1: no outer parallelism exists; promotions must fall back to
+     the inner prod loop (the pabort dispatch) *)
+  match Programs.run_pow ~options:(opts (Some 10)) ~d:300 ~e:1 () with
+  | Ok (f, fin) ->
+      check_int "300^1" 300 f;
+      check "inner promotions" true (fin.stats.forks > 0)
+  | Error e -> Alcotest.failf "pow: %s" (Machine_error.show e)
+
+(* --- fib (recursive, stack marks) --- *)
+
+let test_fib_serial () =
+  List.iter
+    (fun n ->
+      match Programs.run_fib ~options:(opts None) ~n () with
+      | Ok (f, _) -> check_int (Printf.sprintf "fib %d" n) (Programs.fib_spec n) f
+      | Error e -> Alcotest.failf "fib: %s" (Machine_error.show e))
+    [ 0; 1; 2; 3; 7; 12 ]
+
+let test_fib_all_hearts () =
+  List.iter
+    (fun heart ->
+      match Programs.run_fib ~options:(opts (Some heart)) ~n:14 () with
+      | Ok (f, fin) ->
+          check_int (Printf.sprintf "heart=%d" heart) 377 f;
+          check "joins drained" true (Join.cardinal fin.joins = 0)
+      | Error e ->
+          Alcotest.failf "fib heart=%d: %s" heart (Machine_error.show e))
+    [ 5; 7; 11; 23; 41; 100; 993 ]
+
+let test_fib_promotes_oldest () =
+  match Programs.run_fib ~options:(opts (Some 30)) ~n:16 () with
+  | Ok (f, fin) ->
+      check_int "fib 16" 987 f;
+      check "stack promotions happened" true (fin.stats.forks > 10);
+      check "span < work" true (fin.cost.span < fin.cost.work)
+  | Error e -> Alcotest.failf "fib: %s" (Machine_error.show e)
+
+(* --- fork/join semantics in isolation --- *)
+
+(* A hand-built program whose join policy is only associative: the
+   child's register must land exactly where ΔR says. *)
+let assoc_program =
+  let open Builder in
+  program ~entry:"main"
+    [
+      block "main"
+        [ mov "x" (int 1); jralloc "jr" "k"; fork "jr" (lab "child") ]
+        (jump "after-fork");
+      block "after-fork" [ mov "mine" (int 100) ] (join "jr");
+      block "child" [ mov "x" (int 2); mov "mine" (int 200) ] (join "jr");
+      block "k"
+        ~annot:(jtppt ~policy:Ast.Assoc [ ("x", "cx") ] "comb")
+        [ mov "done" (reg "sum") ]
+        halt;
+      (* asymmetric combine: sum = 2*x + cx distinguishes the parent
+         and child roles, so an illegal swap would be visible *)
+      block "comb"
+        [ mul "t2" (reg "x") (int 2); add "sum" (reg "t2") (reg "cx") ]
+        (join "jr");
+    ]
+
+let test_fork_join_renaming () =
+  match Eval.run ~options:(opts (Some 1_000_000)) assoc_program with
+  | Ok fin ->
+      (* parent x=1 kept, child x=2 into cx, sum = 2*1+2 = 4;
+         parent's [mine] survives, child's does not *)
+      check "sum" true (Regfile.find_opt "sum" fin.task.regs = Some (Value.Vint 4));
+      check "parent regs kept" true
+        (Regfile.find_opt "mine" fin.task.regs = Some (Value.Vint 100))
+  | Error e -> Alcotest.failf "fork/join: %s" (Machine_error.show e)
+
+let test_swap_joins_assoc_comm_only () =
+  (* prod declares assoc-comm: swapping roles must preserve results *)
+  let options = { (opts (Some 10)) with swap_joins = true } in
+  (match Programs.run_prod ~options ~a:100 ~b:7 () with
+  | Ok (c, _) -> check_int "assoc-comm swap safe" 700 c
+  | Error e -> Alcotest.failf "prod swapped: %s" (Machine_error.show e));
+  (* the Assoc-only program must NOT be affected by swap_joins *)
+  match Eval.run ~options assoc_program with
+  | Ok fin ->
+      check "assoc unaffected by swap" true
+        (Regfile.find_opt "sum" fin.task.regs = Some (Value.Vint 4))
+  | Error e -> Alcotest.failf "assoc swapped: %s" (Machine_error.show e)
+
+(* --- failure injection --- *)
+
+let test_fork_without_jtppt () =
+  let open Builder in
+  let p =
+    program_unchecked ~entry:"m"
+      [
+        block "m" [ jralloc "jr" "k"; fork "jr" (lab "c") ] (join "jr");
+        block "c" [] (join "jr");
+        (* k is not a jtppt block *)
+        block "k" [] halt;
+      ]
+  in
+  check "join misuse detected" true
+    (match Eval.run ~options:(opts None) p with
+    | Error (Machine_error.Join_misuse _) -> true
+    | _ -> false)
+
+let test_fork_with_non_join_register () =
+  let open Builder in
+  let p =
+    program_unchecked ~entry:"m"
+      [ block "m" [ mov "jr" (int 3); fork "jr" (lab "m") ] halt ]
+  in
+  check "type error" true
+    (match Eval.run ~options:(opts None) p with
+    | Error (Machine_error.Type_error _) -> true
+    | _ -> false)
+
+let test_join_on_unknown_record () =
+  let open Builder in
+  let p =
+    program_unchecked ~entry:"m" [ block "m" [ mov "jr" (int 0) ] (join "jr") ]
+  in
+  check "join on int" true (Result.is_error (Eval.run ~options:(opts None) p))
+
+let test_fuel_exhaustion () =
+  let open Builder in
+  let p = program_unchecked ~entry:"m" [ block "m" [] (jump "m") ] in
+  check "infinite loop runs out of fuel" true
+    (match Eval.run ~options:{ (opts None) with fuel = 1_000 } p with
+    | Error (Machine_error.Fuel_exhausted _) -> true
+    | _ -> false)
+
+let test_halt_inside_fork_stops_machine () =
+  let open Builder in
+  let p =
+    program_unchecked ~entry:"m"
+      [
+        block "m" [ jralloc "jr" "k"; fork "jr" (lab "c") ] (join "jr");
+        block "c" [ mov "x" (int 1) ] halt;
+        block "k" ~annot:(jtppt [] "comb") [] halt;
+        block "comb" [] (join "jr");
+      ]
+  in
+  match Eval.run ~options:(opts None) p with
+  | Ok fin -> check "whole machine halted" true (fin.stop = Eval.Halted)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Machine_error.show e)
+
+let test_blocked_at_top_level () =
+  let open Builder in
+  let p =
+    program_unchecked ~entry:"m"
+      [
+        block "m" [ jralloc "jr" "k" ] (join "jr");
+        block "k" ~annot:(jtppt [] "comb") [] halt;
+        block "comb" [] (join "jr");
+      ]
+  in
+  (* join on a closed record at top level continues to the join
+     continuation (join-continue), reaching halt *)
+  match Eval.run ~options:(opts None) p with
+  | Ok fin -> check "join-continue fired" true (fin.stop = Eval.Halted)
+  | Error e -> Alcotest.failf "unexpected: %s" (Machine_error.show e)
+
+(* --- properties --- *)
+
+let prop_prod_correct_all_hearts =
+  QCheck.Test.make ~name:"prod correct for random (a,b,heart)" ~count:60
+    QCheck.(triple (int_bound 120) (int_bound 50) (int_range 2 400))
+    (fun (a, b, heart) ->
+      match Programs.run_prod ~options:(opts (Some heart)) ~a ~b () with
+      | Ok (c, _) -> c = a * b
+      | Error _ -> false)
+
+let prop_pow_correct_all_hearts =
+  QCheck.Test.make ~name:"pow correct for random (d,e,heart)" ~count:30
+    QCheck.(triple (int_range 0 5) (int_bound 10) (int_range 8 300))
+    (fun (d, e, heart) ->
+      match Programs.run_pow ~options:(opts (Some heart)) ~d ~e () with
+      | Ok (f, _) -> f = Programs.pow_spec d e
+      | Error _ -> false)
+
+let prop_fib_correct_all_hearts =
+  QCheck.Test.make ~name:"fib correct for random (n,heart)" ~count:25
+    QCheck.(pair (int_bound 13) (int_range 5 300))
+    (fun (n, heart) ->
+      match Programs.run_fib ~options:(opts (Some heart)) ~n () with
+      | Ok (f, _) -> f = Programs.fib_spec n
+      | Error _ -> false)
+
+let prop_work_ge_span =
+  QCheck.Test.make ~name:"work >= span on every execution" ~count:40
+    QCheck.(pair (int_bound 80) (int_range 2 200))
+    (fun (a, heart) ->
+      match Programs.run_prod ~options:(opts (Some heart)) ~a ~b:2 () with
+      | Ok (_, fin) -> fin.cost.work >= fin.cost.span
+      | Error _ -> false)
+
+let prop_swap_joins_preserves_results =
+  (* swap_joins exchanges the full parent/child register-file roles at
+     assoc-comm joins.  That freedom is only sound for joins whose
+     continuation is register-symmetric — true for the loop reductions
+     (prod, pow), but NOT for fib, whose join continuation (retk)
+     consumes the parent's stack pointer; a runtime exploiting
+     commutativity may reorder combines, never reassign whose stack
+     survives.  The property therefore covers prod and pow. *)
+  QCheck.Test.make ~name:"assoc-comm join swap preserves prod/pow" ~count:20
+    QCheck.(pair (int_bound 10) (int_range 8 150))
+    (fun (n, heart) ->
+      let normal = opts (Some heart) in
+      let swapped = { normal with swap_joins = true } in
+      let pow_ok =
+        match
+          ( Programs.run_pow ~options:normal ~d:2 ~e:n (),
+            Programs.run_pow ~options:swapped ~d:2 ~e:n () )
+        with
+        | Ok (a, _), Ok (b, _) -> a = b
+        | _ -> false
+      in
+      let prod_ok =
+        match
+          ( Programs.run_prod ~options:normal ~a:(20 + n) ~b:3 (),
+            Programs.run_prod ~options:swapped ~a:(20 + n) ~b:3 () )
+        with
+        | Ok (a, _), Ok (b, _) -> a = b
+        | _ -> false
+      in
+      pow_ok && prod_ok)
+
+let prop_serial_work_independent_of_heart =
+  (* promotions add instructions, so heartbeat work >= serial work *)
+  QCheck.Test.make ~name:"heartbeat work >= serial work" ~count:30
+    QCheck.(pair (int_range 1 100) (int_range 2 200))
+    (fun (a, heart) ->
+      let serial =
+        match Programs.run_prod ~options:(opts None) ~a ~b:2 () with
+        | Ok (_, fin) -> fin.cost.work
+        | Error _ -> max_int
+      in
+      match Programs.run_prod ~options:(opts (Some heart)) ~a ~b:2 () with
+      | Ok (_, fin) -> fin.cost.work >= serial
+      | Error _ -> false)
+
+let suite =
+  ( "eval",
+    [
+      Alcotest.test_case "prod serial" `Quick test_prod_serial_exact;
+      Alcotest.test_case "prod across hearts" `Quick test_prod_all_hearts;
+      Alcotest.test_case "prod promotion dynamics" `Quick test_prod_promotes;
+      Alcotest.test_case "prod edge inputs" `Quick test_prod_edge_inputs;
+      Alcotest.test_case "pow serial" `Quick test_pow_serial;
+      Alcotest.test_case "pow across hearts" `Quick test_pow_all_hearts;
+      Alcotest.test_case "pow nested promotions" `Quick
+        test_pow_nested_promotions;
+      Alcotest.test_case "pow inner-only fallback" `Quick
+        test_pow_inner_only_parallelism;
+      Alcotest.test_case "fib serial" `Quick test_fib_serial;
+      Alcotest.test_case "fib across hearts" `Quick test_fib_all_hearts;
+      Alcotest.test_case "fib stack promotions" `Quick test_fib_promotes_oldest;
+      Alcotest.test_case "fork/join ΔR renaming" `Quick test_fork_join_renaming;
+      Alcotest.test_case "swap_joins respects policy" `Quick
+        test_swap_joins_assoc_comm_only;
+      Alcotest.test_case "fork to non-jtppt continuation" `Quick
+        test_fork_without_jtppt;
+      Alcotest.test_case "fork on non-join register" `Quick
+        test_fork_with_non_join_register;
+      Alcotest.test_case "join on non-join value" `Quick
+        test_join_on_unknown_record;
+      Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion;
+      Alcotest.test_case "halt inside fork" `Quick
+        test_halt_inside_fork_stops_machine;
+      Alcotest.test_case "top-level join-continue" `Quick
+        test_blocked_at_top_level;
+      QCheck_alcotest.to_alcotest prop_prod_correct_all_hearts;
+      QCheck_alcotest.to_alcotest prop_pow_correct_all_hearts;
+      QCheck_alcotest.to_alcotest prop_fib_correct_all_hearts;
+      QCheck_alcotest.to_alcotest prop_work_ge_span;
+      QCheck_alcotest.to_alcotest prop_swap_joins_preserves_results;
+      QCheck_alcotest.to_alcotest prop_serial_work_independent_of_heart;
+    ] )

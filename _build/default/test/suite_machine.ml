@@ -1,0 +1,162 @@
+(* Tests for register files, heaps, join maps and the merge
+   metafunctions (Figure 27). *)
+
+open Tpal
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let vi n = Value.Vint n
+
+(* --- Regfile / MergeR --- *)
+
+let test_regfile_basics () =
+  let rf = Regfile.of_list [ ("a", vi 1); ("b", vi 2) ] in
+  check "find a" true (Regfile.find "a" rf = Ok (vi 1));
+  check "unbound" true (Result.is_error (Regfile.find "z" rf));
+  check_int "cardinal" 2 (Regfile.cardinal rf);
+  let rf = Regfile.set "a" (vi 9) rf in
+  check "overwrite" true (Regfile.find "a" rf = Ok (vi 9))
+
+let test_merge_r () =
+  (* MergeR(R1, R2, ΔR): R1's bindings except ΔR targets, plus child's
+     renamed entries. *)
+  let parent = Regfile.of_list [ ("r", vi 10); ("r2", vi 99); ("x", vi 7) ] in
+  let child = Regfile.of_list [ ("r", vi 20); ("x", vi 8) ] in
+  let merged = Regfile.merge parent child [ ("r", "r2") ] in
+  check "parent r kept" true (Regfile.find "r" merged = Ok (vi 10));
+  check "target overwritten by child's source" true
+    (Regfile.find "r2" merged = Ok (vi 20));
+  check "untouched parent binding" true (Regfile.find "x" merged = Ok (vi 7))
+
+let test_merge_r_missing_source () =
+  (* a ΔR pair whose source is unbound in the child is dropped,
+     removing the parent's stale binding for the target *)
+  let parent = Regfile.of_list [ ("t", vi 5) ] in
+  let child = Regfile.empty in
+  let merged = Regfile.merge parent child [ ("miss", "t") ] in
+  check "stale target dropped" true (Regfile.find_opt "t" merged = None)
+
+let test_merge_r_empty_dr () =
+  let parent = Regfile.of_list [ ("a", vi 1) ] in
+  let child = Regfile.of_list [ ("a", vi 2); ("b", vi 3) ] in
+  let merged = Regfile.merge parent child [] in
+  check "empty ΔR keeps parent only" true (Regfile.equal merged parent)
+
+(* --- Heap / MergeH / resolve --- *)
+
+let block term = { Ast.annot = Ast.Plain; body = []; term }
+let halt_block = block Ast.Halt
+
+let test_heap_merge_left_bias () =
+  let b1 = block (Ast.Jump (Ast.Lab "x")) in
+  let h1 = Heap.add "l" b1 Heap.empty in
+  let h2 = Heap.add "l" halt_block (Heap.add "m" halt_block Heap.empty) in
+  let m = Heap.merge h1 h2 in
+  check "left wins on conflict" true (Heap.find_opt "l" m = Some b1);
+  check "right fills gaps" true (Heap.find_opt "m" m = Some halt_block);
+  check_int "cardinal" 2 (Heap.cardinal m)
+
+let test_heap_resolve () =
+  let h = Heap.add "go" halt_block Heap.empty in
+  let rf = Regfile.of_list [ ("t", Value.Vlabel "go"); ("n", vi 3) ] in
+  check "label operand" true
+    (Heap.resolve h rf (Ast.Lab "go") = Ok ("go", halt_block));
+  check "register-held label" true
+    (Heap.resolve h rf (Ast.Reg "t") = Ok ("go", halt_block));
+  check "int is a type error" true
+    (Result.is_error (Heap.resolve h rf (Ast.Int 3)));
+  check "register-held int is a type error" true
+    (Result.is_error (Heap.resolve h rf (Ast.Reg "n")));
+  check "unknown label" true
+    (Result.is_error (Heap.resolve h rf (Ast.Lab "missing")))
+
+(* --- Join maps / MergeJ --- *)
+
+let test_join_alloc_fresh () =
+  let j0, m = Join.alloc "k0" Join.empty in
+  let j1, m = Join.alloc "k1" m in
+  check "distinct ids" true (j0 <> j1);
+  check "fresh records closed" true
+    (match Join.find j0 m with
+    | Ok r -> Join.equal_status r.status Join.Closed && r.cont = "k0"
+    | Error _ -> false);
+  check_int "cardinal" 2 (Join.cardinal m)
+
+let test_join_merge () =
+  let j0, m1 = Join.alloc "a" Join.empty in
+  let m1 = Join.set j0 { cont = "a"; status = Join.Open } m1 in
+  let j0', m2 = Join.alloc "b" Join.empty in
+  check_int "same id from independent maps" j0 j0';
+  let merged = Join.merge m1 m2 in
+  (* left bias on the shared id *)
+  check "left wins" true
+    (match Join.find j0 merged with
+    | Ok r -> r.cont = "a" && Join.equal_status r.status Join.Open
+    | Error _ -> false);
+  (* allocator stays fresh after merging *)
+  let j2, _ = Join.alloc "c" merged in
+  check "fresh after merge" true (j2 <> j0)
+
+let test_join_remove () =
+  let j, m = Join.alloc "k" Join.empty in
+  let m = Join.remove j m in
+  check "removed" true (Result.is_error (Join.find j m));
+  (* removal does not recycle ids *)
+  let j', _ = Join.alloc "k2" m in
+  check "no id reuse" true (j' <> j)
+
+(* property: MergeR target set is exactly dom(parent) \ targets ∪
+   renamed sources present in child *)
+let prop_merge_r_domain =
+  let open QCheck in
+  let reg = Gen.oneofl [ "a"; "b"; "c"; "d"; "e" ] in
+  let gen =
+    Gen.triple
+      (Gen.list_size (Gen.int_bound 5) (Gen.pair reg Gen.small_int))
+      (Gen.list_size (Gen.int_bound 5) (Gen.pair reg Gen.small_int))
+      (Gen.list_size (Gen.int_bound 3) (Gen.pair reg reg))
+  in
+  Test.make ~name:"MergeR domain law" ~count:300 (make gen)
+    (fun (pl, cl, dr) ->
+      let parent = Regfile.of_list (List.map (fun (r, v) -> (r, vi v)) pl) in
+      let child = Regfile.of_list (List.map (fun (r, v) -> (r, vi v)) cl) in
+      let merged = Regfile.merge parent child dr in
+      let targets = List.map snd dr in
+      List.for_all
+        (fun (r, _) ->
+          match Regfile.find_opt r merged with
+          | Some value ->
+              (* either r is not a ΔR target and comes from parent... *)
+              ((not (List.mem r targets))
+              && Option.fold ~none:false
+                   ~some:(Value.equal value)
+                   (Regfile.find_opt r parent))
+              (* ...or it is a target and must equal some renamed child
+                 source *)
+              || List.exists
+                   (fun (src, tgt) ->
+                     tgt = r
+                     &&
+                     match Regfile.find_opt src child with
+                     | Some cv -> Value.equal value cv
+                     | None -> false)
+                   dr
+          | None -> List.mem r targets)
+        pl)
+
+let suite =
+  ( "machine-state",
+    [
+      Alcotest.test_case "regfile basics" `Quick test_regfile_basics;
+      Alcotest.test_case "MergeR" `Quick test_merge_r;
+      Alcotest.test_case "MergeR drops missing sources" `Quick
+        test_merge_r_missing_source;
+      Alcotest.test_case "MergeR with empty ΔR" `Quick test_merge_r_empty_dr;
+      Alcotest.test_case "MergeH left bias" `Quick test_heap_merge_left_bias;
+      Alcotest.test_case "heap resolve (Ĥ)" `Quick test_heap_resolve;
+      Alcotest.test_case "join alloc freshness" `Quick test_join_alloc_fresh;
+      Alcotest.test_case "MergeJ" `Quick test_join_merge;
+      Alcotest.test_case "join removal" `Quick test_join_remove;
+      QCheck_alcotest.to_alcotest prop_merge_r_domain;
+    ] )

@@ -1,0 +1,127 @@
+(* Integration tests for the reproduction harness: the runner's system
+   mapping, caching, and the qualitative shapes the paper's figures
+   assert (on the faster workloads, to keep the suite quick). *)
+
+open Repro
+
+let check = Alcotest.(check bool)
+
+let kmeans () = Option.get (Workloads.Workload.find "kmeans")
+let mandelbrot () = Option.get (Workloads.Workload.find "mandelbrot")
+let mergesort () = Option.get (Workloads.Workload.find "mergesort-uniform")
+let knapsack () = Option.get (Workloads.Workload.find "knapsack")
+
+let test_serial_baseline_close_to_work () =
+  let w = kmeans () in
+  let t = Runner.serial_time w in
+  let work = Workloads.Workload.serial_work w in
+  check "serial time ~ algorithm work" true
+    (abs (t - work) < work / 100)
+
+let test_measure_caches () =
+  let w = kmeans () in
+  let s = Runner.spec Runner.Tpal_linux w in
+  let t0 = Unix.gettimeofday () in
+  let m1 = Runner.measure s in
+  let mid = Unix.gettimeofday () in
+  let m2 = Runner.measure s in
+  let t1 = Unix.gettimeofday () in
+  check "identical cached result" true (m1 = m2);
+  check "cache hit much faster" true (t1 -. mid < (mid -. t0) /. 5. +. 0.01)
+
+let test_fig6_shape_kmeans () =
+  (* Cilk pays a visible 1-core overhead; TPAL stays near serial
+     (paper: 2.4x vs 1.17x for kmeans) *)
+  let w = kmeans () in
+  let cilk = Runner.normalized_1core Runner.Cilk_sys w in
+  let tpal = Runner.normalized_1core Runner.Tpal_linux w in
+  check "cilk overhead >> tpal overhead" true (cilk > tpal +. 0.5);
+  check "cilk in paper ballpark" true (cilk > 1.8 && cilk < 3.2);
+  check "tpal in paper ballpark" true (tpal > 1.05 && tpal < 1.35)
+
+let test_fig8_shape () =
+  (* heartbeat off: TPAL binaries are within a few percent of serial,
+     except knapsack's mark overhead (paper: 1.51x) *)
+  let light = Runner.normalized_1core ~interrupts:false Runner.Tpal_linux (mandelbrot ()) in
+  check "mandelbrot near serial" true (light < 1.1);
+  let heavy = Runner.normalized_1core ~interrupts:false Runner.Tpal_linux (knapsack ()) in
+  check "knapsack pays mark costs" true (heavy > 1.3 && heavy < 1.7)
+
+let test_fig7_shape () =
+  (* at 15 cores TPAL scales on compute-bound work; the
+     bandwidth-bound mergesort is capped for both *)
+  let w = mandelbrot () in
+  check "mandelbrot scales" true (Runner.speedup Runner.Tpal_nautilus w > 8.);
+  let ms = mergesort () in
+  let c = Runner.speedup Runner.Cilk_sys ms in
+  let t = Runner.speedup Runner.Tpal_linux ms in
+  check "mergesort capped for both" true (c < 3. && t < 3.)
+
+let test_nautilus_beats_linux_rate () =
+  (* Figure 10's point: Nautilus delivers the target rate, Linux
+     misses it *)
+  let w = kmeans () in
+  let params = { Sim.Params.default with heart_us = 20. } in
+  let rate sys =
+    Sim.Metrics.achieved_rate params
+      (Runner.measure (Runner.spec ~heart_us:20. sys w))
+  in
+  let linux = rate Runner.Tpal_linux in
+  let nautilus = rate Runner.Tpal_nautilus in
+  let target = Sim.Params.target_rate params in
+  check "linux misses the 20us target badly" true (linux < 0.6 *. target);
+  check "nautilus close to target" true (nautilus > 0.85 *. target)
+
+let test_interrupt_overhead_ordering () =
+  (* 20 µs interrupts cost more than 100 µs interrupts; Nautilus costs
+     less than Linux (Figures 9 vs 13) *)
+  let w = kmeans () in
+  let overhead sys heart_us =
+    (Runner.measure
+       (Runner.spec ~procs:1 ~heart_us ~promotions:false sys w))
+      .makespan
+  in
+  check "20us > 100us (Linux)" true
+    (overhead Runner.Tpal_linux 20. > overhead Runner.Tpal_linux 100.);
+  check "Nautilus cheaper than Linux at 20us" true
+    (overhead Runner.Tpal_nautilus 20. < overhead Runner.Tpal_linux 20.)
+
+let test_fig15_shape () =
+  (* Cilk creates orders of magnitude more tasks than TPAL *)
+  let w = knapsack () in
+  let mc = Runner.measure (Runner.spec Runner.Cilk_sys w) in
+  let mt = Runner.measure (Runner.spec Runner.Tpal_linux w) in
+  check "cilk tasks >> tpal tasks" true
+    (mc.tasks_created > 50 * mt.tasks_created);
+  check "tpal promotions = tpal tasks" true (mt.promotions = mt.tasks_created)
+
+let test_figures_render () =
+  (* figure drivers on the cached measurements produce well-formed
+     tables *)
+  let t = Figures.fig8 () in
+  check "fig8 has 14 rows (12 benchmarks + 2 geomeans)" true
+    (List.length t.rows = 14);
+  let tun = Figures.tuner ~workload:"kmeans" ~hearts:[ 50.; 500. ] () in
+  check "tuner rows" true (List.length tun.rows = 2)
+
+let test_paper_values_lookup () =
+  check "fig6 table lookup" true
+    (Paper_values.lookup Paper_values.fig6_cilk "kmeans" = Some 2.4);
+  check "unknown" true (Paper_values.lookup Paper_values.fig6_cilk "x" = None)
+
+let suite =
+  ( "repro",
+    [
+      Alcotest.test_case "serial baseline" `Quick test_serial_baseline_close_to_work;
+      Alcotest.test_case "measurement cache" `Quick test_measure_caches;
+      Alcotest.test_case "fig6 shape (kmeans)" `Quick test_fig6_shape_kmeans;
+      Alcotest.test_case "fig8 shape" `Quick test_fig8_shape;
+      Alcotest.test_case "fig7 shape" `Slow test_fig7_shape;
+      Alcotest.test_case "fig10 shape (rates)" `Slow
+        test_nautilus_beats_linux_rate;
+      Alcotest.test_case "fig9/13 ordering" `Quick
+        test_interrupt_overhead_ordering;
+      Alcotest.test_case "fig15 shape (task counts)" `Slow test_fig15_shape;
+      Alcotest.test_case "figure rendering" `Slow test_figures_render;
+      Alcotest.test_case "paper values" `Quick test_paper_values_lookup;
+    ] )

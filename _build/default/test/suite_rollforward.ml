@@ -1,0 +1,189 @@
+(* Tests for rollforward compilation (§3.2) and the reduced block
+   style of Appendix D.5. *)
+
+open Tpal
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let opts heart = { Eval.default_options with heart; fuel = 5_000_000 }
+
+let rf = Rollforward.transform Programs.prod
+
+let test_two_versions_present () =
+  check_int "block count doubles"
+    (2 * List.length Programs.prod.blocks)
+    (List.length rf.program.blocks);
+  check_int "map covers every block"
+    (List.length Programs.prod.blocks)
+    (List.length rf.map);
+  List.iter
+    (fun (o, r) ->
+      check "original exists" true (List.mem_assoc o rf.program.blocks);
+      check "rollforward exists" true (List.mem_assoc r rf.program.blocks))
+    rf.map
+
+let test_versions_align () =
+  (* "the original and rollforward instructions align perfectly up to
+     instruction labels": same instruction counts and terminator
+     kinds *)
+  List.iter
+    (fun (o, r) ->
+      let bo = List.assoc o rf.program.blocks in
+      let br = List.assoc r rf.program.blocks in
+      check_int (o ^ " body length") (List.length bo.body)
+        (List.length br.body);
+      check (o ^ " terminator kind") true
+        (match (bo.term, br.term) with
+        | Ast.Jump _, Ast.Jump _ -> true
+        | Ast.Halt, Ast.Halt -> true
+        | Ast.Join _, Ast.Join _ -> true
+        | _ -> false))
+    rf.map
+
+let test_rollforward_jumps_to_handlers () =
+  (* rf$prod ends with `jump loop`; loop is promotion-ready, so the
+     rollforward copy must jump to loop's handler instead *)
+  let b = List.assoc "rf$prod" rf.program.blocks in
+  check "redirected to handler" true
+    (b.term = Ast.Jump (Ast.Lab "loop-try-promote"));
+  (* non-prppt targets go to their rollforward copies *)
+  let h = List.assoc "rf$loop-try-promote" rf.program.blocks in
+  check "plain targets keep rolling" true
+    (h.term = Ast.Jump (Ast.Lab "rf$loop-promote"))
+
+let test_original_behaviour_unchanged () =
+  (* the combined program entered at the original entry behaves
+     exactly like the input *)
+  match
+    Eval.run_seeded ~options:(opts (Some 20)) rf.program
+      [ ("a", Value.Vint 50); ("b", Value.Vint 3) ]
+  with
+  | Ok fin ->
+      check "result" true
+        (Regfile.find_opt "c" fin.task.regs = Some (Value.Vint 150))
+  | Error e -> Alcotest.failf "combined program: %s" (Machine_error.show e)
+
+let test_rollforward_triggers_promotion_without_beats () =
+  (* entering the rollforward version with the heartbeat OFF must
+     still reach a promotion handler at the next promotion-ready
+     point — the whole point of the transformation *)
+  let p = { rf.program with entry = "rf$prod" } in
+  match
+    Eval.run_seeded ~options:(opts None) p
+      [ ("a", Value.Vint 40); ("b", Value.Vint 5) ]
+  with
+  | Ok fin ->
+      check "correct result through handler path" true
+        (Regfile.find_opt "c" fin.task.regs = Some (Value.Vint 200));
+      check "a promotion fork happened with beats off" true
+        (fin.stats.forks >= 1)
+  | Error e -> Alcotest.failf "rollforward entry: %s" (Machine_error.show e)
+
+let test_redirect_preserves_offset () =
+  (* simulate a signal landing mid-block: redirect swaps the pc into
+     the rollforward version at the same offset *)
+  let task0 = Result.get_ok (Task.initial rf.program) in
+  let task0 =
+    { task0 with
+      regs = Regfile.of_list [ ("a", Value.Vint 9); ("b", Value.Vint 2) ] }
+  in
+  (* step once into prod (offset 1 of 1-instruction body) *)
+  let stepped =
+    match Step.step task0 with
+    | Ok (Step.Stepped t) -> t
+    | _ -> Alcotest.fail "expected step"
+  in
+  let redirected = Result.get_ok (Rollforward.redirect rf stepped) in
+  check_int "offset preserved" stepped.pc.offset redirected.pc.offset;
+  Alcotest.(check string) "label swapped" "rf$prod" redirected.pc.label;
+  (* resuming from the redirected counter completes correctly and
+     promotes at the next promotion-ready point *)
+  match Eval.run_task ~options:(opts None) Join.empty redirected with
+  | Ok fin ->
+      check "redirect resumes correctly" true
+        (Regfile.find_opt "c" fin.task.regs = Some (Value.Vint 18));
+      check "promotion forced" true (fin.stats.forks >= 1)
+  | Error e -> Alcotest.failf "resume: %s" (Machine_error.show e)
+
+let test_redirect_outside_map_is_identity () =
+  let task0 = Result.get_ok (Task.initial rf.program) in
+  let t = { task0 with pc = Task.pc "rf$loop" 0 } in
+  let r = Result.get_ok (Rollforward.redirect rf t) in
+  Alcotest.(check string) "unchanged" "rf$loop" r.pc.label
+
+let prop_rollforward_preserves_results =
+  QCheck.Test.make
+    ~name:"rollforward entry computes the same products" ~count:40
+    QCheck.(pair (int_bound 100) (int_bound 30))
+    (fun (a, b) ->
+      let p = { rf.program with entry = "rf$prod" } in
+      match
+        Eval.run_seeded ~options:(opts None) p
+          [ ("a", Value.Vint a); ("b", Value.Vint b) ]
+      with
+      | Ok fin -> Regfile.find_opt "c" fin.task.regs = Some (Value.Vint (a * b))
+      | Error _ -> false)
+
+(* --- reduced block style (Appendix D.5) --- *)
+
+let test_reduced_style_correct () =
+  List.iter
+    (fun heart ->
+      match Programs.run_prod_reduced ~options:(opts heart) ~a:120 ~b:4 () with
+      | Ok (c, _) -> check_int "reduced prod" 480 c
+      | Error e -> Alcotest.failf "reduced: %s" (Machine_error.show e))
+    [ None; Some 5; Some 16; Some 100 ]
+
+let test_reduced_pays_exit_branch () =
+  (* in a purely serial run, the reduced style executes strictly more
+     instructions than the expanded style: the sentinel init and the
+     exit-branch dispatch (D.5's structural cost) *)
+  let serial p seeds =
+    match Eval.run_seeded ~options:(opts None) p seeds with
+    | Ok fin -> fin.stats.instructions
+    | Error e -> Alcotest.failf "serial: %s" (Machine_error.show e)
+  in
+  let seeds = [ ("a", Value.Vint 64); ("b", Value.Vint 2) ] in
+  let expanded = serial Programs.prod seeds in
+  let reduced = serial Programs.prod_reduced seeds in
+  check "reduced costs extra serial instructions" true (reduced > expanded)
+
+let prop_styles_agree =
+  QCheck.Test.make ~name:"expanded and reduced styles agree" ~count:40
+    QCheck.(triple (int_bound 80) (int_bound 20) (int_range 4 200))
+    (fun (a, b, heart) ->
+      let o = opts (Some heart) in
+      let r1 =
+        match Programs.run_prod ~options:o ~a ~b () with
+        | Ok (c, _) -> Some c
+        | Error _ -> None
+      and r2 =
+        match Programs.run_prod_reduced ~options:o ~a ~b () with
+        | Ok (c, _) -> Some c
+        | Error _ -> None
+      in
+      r1 = r2)
+
+let suite =
+  ( "rollforward",
+    [
+      Alcotest.test_case "two versions + map" `Quick test_two_versions_present;
+      Alcotest.test_case "versions align" `Quick test_versions_align;
+      Alcotest.test_case "handler redirection" `Quick
+        test_rollforward_jumps_to_handlers;
+      Alcotest.test_case "original unchanged" `Quick
+        test_original_behaviour_unchanged;
+      Alcotest.test_case "rollforward forces promotion" `Quick
+        test_rollforward_triggers_promotion_without_beats;
+      Alcotest.test_case "redirect mid-block" `Quick
+        test_redirect_preserves_offset;
+      Alcotest.test_case "redirect outside map" `Quick
+        test_redirect_outside_map_is_identity;
+      QCheck_alcotest.to_alcotest prop_rollforward_preserves_results;
+      Alcotest.test_case "reduced style correct" `Quick
+        test_reduced_style_correct;
+      Alcotest.test_case "reduced style structural cost" `Quick
+        test_reduced_pays_exit_branch;
+      QCheck_alcotest.to_alcotest prop_styles_agree;
+    ] )

@@ -1,0 +1,78 @@
+(* Tests for the statistics helpers and the table renderer. *)
+
+let checkf = Alcotest.(check (float 1e-9))
+let check = Alcotest.(check bool)
+
+let test_mean_geomean () =
+  checkf "mean" 2. (Stats.mean [ 1.; 2.; 3. ]);
+  checkf "geomean" 2. (Stats.geomean [ 1.; 4. ]);
+  checkf "geomean of equal values" 7. (Stats.geomean [ 7.; 7.; 7. ]);
+  check "geomean rejects nonpositive" true
+    (Float.is_nan (Stats.geomean [ 1.; 0. ]));
+  check "empty mean is nan" true (Float.is_nan (Stats.mean []))
+
+let test_speedup_normalized () =
+  checkf "speedup" 4. (Stats.speedup ~baseline:8. 2.);
+  checkf "normalized" 2. (Stats.normalized ~baseline:4. 8.);
+  checkf "percent change" 50. (Stats.percent_change ~from_:2. 3.)
+
+let test_stddev () =
+  checkf "constant series" 0. (Stats.stddev [ 5.; 5.; 5. ]);
+  checkf "known value" (sqrt 2.) (Stats.stddev [ 1.; 3. ] *. 1.0)
+
+let prop_geomean_between_min_max =
+  QCheck.Test.make ~name:"geomean between min and max" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range 0.01 100.))
+    (fun xs ->
+      let g = Stats.geomean xs in
+      g >= Stats.min_l xs -. 1e-9 && g <= Stats.max_l xs +. 1e-9)
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~name:"AM-GM inequality" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range 0.01 100.))
+    (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9)
+
+let test_table_render () =
+  let t =
+    Stats.Table.make ~title:"T" ~header:[ "name"; "v" ]
+      [ [ "a"; "1.00" ]; [ "long-name"; "2.50" ] ]
+  in
+  let s = Stats.Table.render t in
+  check "contains title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  check "contains rows" true
+    (List.exists
+       (fun line -> String.length line > 0 && String.contains line 'a')
+       (String.split_on_char '\n' s))
+
+let test_table_csv () =
+  let t =
+    Stats.Table.make ~title:"T" ~header:[ "a"; "b" ]
+      [ [ "x,y"; "1" ]; [ "plain"; "2" ] ]
+  in
+  let csv = Stats.Table.to_csv t in
+  check "quotes commas" true
+    (List.exists
+       (fun l -> l = "\"x,y\",1")
+       (String.split_on_char '\n' csv))
+
+let test_grouped_ints () =
+  Alcotest.(check string) "grouping" "1,234,567" (Stats.Table.fmt_int_grouped 1_234_567);
+  Alcotest.(check string) "small" "42" (Stats.Table.fmt_int_grouped 42);
+  Alcotest.(check string) "negative" "-1,000" (Stats.Table.fmt_int_grouped (-1000))
+
+let test_fmt_float_nan () =
+  Alcotest.(check string) "nan renders as dash" "-" (Stats.Table.fmt_float nan)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "mean & geomean" `Quick test_mean_geomean;
+      Alcotest.test_case "speedup helpers" `Quick test_speedup_normalized;
+      Alcotest.test_case "stddev" `Quick test_stddev;
+      QCheck_alcotest.to_alcotest prop_geomean_between_min_max;
+      QCheck_alcotest.to_alcotest prop_geomean_le_mean;
+      Alcotest.test_case "table rendering" `Quick test_table_render;
+      Alcotest.test_case "csv escaping" `Quick test_table_csv;
+      Alcotest.test_case "grouped integers" `Quick test_grouped_ints;
+      Alcotest.test_case "nan formatting" `Quick test_fmt_float_nan;
+    ] )

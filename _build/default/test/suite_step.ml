@@ -1,0 +1,246 @@
+(* Tests for the sequential transition rules (Figures 29 and 31). *)
+
+open Tpal
+
+let check = Alcotest.(check bool)
+
+(* Build a one-block program around [body]/[term] and a task poised at
+   its start with the given register seeds. *)
+let task_of ?(extra_blocks = []) ?(seeds = []) body term : Task.t =
+  let program =
+    Builder.program_unchecked ~entry:"main"
+      (Builder.block "main" body term :: extra_blocks)
+  in
+  let t = Result.get_ok (Task.initial program) in
+  { t with regs = Regfile.of_list seeds }
+
+let step_n (n : int) (t : Task.t) : (Step.outcome, Machine_error.t) result =
+  let rec go n t =
+    if n <= 1 then Step.step t
+    else
+      match Step.step t with
+      | Ok (Step.Stepped t') -> go (n - 1) t'
+      | other -> other
+  in
+  go n t
+
+let reg_after n r t =
+  match step_n n t with
+  | Ok (Step.Stepped t') | Ok (Step.Halted t') -> Regfile.find_opt r t'.regs
+  | _ -> None
+
+let vi n = Some (Value.Vint n)
+
+let test_mov () =
+  let t = task_of [ Builder.mov "a" (Builder.int 7) ] Ast.Halt in
+  check "int literal" true (reg_after 1 "a" t = vi 7);
+  let t =
+    task_of ~seeds:[ ("b", Value.Vint 3) ]
+      [ Builder.mov "a" (Builder.reg "b") ]
+      Ast.Halt
+  in
+  check "register copy" true (reg_after 1 "a" t = vi 3);
+  let t = task_of [ Builder.mov "a" (Builder.lab "main") ] Ast.Halt in
+  check "label literal" true
+    (reg_after 1 "a" t = Some (Value.Vlabel "main"))
+
+let test_binops () =
+  let bin op x y =
+    let t =
+      task_of [ Builder.binop "r" op (Builder.int x) (Builder.int y) ] Ast.Halt
+    in
+    reg_after 1 "r" t
+  in
+  check "add" true (bin Ast.Add 3 4 = vi 7);
+  check "sub" true (bin Ast.Sub 3 4 = vi (-1));
+  check "mul" true (bin Ast.Mul 3 4 = vi 12);
+  check "div" true (bin Ast.Div 9 2 = vi 4);
+  check "mod" true (bin Ast.Mod 9 2 = vi 1);
+  (* comparisons: zero means true *)
+  check "lt true" true (bin Ast.Lt 1 2 = vi 0);
+  check "lt false" true (bin Ast.Lt 2 1 = vi 1);
+  check "eq true" true (bin Ast.Eq 5 5 = vi 0);
+  check "ne true" true (bin Ast.Ne 5 6 = vi 0);
+  check "ge true" true (bin Ast.Ge 6 6 = vi 0);
+  check "and" true (bin Ast.And 6 3 = vi 2);
+  check "or" true (bin Ast.Or 6 3 = vi 7);
+  check "xor" true (bin Ast.Xor 6 3 = vi 5);
+  check "shl" true (bin Ast.Shl 3 2 = vi 12);
+  check "shr" true (bin Ast.Shr 12 2 = vi 3)
+
+let test_division_by_zero () =
+  let t =
+    task_of
+      [ Builder.binop "r" Ast.Div (Builder.int 1) (Builder.int 0) ]
+      Ast.Halt
+  in
+  check "div by zero" true
+    (match Step.step t with
+    | Error (Machine_error.Division_by_zero _) -> true
+    | _ -> false);
+  let t =
+    task_of
+      [ Builder.binop "r" Ast.Mod (Builder.int 1) (Builder.int 0) ]
+      Ast.Halt
+  in
+  check "mod by zero" true (Result.is_error (Step.step t))
+
+let test_if_jump () =
+  let target = Builder.block "t" [ Builder.mov "hit" (Builder.int 1) ] Ast.Halt in
+  (* taken: register holds zero *)
+  let t =
+    task_of ~extra_blocks:[ target ]
+      ~seeds:[ ("c", Value.Vint 0) ]
+      [ Builder.if_jump "c" (Builder.lab "t") ]
+      Ast.Halt
+  in
+  check "taken on zero" true (reg_after 2 "hit" t = vi 1);
+  (* not taken: nonzero falls through *)
+  let t =
+    task_of ~extra_blocks:[ target ]
+      ~seeds:[ ("c", Value.Vint 5) ]
+      [ Builder.if_jump "c" (Builder.lab "t"); Builder.mov "fell" (Builder.int 1) ]
+      Ast.Halt
+  in
+  check "falls through on nonzero" true (reg_after 2 "fell" t = vi 1);
+  (* join values never branch *)
+  let t =
+    task_of ~extra_blocks:[ target ]
+      ~seeds:[ ("c", Value.Vjoin 0) ]
+      [ Builder.if_jump "c" (Builder.lab "t"); Builder.mov "fell" (Builder.int 1) ]
+      Ast.Halt
+  in
+  check "join id falls through" true (reg_after 2 "fell" t = vi 1)
+
+let test_jump_through_register () =
+  let target = Builder.block "t" [ Builder.mov "hit" (Builder.int 1) ] Ast.Halt in
+  let t =
+    task_of ~extra_blocks:[ target ]
+      ~seeds:[ ("k", Value.Vlabel "t") ]
+      [] (Ast.Jump (Ast.Reg "k"))
+  in
+  check "computed jump" true (reg_after 2 "hit" t = vi 1);
+  let t = task_of ~seeds:[ ("k", Value.Vint 3) ] [] (Ast.Jump (Ast.Reg "k")) in
+  check "jump to int fails" true (Result.is_error (Step.step t))
+
+let test_halt () =
+  let t = task_of [] Ast.Halt in
+  check "halts" true
+    (match Step.step t with Ok (Step.Halted _) -> true | _ -> false)
+
+let test_parallel_requests () =
+  let t = task_of [ Builder.jralloc "jr" "main" ] Ast.Halt in
+  check "jralloc surfaces" true
+    (match Step.step t with
+    | Ok (Step.Parallel (Step.Req_jralloc { dst = "jr"; cont = "main" }, _)) ->
+        true
+    | _ -> false);
+  let t = task_of [ Builder.fork "jr" (Builder.lab "main") ] Ast.Halt in
+  check "fork surfaces" true
+    (match Step.step t with
+    | Ok (Step.Parallel (Step.Req_fork _, _)) -> true
+    | _ -> false);
+  let t = task_of [] (Ast.Join "jr") in
+  check "join surfaces" true
+    (match Step.step t with
+    | Ok (Step.Parallel (Step.Req_join { jr = "jr" }, _)) -> true
+    | _ -> false)
+
+let test_stack_instructions () =
+  let body =
+    [
+      Builder.snew "sp";
+      Builder.salloc "sp" 3;
+      Builder.store "sp" 1 (Builder.int 42);
+      Builder.load "x" "sp" 1;
+      Builder.prmpush "sp" 2;
+      Builder.prmempty "e" "sp";
+      Builder.prmsplit "sp" "off";
+      Builder.prmempty "e2" "sp";
+      Builder.sfree "sp" 3;
+    ]
+  in
+  let t = task_of body Ast.Halt in
+  check "load after store" true (reg_after 4 "x" t = vi 42);
+  check "prmempty false (mark present, 1)" true (reg_after 6 "e" t = vi 1);
+  check "prmsplit offset" true (reg_after 7 "off" t = vi 2);
+  check "prmempty true after split (0)" true (reg_after 8 "e2" t = vi 0)
+
+let test_prmpop_requires_mark () =
+  let t =
+    task_of
+      [ Builder.snew "sp"; Builder.salloc "sp" 1; Builder.prmpop "sp" 0 ]
+      Ast.Halt
+  in
+  check "prmpop on non-mark fails" true
+    (match step_n 3 t with
+    | Error (Machine_error.Stack_type _) -> true
+    | _ -> false);
+  let t =
+    task_of
+      [ Builder.snew "sp"; Builder.salloc "sp" 1; Builder.prmpush "sp" 0;
+        Builder.prmpop "sp" 0; Builder.prmempty "e" "sp" ]
+      Ast.Halt
+  in
+  check "push then pop leaves none" true (reg_after 5 "e" t = vi 0)
+
+let test_prmsplit_no_mark () =
+  let t =
+    task_of
+      [ Builder.snew "sp"; Builder.salloc "sp" 2; Builder.prmsplit "sp" "o" ]
+      Ast.Halt
+  in
+  check "prmsplit without marks errors" true
+    (match step_n 3 t with
+    | Error (Machine_error.No_mark _) -> true
+    | _ -> false)
+
+let test_pointer_arithmetic () =
+  let body =
+    [
+      Builder.snew "sp";
+      Builder.salloc "sp" 4;
+      Builder.store "sp" 2 (Builder.int 9);
+      (* q := sp + 2 points two cells deeper: mem[q+0] = mem[sp+2] *)
+      Builder.add "q" (Builder.reg "sp") (Builder.int 2);
+      Builder.load "x" "q" 0;
+      (* back up: r := q - 2 = sp *)
+      Builder.sub "r" (Builder.reg "q") (Builder.int 2);
+      Builder.binop "same" Ast.Eq (Builder.reg "r") (Builder.reg "sp");
+    ]
+  in
+  let t = task_of body Ast.Halt in
+  check "deep pointer read" true (reg_after 5 "x" t = vi 9);
+  check "pointer round trip equality" true (reg_after 7 "same" t = vi 0)
+
+let test_unbound_register () =
+  let t = task_of [ Builder.mov "a" (Builder.reg "ghost") ] Ast.Halt in
+  check "unbound register" true
+    (match Step.step t with
+    | Error (Machine_error.Unbound_register "ghost") -> true
+    | _ -> false)
+
+let test_cycle_counter_advances () =
+  let t = task_of [ Builder.mov "a" (Builder.int 1) ] Ast.Halt in
+  match Step.step t with
+  | Ok (Step.Stepped t') ->
+      Alcotest.(check int) "⋄ incremented" (t.cycles + 1) t'.cycles
+  | _ -> Alcotest.fail "expected a step"
+
+let suite =
+  ( "step",
+    [
+      Alcotest.test_case "move" `Quick test_mov;
+      Alcotest.test_case "binary operations" `Quick test_binops;
+      Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+      Alcotest.test_case "if-jump" `Quick test_if_jump;
+      Alcotest.test_case "computed jump" `Quick test_jump_through_register;
+      Alcotest.test_case "halt" `Quick test_halt;
+      Alcotest.test_case "parallel requests" `Quick test_parallel_requests;
+      Alcotest.test_case "stack instructions" `Quick test_stack_instructions;
+      Alcotest.test_case "prmpop discipline" `Quick test_prmpop_requires_mark;
+      Alcotest.test_case "prmsplit without marks" `Quick test_prmsplit_no_mark;
+      Alcotest.test_case "pointer arithmetic" `Quick test_pointer_arithmetic;
+      Alcotest.test_case "unbound register" `Quick test_unbound_register;
+      Alcotest.test_case "cycle counter" `Quick test_cycle_counter_advances;
+    ] )

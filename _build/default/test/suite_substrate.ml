@@ -1,0 +1,279 @@
+(* Tests for the simulator substrate: PRNG, event queue, work-stealing
+   deque, interrupt mechanisms. *)
+
+open Sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Prng.int a 1_000_000) (Prng.int b 1_000_000)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let da = List.init 20 (fun _ -> Prng.int a 1000) in
+  let db = List.init 20 (fun _ -> Prng.int b 1000) in
+  check "different seeds differ" true (da <> db)
+
+let prop_prng_bounds =
+  QCheck.Test.make ~name:"Prng.int within bounds" ~count:500
+    QCheck.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let rng = Prng.create ~seed in
+      let x = Prng.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_prng_float_unit =
+  QCheck.Test.make ~name:"Prng.float in [0,1)" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let x = Prng.float rng in
+      x >= 0. && x < 1.)
+
+let test_prng_float_mean () =
+  let rng = Prng.create ~seed:7 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  check "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_prng_exponential_mean () =
+  let rng = Prng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng ~mean:10.
+  done;
+  let mean = !sum /. float_of_int n in
+  check "exponential mean near 10" true (abs_float (mean -. 10.) < 0.5)
+
+let test_zipf_head_heavy () =
+  let rng = Prng.create ~seed:3 in
+  let n = 10_000 in
+  let ones = ref 0 in
+  for _ = 1 to n do
+    if Prng.zipf rng ~n:1000 ~s:1.5 = 1 then incr ones
+  done;
+  (* rank 1 should dominate under a Zipf law *)
+  check "head heavy" true (!ones > n / 10)
+
+(* --- Eventq --- *)
+
+let test_eventq_orders_by_time () =
+  let q = Eventq.create ~dummy:(-1) in
+  List.iter (fun t -> Eventq.add q ~time:t t) [ 5; 1; 9; 3; 7; 2; 8 ];
+  let out = ref [] in
+  let rec drain () =
+    match Eventq.pop q with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check "sorted" true (List.rev !out = [ 1; 2; 3; 5; 7; 8; 9 ])
+
+let test_eventq_fifo_on_ties () =
+  let q = Eventq.create ~dummy:(-1) in
+  List.iter (fun v -> Eventq.add q ~time:10 v) [ 1; 2; 3; 4 ];
+  let next () = snd (Option.get (Eventq.pop q)) in
+  check "insertion order on equal times" true
+    (List.init 4 (fun _ -> next ()) = [ 1; 2; 3; 4 ])
+
+let prop_eventq_sorted =
+  QCheck.Test.make ~name:"event queue pops in nondecreasing time order"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_bound 200) (int_bound 100_000))
+    (fun times ->
+      let q = Eventq.create ~dummy:0 in
+      List.iter (fun t -> Eventq.add q ~time:t t) times;
+      let rec drain last =
+        match Eventq.pop q with
+        | None -> true
+        | Some (t, _) -> t >= last && drain t
+      in
+      drain min_int)
+
+let test_eventq_interleaved () =
+  let q = Eventq.create ~dummy:0 in
+  Eventq.add q ~time:10 10;
+  Eventq.add q ~time:5 5;
+  check "pop min" true (Eventq.pop q = Some (5, 5));
+  Eventq.add q ~time:1 1;
+  check "pop new min" true (Eventq.pop q = Some (1, 1));
+  check "peek" true (Eventq.peek_time q = Some 10);
+  check_int "length" 1 (Eventq.length q)
+
+(* --- Wsdeque --- *)
+
+let test_deque_lifo_owner () =
+  let d = Wsdeque.create () in
+  List.iter (Wsdeque.push_bottom d) [ 1; 2; 3 ];
+  check "owner pops newest" true (Wsdeque.pop_bottom d = Some 3);
+  check "then next" true (Wsdeque.pop_bottom d = Some 2)
+
+let test_deque_fifo_thief () =
+  let d = Wsdeque.create () in
+  List.iter (Wsdeque.push_bottom d) [ 1; 2; 3 ];
+  check "thief steals oldest" true (Wsdeque.steal_top d = Some 1);
+  check "owner unaffected" true (Wsdeque.pop_bottom d = Some 3);
+  check "thief again" true (Wsdeque.steal_top d = Some 2);
+  check "empty" true (Wsdeque.pop_bottom d = None)
+
+let prop_deque_model =
+  (* model: a list; push_bottom appends, pop_bottom takes last,
+     steal_top takes first *)
+  QCheck.Test.make ~name:"deque matches list model" ~count:300
+    QCheck.(list (int_bound 2))
+    (fun ops ->
+      let d = Wsdeque.create () in
+      let model = ref [] in
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              incr counter;
+              Wsdeque.push_bottom d !counter;
+              model := !model @ [ !counter ];
+              true
+          | 1 -> (
+              let got = Wsdeque.pop_bottom d in
+              match List.rev !model with
+              | [] -> got = None
+              | x :: rest ->
+                  model := List.rev rest;
+                  got = Some x)
+          | _ -> (
+              let got = Wsdeque.steal_top d in
+              match !model with
+              | [] -> got = None
+              | x :: rest ->
+                  model := rest;
+                  got = Some x))
+        ops
+      && Wsdeque.length d = List.length !model)
+
+(* --- Interrupts --- *)
+
+let params heart_us = { Params.default with heart_us }
+
+let drain_deliveries t n =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match Interrupts.next t with
+      | None -> List.rev acc
+      | Some d -> go (d :: acc) (k - 1)
+  in
+  go [] n
+
+let test_interrupts_off () =
+  let t = Interrupts.create (params 100.) Interrupts.Off ~mem_intensity:0. in
+  check "no deliveries" true (Interrupts.next t = None)
+
+let test_nautilus_hits_target () =
+  let p = params 100. in
+  let t = Interrupts.create p Interrupts.Nautilus_ipi ~mem_intensity:0.9 in
+  let ds = drain_deliveries t (15 * 20) in
+  check_int "no losses" 0 (Interrupts.lost t);
+  (* every core beats once per period *)
+  let per_core = Array.make 15 0 in
+  List.iter (fun (d : Interrupts.delivery) -> per_core.(d.core) <- per_core.(d.core) + 1) ds;
+  Array.iter (fun c -> check_int "even distribution" 20 c) per_core;
+  (* deliveries in each period land at nominal + latency *)
+  let d0 = List.hd ds in
+  check_int "first delivery time" (Params.heart_cycles p + p.ipi_latency) d0.at
+
+let test_ping_thread_loses_signals () =
+  let t =
+    Interrupts.create (params 100.) Interrupts.Ping_thread ~mem_intensity:0.8
+  in
+  let ds = drain_deliveries t 1_000 in
+  check "some signals lost" true (Interrupts.lost t > 0);
+  check "some delivered" true (List.length ds = 1_000)
+
+let test_ping_thread_saturates_at_20us () =
+  (* at 20 µs the 15-worker sweep (15 × signal_send) exceeds ♥, so
+     the achieved inter-sweep gap is sweep-bound, not ♥-bound *)
+  let p = params 20. in
+  let t = Interrupts.create p Interrupts.Ping_thread ~mem_intensity:0. in
+  let ds = drain_deliveries t 3_000 in
+  let horizon = (List.nth ds 2_999).at in
+  let rate_per_cycle = 3_000. /. float_of_int horizon in
+  let target_per_cycle = 15. /. float_of_int (Params.heart_cycles p) in
+  check "achieved below 60% of target" true
+    (rate_per_cycle < 0.6 *. target_per_cycle)
+
+let test_nautilus_no_saturation_at_20us () =
+  let p = params 20. in
+  let t = Interrupts.create p Interrupts.Nautilus_ipi ~mem_intensity:0.9 in
+  let ds = drain_deliveries t 3_000 in
+  let horizon = (List.nth ds 2_999).at in
+  let rate_per_cycle = 3_000. /. float_of_int horizon in
+  let target_per_cycle = 15. /. float_of_int (Params.heart_cycles p) in
+  check "achieves >= 95% of target" true
+    (rate_per_cycle >= 0.95 *. target_per_cycle)
+
+let test_papi_costlier_handler () =
+  let p = params 100. in
+  let tp = Interrupts.create p Interrupts.Papi ~mem_intensity:0. in
+  let tn = Interrupts.create p Interrupts.Nautilus_ipi ~mem_intensity:0. in
+  let dp = Option.get (Interrupts.next tp) in
+  let dn = Option.get (Interrupts.next tn) in
+  check "PAPI handler costlier" true (dp.handler_cost > dn.handler_cost)
+
+let test_deliveries_monotone () =
+  List.iter
+    (fun mech ->
+      let t = Interrupts.create (params 50.) mech ~mem_intensity:0.4 in
+      let ds = drain_deliveries t 500 in
+      let rec mono last = function
+        | [] -> true
+        | (d : Interrupts.delivery) :: rest ->
+            (* ping-thread jitter may reorder within a sweep by up to
+               the jitter bound *)
+            d.at + Params.default.signal_jitter >= last && mono d.at rest
+      in
+      check "monotone-ish" true (mono 0 ds))
+    [ Interrupts.Ping_thread; Interrupts.Papi; Interrupts.Nautilus_ipi ]
+
+let suite =
+  ( "substrate",
+    [
+      Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+      Alcotest.test_case "prng seed sensitivity" `Quick
+        test_prng_seed_sensitivity;
+      QCheck_alcotest.to_alcotest prop_prng_bounds;
+      QCheck_alcotest.to_alcotest prop_prng_float_unit;
+      Alcotest.test_case "prng uniform mean" `Quick test_prng_float_mean;
+      Alcotest.test_case "prng exponential mean" `Quick
+        test_prng_exponential_mean;
+      Alcotest.test_case "zipf head-heaviness" `Quick test_zipf_head_heavy;
+      Alcotest.test_case "eventq time order" `Quick test_eventq_orders_by_time;
+      Alcotest.test_case "eventq tie-break order" `Quick
+        test_eventq_fifo_on_ties;
+      QCheck_alcotest.to_alcotest prop_eventq_sorted;
+      Alcotest.test_case "eventq interleaved" `Quick test_eventq_interleaved;
+      Alcotest.test_case "deque owner LIFO" `Quick test_deque_lifo_owner;
+      Alcotest.test_case "deque thief FIFO" `Quick test_deque_fifo_thief;
+      QCheck_alcotest.to_alcotest prop_deque_model;
+      Alcotest.test_case "interrupts off" `Quick test_interrupts_off;
+      Alcotest.test_case "nautilus hits target" `Quick test_nautilus_hits_target;
+      Alcotest.test_case "ping thread loses signals" `Quick
+        test_ping_thread_loses_signals;
+      Alcotest.test_case "ping thread saturates at 20us" `Quick
+        test_ping_thread_saturates_at_20us;
+      Alcotest.test_case "nautilus meets 20us" `Quick
+        test_nautilus_no_saturation_at_20us;
+      Alcotest.test_case "PAPI handler cost" `Quick test_papi_costlier_handler;
+      Alcotest.test_case "delivery monotonicity" `Quick test_deliveries_monotone;
+    ] )

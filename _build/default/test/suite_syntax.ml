@@ -1,0 +1,309 @@
+(* Tests for the lexer, parser, printer (round-trip) and static
+   checker. *)
+
+open Tpal
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parses_to (src : string) (expected : Ast.program) =
+  match Parser.parse_result src with
+  | Ok p -> check "parses to expected" true (Ast.equal_program p expected)
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let test_minimal_program () =
+  parses_to "main: [.]\n  halt\n"
+    (Builder.program_unchecked ~entry:"main" [ Builder.block "main" [] Ast.Halt ])
+
+let test_instructions_parse () =
+  let src =
+    {|m: [.]
+  a := 5
+  b := a + 1
+  c := a - -2
+  t := a < b
+  if-jump t, m
+  jr := jralloc k
+  fork jr, m
+  sp := snew
+  salloc sp, 3
+  mem[sp + 0] := b
+  x := mem[sp + 0]
+  prmpush mem[sp + 1]
+  prmpop mem[sp + 1]
+  e := prmempty sp
+  prmsplit sp, off
+  sfree sp, 3
+  jump m
+k: [jtppt assoc; {a -> a2, b -> b2}; m]
+  join jr
+|}
+  in
+  match Parser.parse_result src with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok p ->
+      check_int "two blocks" 2 (List.length p.blocks);
+      let m = List.assoc "m" p.blocks in
+      check_int "16 instructions" 16 (List.length m.body);
+      check "terminator" true (m.term = Ast.Jump (Ast.Lab "m"));
+      let k = List.assoc "k" p.blocks in
+      check "jtppt parsed" true
+        (k.annot
+        = Ast.Jtppt (Ast.Assoc, [ ("a", "a2"); ("b", "b2") ], "m"))
+
+let test_semicolon_separators () =
+  parses_to "m: [.]\n  a := 1; b := 2; halt\n"
+    (Builder.program_unchecked ~entry:"m"
+       [
+         Builder.block "m"
+           [ Builder.mov "a" (Builder.int 1); Builder.mov "b" (Builder.int 2) ]
+           Ast.Halt;
+       ])
+
+let test_comments_and_blank_lines () =
+  parses_to
+    "// leading comment\n\nm: [.] // annotation comment\n  a := 1\n\n  halt\n"
+    (Builder.program_unchecked ~entry:"m"
+       [ Builder.block "m" [ Builder.mov "a" (Builder.int 1) ] Ast.Halt ])
+
+let test_hyphenated_identifiers () =
+  (* loop-try-promote is one identifier; a - 1 is subtraction *)
+  let src =
+    "loop-x: [prppt loop-try-promote]\n  a := a - 1\n  jump loop-x\nloop-try-promote: [.]\n  halt\n"
+  in
+  match Parser.parse_result src with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok p ->
+      check "prppt target" true
+        ((List.assoc "loop-x" p.blocks).annot = Ast.Prppt "loop-try-promote");
+      check "subtraction" true
+        ((List.assoc "loop-x" p.blocks).body
+        = [ Ast.Binop ("a", Ast.Sub, Ast.Reg "a", Ast.Int 1) ])
+
+let test_label_resolution () =
+  (* identifiers naming blocks become labels; others stay registers *)
+  let src = "m: [.]\n  x := k\n  y := z\n  jump k\nk: [.]\n  halt\n" in
+  match Parser.parse_result src with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok p ->
+      let m = List.assoc "m" p.blocks in
+      check "block name -> label" true
+        (List.nth m.body 0 = Ast.Mov ("x", Ast.Lab "k"));
+      check "other name -> register" true
+        (List.nth m.body 1 = Ast.Mov ("y", Ast.Reg "z"))
+
+let test_parse_errors () =
+  let fails src =
+    check ("rejects: " ^ src) true (Result.is_error (Parser.parse_result src))
+  in
+  fails "";
+  fails "m: [.]\n  a := \n  halt\n";
+  fails "m: [.]\n  jump\n";
+  fails "m: [.]\n  a := 1\n";
+  (* no terminator *)
+  fails "m [.]\n  halt\n";
+  (* missing colon *)
+  fails "m: [wrong]\n  halt\n";
+  fails "m: [.]\n  halt\n  a := 1\n";
+  (* instruction after terminator *)
+  fails "m: [jtppt assoc {a -> b}; k]\n  halt\n" (* missing ';' *)
+
+let test_lexer_errors () =
+  check "bad character" true
+    (Result.is_error (Parser.parse_result "m: [.]\n  a := $\n  halt\n"))
+
+(* round-trips of all canned programs *)
+let test_round_trip_canned () =
+  List.iter
+    (fun (name, p) ->
+      let src = Printer.program_to_string p in
+      match Parser.parse_result src with
+      | Ok p' ->
+          check (name ^ " round-trips") true (Ast.equal_program p p')
+      | Error e -> Alcotest.failf "%s reparse: %s" name e)
+    [ ("prod", Programs.prod); ("pow", Programs.pow); ("fib", Programs.fib) ]
+
+(* property: printer/parser round trip over generated programs *)
+let gen_program : Ast.program QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = oneofl [ "a"; "b"; "c"; "t" ] in
+  let labels = [ "m"; "l0"; "l1"; "k" ] in
+  let label = oneofl labels in
+  let operand =
+    oneof [ map (fun r -> Ast.Reg r) reg; map (fun l -> Ast.Lab l) label;
+            map (fun n -> Ast.Int n) (int_range (-50) 50) ]
+  in
+  let binop =
+    oneofl
+      [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Lt; Ast.Le; Ast.Eq;
+        Ast.Ne; Ast.Gt; Ast.Ge; Ast.And; Ast.Or; Ast.Xor; Ast.Shl; Ast.Shr ]
+  in
+  let instr =
+    oneof
+      [
+        map2 (fun r v -> Ast.Mov (r, v)) reg operand;
+        map3 (fun r op (v1, v2) -> Ast.Binop (r, op, v1, v2)) reg binop
+          (pair operand operand);
+        map2 (fun r v -> Ast.If_jump (r, v)) reg operand;
+        map2 (fun r l -> Ast.Jralloc (r, l)) reg label;
+        map2 (fun r v -> Ast.Fork (r, v)) reg operand;
+        map (fun r -> Ast.Snew r) reg;
+        map2 (fun r n -> Ast.Salloc (r, n)) reg (int_bound 9);
+        map2 (fun r n -> Ast.Sfree (r, n)) reg (int_bound 9);
+        map3 (fun rd r n -> Ast.Load (rd, r, n)) reg reg (int_bound 9);
+        map3 (fun r n v -> Ast.Store (r, n, v)) reg (int_bound 9) operand;
+        map2 (fun r n -> Ast.Prmpush (r, n)) reg (int_bound 9);
+        map2 (fun r n -> Ast.Prmpop (r, n)) reg (int_bound 9);
+        map2 (fun rd r -> Ast.Prmempty (rd, r)) reg reg;
+        map2 (fun rs rp -> Ast.Prmsplit (rs, rp)) reg reg;
+      ]
+  in
+  let terminator =
+    oneof
+      [ map (fun l -> Ast.Jump (Ast.Lab l)) label; return Ast.Halt;
+        map (fun r -> Ast.Join r) reg ]
+  in
+  let annot =
+    oneof
+      [ return Ast.Plain; map (fun l -> Ast.Prppt l) label;
+        map3
+          (fun jp pairs l -> Ast.Jtppt (jp, pairs, l))
+          (oneofl [ Ast.Assoc; Ast.Assoc_comm ])
+          (list_size (int_bound 2) (pair reg (oneofl [ "u"; "v" ])))
+          label ]
+  in
+  let block =
+    map3
+      (fun annot body term -> { Ast.annot; body; term })
+      annot
+      (list_size (int_bound 6) instr)
+      terminator
+  in
+  map
+    (fun blocks ->
+      { Ast.entry = "m";
+        blocks = List.map2 (fun l b -> (l, b)) labels blocks })
+    (list_repeat 4 block)
+
+let prop_round_trip =
+  QCheck.Test.make ~name:"print∘parse = id on generated programs" ~count:300
+    (QCheck.make gen_program)
+    (fun p ->
+      match Parser.parse_result (Printer.program_to_string p) with
+      | Ok p' -> Ast.equal_program p p'
+      | Error _ -> false)
+
+(* --- checker --- *)
+
+let has_error diags = List.exists Check.is_error diags
+
+let test_checker_accepts_canned () =
+  List.iter
+    (fun (name, p) ->
+      check (name ^ " clean") false (has_error (Check.check p)))
+    [ ("prod", Programs.prod); ("pow", Programs.pow); ("fib", Programs.fib) ]
+
+let test_checker_unknown_label () =
+  let p =
+    Builder.program_unchecked ~entry:"m"
+      [ Builder.block "m" [] (Ast.Jump (Ast.Lab "ghost")) ]
+  in
+  check "unknown jump target" true (has_error (Check.check p))
+
+let test_checker_missing_entry () =
+  let p =
+    Builder.program_unchecked ~entry:"nope"
+      [ Builder.block "m" [] Ast.Halt ]
+  in
+  check "missing entry" true (has_error (Check.check p))
+
+let test_checker_duplicate_blocks () =
+  let p =
+    Builder.program_unchecked ~entry:"m"
+      [ Builder.block "m" [] Ast.Halt; Builder.block "m" [] Ast.Halt ]
+  in
+  check "duplicate labels" true (has_error (Check.check p))
+
+let test_checker_jralloc_needs_jtppt () =
+  let p =
+    Builder.program_unchecked ~entry:"m"
+      [
+        Builder.block "m" [ Builder.jralloc "jr" "k" ] Ast.Halt;
+        Builder.block "k" [] Ast.Halt;
+      ]
+  in
+  check "jralloc to plain block" true (has_error (Check.check p))
+
+let test_checker_prppt_handler_exists () =
+  let p =
+    Builder.program_unchecked ~entry:"m"
+      [ Builder.block "m" ~annot:(Builder.prppt "ghost") [] Ast.Halt ]
+  in
+  check "missing handler" true (has_error (Check.check p))
+
+let test_checker_duplicate_renaming_target () =
+  let p =
+    Builder.program_unchecked ~entry:"m"
+      [
+        Builder.block "m"
+          ~annot:(Builder.jtppt [ ("a", "t"); ("b", "t") ] "m")
+          [] Ast.Halt;
+      ]
+  in
+  check "duplicate ΔR target" true (has_error (Check.check p))
+
+let test_checker_unreachable_warning () =
+  let p =
+    Builder.program_unchecked ~entry:"m"
+      [ Builder.block "m" [] Ast.Halt; Builder.block "dead" [] Ast.Halt ]
+  in
+  let diags = Check.check p in
+  check "no errors" false (has_error diags);
+  check "unreachable warning" true
+    (List.exists (fun d -> not (Check.is_error d)) diags)
+
+let test_check_exn () =
+  check "check_exn raises" true
+    (try
+       ignore
+         (Check.check_exn
+            (Builder.program_unchecked ~entry:"x"
+               [ Builder.block "m" [] Ast.Halt ]));
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  ( "syntax",
+    [
+      Alcotest.test_case "minimal program" `Quick test_minimal_program;
+      Alcotest.test_case "all instruction forms" `Quick test_instructions_parse;
+      Alcotest.test_case "semicolon separators" `Quick test_semicolon_separators;
+      Alcotest.test_case "comments and blanks" `Quick
+        test_comments_and_blank_lines;
+      Alcotest.test_case "hyphenated identifiers" `Quick
+        test_hyphenated_identifiers;
+      Alcotest.test_case "register/label resolution" `Quick
+        test_label_resolution;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+      Alcotest.test_case "canned programs round-trip" `Quick
+        test_round_trip_canned;
+      QCheck_alcotest.to_alcotest prop_round_trip;
+      Alcotest.test_case "checker accepts canned programs" `Quick
+        test_checker_accepts_canned;
+      Alcotest.test_case "checker: unknown label" `Quick
+        test_checker_unknown_label;
+      Alcotest.test_case "checker: missing entry" `Quick
+        test_checker_missing_entry;
+      Alcotest.test_case "checker: duplicate blocks" `Quick
+        test_checker_duplicate_blocks;
+      Alcotest.test_case "checker: jralloc target" `Quick
+        test_checker_jralloc_needs_jtppt;
+      Alcotest.test_case "checker: prppt handler" `Quick
+        test_checker_prppt_handler_exists;
+      Alcotest.test_case "checker: ΔR duplicate target" `Quick
+        test_checker_duplicate_renaming_target;
+      Alcotest.test_case "checker: unreachable warning" `Quick
+        test_checker_unreachable_warning;
+      Alcotest.test_case "check_exn" `Quick test_check_exn;
+    ] )

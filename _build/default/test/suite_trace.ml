@@ -1,0 +1,93 @@
+(* Tests for the tracer: the Appendix-D prod trace structure. *)
+
+open Tpal
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let collect ?(heart = Some 4) ?(limit = 10_000) program seeds =
+  Trace.collect ~watch_regs:[ "a"; "r" ] ~limit
+    ~options:{ Eval.default_options with heart; fuel = 100_000 }
+    program seeds
+
+let test_serial_prefix_matches_appendix_d () =
+  (* Appendix D, ♥ = 4, a = 3, b = 4: the first events are
+     r := 0; jump loop; if-jump; r := r + b; a := a - 1; jump loop;
+     then the first heartbeat interrupt fires at the loop entry. *)
+  let entries, res =
+    collect Programs.prod [ ("a", Value.Vint 3); ("b", Value.Vint 4) ]
+  in
+  check "run succeeded" true (Result.is_ok res);
+  let whats = List.map (fun (e : Trace.entry) -> e.what) entries in
+  let expected_prefix =
+    [ "r := 0"; "jump loop"; "if-jump a, exit"; "r := r + b"; "a := a - 1";
+      "jump loop"; "[try-promote → loop-try-promote]" ]
+  in
+  List.iteri
+    (fun i want ->
+      Alcotest.(check string)
+        (Printf.sprintf "event %d" (i + 1))
+        want (List.nth whats i))
+    expected_prefix;
+  (* the promotion fires with ⋄ = 6 > ♥ = 4 at loop[0], as in the
+     paper's worked trace *)
+  let promo = List.nth entries 6 in
+  check_int "⋄ at promotion" 6 promo.cycles;
+  Alcotest.(check string) "pc at promotion" "loop"
+    promo.pc.label
+
+let test_trace_records_fork_and_join () =
+  let entries, _ =
+    collect Programs.prod [ ("a", Value.Vint 3); ("b", Value.Vint 4) ]
+  in
+  let milestones = Trace.milestones entries in
+  let kinds = List.map (fun (e : Trace.entry) -> e.what) milestones in
+  check "has a jralloc" true
+    (List.exists (fun w -> String.length w > 8 && String.sub w 0 8 = "[jralloc") kinds);
+  check "has a fork" true
+    (List.exists (fun w -> String.length w > 5 && String.sub w 0 5 = "[fork") kinds);
+  check "has a join-continue" true
+    (List.exists
+       (fun w -> String.length w > 14 && String.sub w 0 14 = "[join-continue")
+       kinds);
+  check "ends with halt" true
+    (match List.rev entries with
+    | (e : Trace.entry) :: _ -> e.what = "[halt]"
+    | [] -> false)
+
+let test_trace_limit () =
+  let entries, _ =
+    Trace.collect ~limit:10
+      ~options:{ Eval.default_options with heart = None; fuel = 100_000 }
+      Programs.prod
+      [ ("a", Value.Vint 50); ("b", Value.Vint 1) ]
+  in
+  check_int "truncated to limit" 10 (List.length entries)
+
+let test_watch_registers () =
+  let entries, _ =
+    collect Programs.prod [ ("a", Value.Vint 3); ("b", Value.Vint 4) ]
+  in
+  (* at the a := a - 1 event (index 4), the accumulator already holds 4 *)
+  let e = List.nth entries 4 in
+  check "watched r visible" true
+    (List.exists (fun (r, v) -> r = "r" && v = "4") e.watched)
+
+let test_to_string_nonempty () =
+  let entries, _ =
+    collect Programs.prod [ ("a", Value.Vint 2); ("b", Value.Vint 2) ]
+  in
+  check "rendering nonempty" true
+    (String.length (Trace.to_string entries) > 100)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "Appendix D prod prefix" `Quick
+        test_serial_prefix_matches_appendix_d;
+      Alcotest.test_case "fork/join milestones" `Quick
+        test_trace_records_fork_and_join;
+      Alcotest.test_case "entry limit" `Quick test_trace_limit;
+      Alcotest.test_case "register watches" `Quick test_watch_registers;
+      Alcotest.test_case "rendering" `Quick test_to_string_nonempty;
+    ] )

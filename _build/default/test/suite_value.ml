@@ -1,0 +1,129 @@
+(* Unit and property tests for Value: stack objects, pointers,
+   promotion marks, equality. *)
+
+open Tpal
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let get_ptr = function
+  | Value.Vptr (s, p) -> (s, p)
+  | _ -> Alcotest.fail "expected a stack pointer"
+
+let test_zero_is_true () =
+  check "0 is true" true (Value.is_true (Value.Vint 0));
+  check "1 is false" false (Value.is_true (Value.Vint 1));
+  check "-1 is false" false (Value.is_true (Value.Vint (-1)));
+  check "labels are not true" false (Value.is_true (Value.Vlabel "l"));
+  check "join ids are not true" false (Value.is_true (Value.Vjoin 0));
+  Alcotest.(check bool) "of_bool true" true (Value.equal (Value.of_bool true) (Value.Vint 0));
+  Alcotest.(check bool) "of_bool false" true (Value.equal (Value.of_bool false) (Value.Vint 1))
+
+let test_stack_new_is_empty () =
+  let s, p = get_ptr (Value.stack_new ()) in
+  check_int "empty position" (-1) p;
+  check "no marks" false (Value.has_mark s p);
+  check "read out of bounds" true (Result.is_error (Value.read s p 0))
+
+let test_salloc_zero_initialises () =
+  let s, p = get_ptr (Value.stack_new ()) in
+  let p = Value.salloc s p 3 in
+  check_int "position after salloc 3" 2 p;
+  for i = 0 to 2 do
+    match Value.read s p i with
+    | Ok (Value.Vint 0) -> ()
+    | _ -> Alcotest.failf "cell %d not zero-initialised" i
+  done
+
+let test_read_write_offsets () =
+  (* mem[p + n] reads n cells below the pointer. *)
+  let s, p = get_ptr (Value.stack_new ()) in
+  let p = Value.salloc s p 4 in
+  Result.get_ok (Value.write s p 0 (Value.Vint 10));
+  Result.get_ok (Value.write s p 3 (Value.Vint 13));
+  check "offset 0" true (Value.read s p 0 = Ok (Value.Vint 10));
+  check "offset 3" true (Value.read s p 3 = Ok (Value.Vint 13));
+  (* an interior pointer one cell deeper sees offset 0 = old offset 1 *)
+  let q = p - 1 in
+  check "interior aliasing" true (Value.read s q 2 = Ok (Value.Vint 13))
+
+let test_salloc_zeroes_freed_cells () =
+  (* freed memory must not leak into re-allocated frames *)
+  let s, p = get_ptr (Value.stack_new ()) in
+  let p = Value.salloc s p 2 in
+  Result.get_ok (Value.write s p 0 (Value.Vint 42));
+  let p = Result.get_ok (Value.sfree p 2) in
+  let p = Value.salloc s p 2 in
+  check "stale value cleared" true (Value.read s p 0 = Ok (Value.Vint 0))
+
+let test_sfree_underflow () =
+  let _, p = get_ptr (Value.stack_new ()) in
+  check "underflow detected" true (Result.is_error (Value.sfree p 1));
+  check "free to empty ok" true (Value.sfree 1 2 = Ok (-1))
+
+let test_marks_oldest () =
+  let s, p = get_ptr (Value.stack_new ()) in
+  let p = Value.salloc s p 6 in
+  (* push marks at offsets 1 and 4: offset 4 is deeper = older *)
+  Result.get_ok (Value.write s p 1 Value.Vprmark);
+  Result.get_ok (Value.write s p 4 Value.Vprmark);
+  check "has mark" true (Value.has_mark s p);
+  check_int "oldest is the deepest" 4
+    (Option.get (Value.oldest_mark s p));
+  (* clearing the oldest leaves the newer one *)
+  Result.get_ok (Value.write s p 4 (Value.Vint 0));
+  check_int "then the newer one" 1 (Option.get (Value.oldest_mark s p))
+
+let test_equality_structural () =
+  let mk vals =
+    let s, p = get_ptr (Value.stack_new ()) in
+    let p = Value.salloc s p (List.length vals) in
+    List.iteri (fun i v -> Result.get_ok (Value.write s p i v)) vals;
+    Value.Vptr (s, p)
+  in
+  let a = mk [ Value.Vint 1; Value.Vint 2 ] in
+  let b = mk [ Value.Vint 1; Value.Vint 2 ] in
+  let c = mk [ Value.Vint 1; Value.Vint 3 ] in
+  check "independent stacks with equal segments" true (Value.equal a b);
+  check "different contents differ" false (Value.equal a c);
+  check "int equality" true (Value.equal (Value.Vint 5) (Value.Vint 5));
+  check "kind mismatch" false (Value.equal (Value.Vint 0) (Value.Vjoin 0))
+
+let test_kinds () =
+  Alcotest.(check string) "int" "int" (Value.kind (Value.Vint 3));
+  Alcotest.(check string) "label" "label" (Value.kind (Value.Vlabel "x"));
+  Alcotest.(check string) "join" "join-record" (Value.kind (Value.Vjoin 1));
+  Alcotest.(check string) "mark" "prmark" (Value.kind Value.Vprmark)
+
+(* property: a stack behaves like a list of cells under
+   push/write/read *)
+let prop_stack_model =
+  QCheck.Test.make ~name:"stack matches a functional model" ~count:200
+    QCheck.(list (pair (int_bound 20) small_int))
+    (fun ops ->
+      let s, p0 = get_ptr (Value.stack_new ()) in
+      let p = Value.salloc s p0 21 in
+      let model = Array.make 21 0 in
+      List.for_all
+        (fun (off, v) ->
+          (match Value.write s p off (Value.Vint v) with
+          | Ok () -> model.(off) <- v
+          | Error _ -> ());
+          Value.read s p off = Ok (Value.Vint model.(off)))
+        ops)
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "zero-is-true convention" `Quick test_zero_is_true;
+      Alcotest.test_case "snew yields empty stack" `Quick test_stack_new_is_empty;
+      Alcotest.test_case "salloc zero-initialises" `Quick test_salloc_zero_initialises;
+      Alcotest.test_case "read/write addressing" `Quick test_read_write_offsets;
+      Alcotest.test_case "freed cells are zeroed on realloc" `Quick
+        test_salloc_zeroes_freed_cells;
+      Alcotest.test_case "sfree underflow" `Quick test_sfree_underflow;
+      Alcotest.test_case "oldest mark selection" `Quick test_marks_oldest;
+      Alcotest.test_case "structural equality" `Quick test_equality_structural;
+      Alcotest.test_case "value kinds" `Quick test_kinds;
+      QCheck_alcotest.to_alcotest prop_stack_model;
+    ] )

@@ -1,0 +1,24 @@
+(* Test runner: every suite of the reproduction — the TPAL abstract
+   machine and toolchain, the simulated testbed substrate, the
+   benchmark kernels, the effects-based heartbeat runtime, and the
+   experiment harness. *)
+
+let () =
+  Alcotest.run "tpal-repro"
+    [
+      Suite_value.suite;
+      Suite_machine.suite;
+      Suite_step.suite;
+      Suite_eval.suite;
+      Suite_cost.suite;
+      Suite_syntax.suite;
+      Suite_trace.suite;
+      Suite_rollforward.suite;
+      Suite_assets.suite;
+      Suite_substrate.suite;
+      Suite_engine.suite;
+      Suite_workloads.suite;
+      Suite_heartbeat.suite;
+      Suite_stats.suite;
+      Suite_repro.suite;
+    ]
