@@ -2,7 +2,13 @@
    the regenerated table(s).
 
    Ids: fig6 fig7 fig8 fig9 fig10 fig11 fig13 fig14 fig15 headline
-   tuner ablation all. *)
+   tuner ablation trace all.
+
+   With --trace FILE, additionally simulate the experiment's
+   representative configuration with the cycle recorder attached and
+   write a Chrome trace-event JSON (load it at https://ui.perfetto.dev
+   or chrome://tracing); the per-core timeline report prints to
+   stdout. *)
 
 open Cmdliner
 
@@ -12,19 +18,53 @@ let id_arg =
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "One of: fig6 fig7 fig8 fig9 fig10 fig11 fig13 fig14 fig15 \
-           headline tuner ablation all.")
+           headline tuner ablation trace all.")
 
-let go id =
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Also record a per-core cycle trace of the experiment's \
+           representative configuration and write it to $(docv) in Chrome \
+           trace-event JSON (Perfetto-loadable).")
+
+let write_trace (id : string) (file : string) : int =
+  match Repro.Figures.trace_spec id with
+  | None ->
+      Printf.eprintf "no traceable configuration for %S\n" id;
+      1
+  | Some spec -> (
+      (* open before simulating so a bad path fails fast, not after a
+         multi-second run *)
+      match open_out file with
+      | exception Sys_error msg ->
+          Printf.eprintf "cannot write trace: %s\n" msg;
+          1
+      | oc ->
+      let _metrics, tr = Repro.Runner.measure_traced spec in
+      output_string oc (Sim.Sim_trace.to_chrome_string tr);
+      close_out oc;
+      print_newline ();
+      print_string (Sim.Sim_trace.report tr);
+      Printf.printf
+        "\nwrote %s (%d events) — load it at https://ui.perfetto.dev\n" file
+        (Sim.Sim_trace.length tr);
+      0)
+
+let go id trace_file =
   match Repro.Figures.by_name id with
   | None ->
       Printf.eprintf "unknown experiment %S\n" id;
       1
-  | Some tables ->
+  | Some tables -> (
       List.iter Repro.Figures.print_table tables;
-      0
+      match trace_file with
+      | None -> 0
+      | Some file -> write_trace id file)
 
 let () =
   let info =
     Cmd.info "repro" ~doc:"Regenerate one of the paper's figures or tables."
   in
-  exit (Cmd.eval' (Cmd.v info Term.(const go $ id_arg)))
+  exit (Cmd.eval' (Cmd.v info Term.(const go $ id_arg $ trace_arg)))

@@ -124,6 +124,32 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Statically check a TPAL program.")
     Term.(const go $ file_arg)
 
+(* Export abstract-machine trace entries as Chrome trace-event JSON:
+   one instant per executed instruction, timestamped by the machine's
+   own cycle counter, so a .tpal run can be eyeballed in Perfetto next
+   to a simulator trace. *)
+let entries_to_chrome (entries : Tpal.Trace.entry list) : string =
+  let module C = Stats.Chrome_trace in
+  Stats.Chrome_trace.to_string
+    (C.process_name ~pid:0 "tpali"
+    :: C.thread_name ~pid:0 ~tid:0 "abstract machine"
+    :: List.map
+         (fun (e : Tpal.Trace.entry) ->
+           C.instant ~cat:"instruction"
+             ~args:
+               ([
+                  ("index", C.Int e.index);
+                  ("cycles", C.Int e.cycles);
+                  ("pc", C.Str (Fmt.str "%a" Tpal.Task.pp_pc e.pc));
+                ]
+               @ List.map
+                   (fun (r, v) -> ("reg:" ^ r, C.Str v))
+                   e.watched)
+             ~name:e.what ~pid:0 ~tid:0
+             ~ts:(float_of_int e.cycles)
+             ())
+         entries)
+
 let trace_cmd =
   let limit_arg =
     Arg.(
@@ -135,7 +161,15 @@ let trace_cmd =
       value & opt_all string []
       & info [ "watch" ] ~docv:"REG" ~doc:"Watch register $(docv).")
   in
-  let go file seeds heart fuel watch limit =
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the trace to $(docv) in Chrome trace-event JSON \
+             (Perfetto-loadable), one instant event per instruction.")
+  in
+  let go file seeds heart fuel watch limit json =
     match parse_program file with
     | Error (`Msg e) ->
         Fmt.epr "%s@." e;
@@ -147,16 +181,30 @@ let trace_cmd =
             ~options:(options ~heart ~fuel) p bindings
         in
         print_endline (Tpal.Trace.to_string entries);
+        let json_rc =
+          match json with
+          | None -> 0
+          | Some f -> (
+              match open_out f with
+              | exception Sys_error msg ->
+                  Fmt.epr "cannot write trace: %s@." msg;
+                  1
+              | oc ->
+                  output_string oc (entries_to_chrome entries);
+                  close_out oc;
+                  Fmt.pr "wrote %s (%d events)@." f (List.length entries);
+                  0)
+        in
         (match res with
         | Ok fin -> print_outcome fin []
         | Error e -> Fmt.epr "machine error: %a@." Tpal.Machine_error.pp e);
-        0
+        json_rc
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Evaluate with a step-by-step trace.")
     Term.(
       const go $ file_arg $ seeds_arg $ heart_arg $ fuel_arg $ watch_arg
-      $ limit_arg)
+      $ limit_arg $ json_arg)
 
 let () =
   let info =

@@ -34,14 +34,30 @@ let () =
   let y_serial = Workloads.Csr.spmv_serial m x in
 
   (* Real heartbeat runtime: rows are a promotable parallel loop, long
-     rows a promotable nested reduction. *)
+     rows a promotable nested reduction.  The on_event hook watches the
+     scheduler live — the same event stream Sim_trace records for the
+     simulator. *)
   let y = Array.make n 0. in
+  let ev_beats = ref 0
+  and ev_loop = ref 0
+  and ev_branch = ref 0
+  and ev_suspends = ref 0
+  and ev_tasks = ref 0 in
+  let on_event : Heartbeat.Hb_runtime.event -> unit = function
+    | Heartbeat.Hb_runtime.Beat -> incr ev_beats
+    | Promoted `Loop -> incr ev_loop
+    | Promoted `Branch -> incr ev_branch
+    | Join_suspend -> incr ev_suspends
+    | Task_start -> incr ev_tasks
+    | Join_resume | Task_finish -> ()
+  in
   let (), st =
     Heartbeat.Hb_runtime.run
       ~config:
         { Heartbeat.Hb_runtime.default_config with
           heart_us = 100.;
-          source = `Polling }
+          source = `Polling;
+          on_event = Some on_event }
       (fun () -> Workloads.Csr.spmv ~row_grain:1024 (module Hb) m x y)
   in
   let ok =
@@ -53,6 +69,12 @@ let () =
     "heartbeat runtime: result matches serial = %b | beats=%d promotions=%d \
      (loops=%d, branches=%d) joins=%d\n"
     ok st.beats st.promotions st.loop_promotions st.branch_promotions st.joins;
+  Printf.printf
+    "event hook agrees: beats=%b promotions=%b suspends=%b | promoted tasks \
+     executed=%d\n"
+    (!ev_beats = st.beats)
+    (!ev_loop = st.loop_promotions && !ev_branch = st.branch_promotions)
+    (!ev_suspends = st.joins) !ev_tasks;
 
   (* Simulated testbed, Figure 7 shape. *)
   let w = Option.get (Workloads.Workload.find "spmv-powerlaw") in

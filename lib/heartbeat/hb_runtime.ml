@@ -54,6 +54,18 @@ type marks = entry list ref
 
 type task = { run : unit -> unit; marks : marks }
 
+(** Observability hook: the real-runtime mirror of the simulator's
+    {!Sim.Sim_trace} events, fired synchronously from the scheduler's
+    own code path (so the callback must be cheap and must not call
+    back into the runtime). *)
+type event =
+  | Beat  (** a heartbeat observed at a promotion-ready point *)
+  | Promoted of [ `Loop | `Branch ]
+  | Join_suspend  (** a computation suspended on a join record *)
+  | Join_resume  (** a suspended computation resumed by its last child *)
+  | Task_start  (** a promoted task begins execution *)
+  | Task_finish
+
 type config = {
   heart_us : float;  (** ♥ in microseconds *)
   source : [ `Ping_thread | `Polling ];
@@ -62,10 +74,13 @@ type config = {
   poll_stride : int;
       (** loop iterations between polls, amortising the poll cost on
           very fine-grained loops *)
+  on_event : (event -> unit) option;
+      (** scheduling-event hook; [None] = tracing off (no overhead
+          beyond one match per event site) *)
 }
 
 let default_config =
-  { heart_us = 100.; source = `Ping_thread; poll_stride = 32 }
+  { heart_us = 100.; source = `Ping_thread; poll_stride = 32; on_event = None }
 
 type stats = {
   beats : int;  (** heartbeats observed at promotion-ready points *)
@@ -103,6 +118,9 @@ type _ Effect.t += Wait : join -> unit Effect.t
 
 let fresh_join () = { pending = 0; waiter = None; waiter_marks = None }
 
+let fire (s : state) (e : event) : unit =
+  match s.cfg.on_event with None -> () | Some f -> f e
+
 (* A promoted child finished: resolve the join; the last arrival
    resumes the suspended parent (with its mark list restored). *)
 let finish (s : state) (jr : join) : unit =
@@ -115,6 +133,7 @@ let finish (s : state) (jr : join) : unit =
         let m = Option.get jr.waiter_marks in
         jr.waiter_marks <- None;
         s.current_marks <- m;
+        fire s Join_resume;
         Effect.Deep.continue k ()
 
 let push_mark (s : state) (e : entry) : unit =
@@ -156,6 +175,7 @@ let rec promote (s : state) : unit =
       b.bjr.pending <- b.bjr.pending + 1;
       s.st_promotions <- s.st_promotions + 1;
       s.st_branch_promotions <- s.st_branch_promotions + 1;
+      fire s (Promoted `Branch);
       let jr = b.bjr in
       enqueue s
         { run = (fun () -> thunk (); finish s jr); marks = ref [] }
@@ -166,6 +186,7 @@ let rec promote (s : state) : unit =
       l.ljr.pending <- l.ljr.pending + 1;
       s.st_promotions <- s.st_promotions + 1;
       s.st_loop_promotions <- s.st_loop_promotions + 1;
+      fire s (Promoted `Loop);
       let f = l.f and jr = l.ljr in
       enqueue s
         { run =
@@ -196,6 +217,7 @@ and poll () : unit =
   in
   if due then begin
     s.st_beats <- s.st_beats + 1;
+    fire s Beat;
     promote s
   end
 
@@ -230,6 +252,7 @@ let par_for ~(lo : int) ~(hi : int) (f : int -> unit) : unit =
   poll ();
   if jr.pending > 0 then begin
     s.st_joins <- s.st_joins + 1;
+    fire s Join_suspend;
     Effect.perform (Wait jr)
   end
 
@@ -251,6 +274,7 @@ let fork2 (a : unit -> unit) (b : unit -> unit) : unit =
   | None ->
       if jr.pending > 0 then begin
         s.st_joins <- s.st_joins + 1;
+        fire s Join_suspend;
         Effect.perform (Wait jr)
       end
 
@@ -333,7 +357,9 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
     | None -> ()
     | Some t ->
         s.current_marks <- t.marks;
+        fire s Task_start;
         exec t.run;
+        fire s Task_finish;
         drain ()
   in
   let finalize () =

@@ -392,6 +392,128 @@ let ablation_style () : Stats.Table.t =
     [ row "expanded (Fig 2)" Tpal.Programs.prod;
       row "reduced (D.5)" Tpal.Programs.prod_reduced ]
 
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                            *)
+
+let find_w (name : string) : Workload.t =
+  match Workload.find name with
+  | Some w -> w
+  | None -> invalid_arg ("Figures: unknown workload " ^ name)
+
+(** A representative simulator configuration to trace for a figure id
+    (the workload/system pair whose scheduling behaviour dominates
+    that figure's story) — what [repro_cli --trace] records. *)
+let trace_spec (name : string) : Runner.spec option =
+  match name with
+  | "fig6" ->
+      (* Cilk's eager decomposition overhead, 1 core *)
+      Some (Runner.spec ~procs:1 Runner.Cilk_sys (find_w "kmeans"))
+  | "fig8" ->
+      (* TPAL's compile-time-only overhead: no beats at all *)
+      Some
+        (Runner.spec ~procs:1 ~interrupts:false Runner.Tpal_linux
+           (find_w "knapsack"))
+  | "fig9" ->
+      Some
+        (Runner.spec ~procs:1 ~heart_us:20. Runner.Tpal_linux
+           (find_w "spmv-random"))
+  | "fig10" ->
+      (* the saturating ping-thread sweep at the stress heart *)
+      Some (Runner.spec ~heart_us:20. Runner.Tpal_linux (find_w "mandelbrot"))
+  | "fig13" ->
+      Some
+        (Runner.spec ~procs:1 ~heart_us:20. Runner.Tpal_nautilus
+           (find_w "spmv-random"))
+  | "fig7" | "fig11" | "fig14" | "fig15" | "fig15a" | "fig15b" | "headline"
+  | "tuner" | "ablation" | "all" | "trace" ->
+      (* the multicore steady state: stealing + promotions at 15 cores *)
+      Some (Runner.spec Runner.Tpal_linux (find_w "spmv-random"))
+  | _ -> None
+
+(** Trace sanity driver (figure id ["trace"]): run representative
+    configurations with the recorder attached and cross-check the
+    traced per-core accounting against the engine's own {!Sim.Metrics}
+    — the observability layer validating itself. *)
+let trace_sanity () : Stats.Table.t list =
+  let specs =
+    [
+      Runner.spec Runner.Tpal_linux (find_w "spmv-random");
+      Runner.spec ~heart_us:20. Runner.Tpal_nautilus (find_w "mandelbrot");
+      Runner.spec Runner.Cilk_sys (find_w "kmeans");
+    ]
+  in
+  let measured = List.map (fun s -> (s, Runner.measure_traced s)) specs in
+  let label (s : Runner.spec) =
+    Printf.sprintf "%s %s P=%d" s.workload (Runner.system_name s.system)
+      s.procs
+  in
+  let gi = Stats.Table.fmt_int_grouped in
+  let recon =
+    List.map
+      (fun ((s : Runner.spec), ((m : Sim.Metrics.t), tr)) ->
+        let tot = Sim.Sim_trace.totals tr in
+        let exact =
+          tot.Sim.Sim_trace.work = m.work
+          && tot.Sim.Sim_trace.overhead = m.overhead
+          && tot.Sim.Sim_trace.idle = m.idle
+        in
+        [
+          label s;
+          gi m.work;
+          gi tot.Sim.Sim_trace.work;
+          gi m.overhead;
+          gi tot.Sim.Sim_trace.overhead;
+          gi m.idle;
+          gi tot.Sim.Sim_trace.idle;
+          (if exact then "yes" else "NO");
+        ])
+      measured
+  in
+  let dists =
+    List.map
+      (fun ((s : Runner.spec), ((m : Sim.Metrics.t), tr)) ->
+        let lat =
+          List.map float_of_int (Sim.Sim_trace.steal_latencies tr)
+        in
+        let inter =
+          List.map float_of_int (Sim.Sim_trace.promotion_interarrivals tr)
+        in
+        let util =
+          Sim.Sim_trace.utilization_histogram tr ~makespan:m.makespan
+        in
+        [
+          label s;
+          Printf.sprintf "%d/%d" (Sim.Sim_trace.beats tr) m.beats_delivered;
+          string_of_int (Sim.Sim_trace.beats_lost tr);
+          string_of_int (Sim.Sim_trace.promotions tr);
+          f1 (Stats.mean inter);
+          string_of_int (Sim.Sim_trace.steals tr);
+          f1 (Stats.mean lat);
+          String.concat "."
+            (Array.to_list (Array.map string_of_int util));
+        ])
+      measured
+  in
+  [
+    Stats.Table.make
+      ~title:
+        "Trace sanity: traced per-core cycle totals vs engine Metrics \
+         (must reconcile exactly)"
+      ~header:
+        [ "configuration"; "work"; "work(tr)"; "ovh"; "ovh(tr)"; "idle";
+          "idle(tr)"; "exact" ]
+      recon;
+    Stats.Table.make
+      ~title:
+        "Trace sanity: derived distributions (beats traced/delivered, \
+         promotion inter-arrival, steal latency, utilization histogram \
+         0..100%)"
+      ~header:
+        [ "configuration"; "beats"; "lost"; "promos"; "inter-arr";
+          "steals"; "steal-lat"; "util-hist" ]
+      dists;
+  ]
+
 (** Everything, in paper order. *)
 let all () : Stats.Table.t list =
   [ fig6 (); fig7 (); fig8 (); fig9 () ]
@@ -414,5 +536,6 @@ let by_name (name : string) : Stats.Table.t list option =
   | "headline" -> Some [ headline () ]
   | "tuner" -> Some [ tuner () ]
   | "ablation" -> Some [ ablation_policy (); ablation_style () ]
+  | "trace" -> Some (trace_sanity ())
   | "all" -> Some (all ())
   | _ -> None

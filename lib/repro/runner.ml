@@ -75,6 +75,20 @@ let measure (s : spec) : Sim.Metrics.t =
       Hashtbl.replace cache s m;
       m
 
+(** [measure_traced spec] simulates [spec] with a fresh {!Sim.Sim_trace}
+    recorder attached and returns the metrics together with the trace.
+    Never cached: the trace is the point. *)
+let measure_traced (s : spec) : Sim.Metrics.t * Sim.Sim_trace.t =
+  let w =
+    match Workloads.Workload.find s.workload with
+    | Some w -> w
+    | None ->
+        invalid_arg ("Runner.measure_traced: unknown workload " ^ s.workload)
+  in
+  let trace = Sim.Sim_trace.create () in
+  let m = Sim.Engine.run ~trace (config_of s w) (Lazy.force w.ir) in
+  (m, trace)
+
 (** Serial baseline time in cycles (engine-measured, one core, no
     interrupts). *)
 let serial_time (w : Workloads.Workload.t) : int =

@@ -7,11 +7,22 @@
     mechanism.  Virtual time is in CPU cycles; all scheduling costs
     come from {!Params}.
 
-    Event-ordering invariant: a core's running segment never spans a
-    heartbeat delivery time, because segment budgets are capped at the
-    next known delivery; ties at the same instant resolve in insertion
-    order, which places the beat first (it was scheduled when the
-    previous beat fired, strictly earlier than any racing resume). *)
+    Event-ordering invariant: a core's running segment never spans an
+    {e effective} heartbeat delivery.  Segment budgets are capped at
+    the next known delivery time, but an atomic action (one loop
+    iteration, one leaf chunk) can overshoot the cap by its own
+    granularity — exactly as real TPAL code only honours an interrupt
+    at the next promotion-ready point (rollforward, §3.3).  A beat
+    whose nominal arrival falls strictly inside a running segment is
+    therefore delivered {e effectively} at the segment's end, which is
+    the next promotion-ready point; ties at the same instant resolve
+    in insertion order, which places the beat first (it was scheduled
+    when the previous beat fired, strictly earlier than any racing
+    resume).
+
+    Pass [?trace] to {!run} to record every scheduling decision as a
+    {!Sim_trace} event stream; recording off costs one match per
+    emission site. *)
 
 type config = {
   cfg : Runnable.cfg;
@@ -52,6 +63,10 @@ type core = {
   mutable parked : bool;  (** no further events scheduled for this core *)
   mutable busy : bool;  (** a work segment is in flight until the next
                             resume (virtual busy interval) *)
+  mutable seg_start : int;  (** start of the last scheduled segment *)
+  mutable seg_end : int;
+      (** scheduling frontier: end of the last scheduled segment (of
+          any class) — the core's next promotion-ready point *)
   mutable steal_fails : int;  (** consecutive failed steal scans, for
                                   exponential back-off *)
 }
@@ -61,10 +76,18 @@ type core = {
    (run_for additionally stops early whenever it spawns). *)
 let max_chunk = 250_000
 
-let run (config : config) (ir : Par_ir.t) : Metrics.t =
+let run ?(trace : Sim_trace.t option) (config : config) (ir : Par_ir.t) :
+    Metrics.t =
   let params = config.cfg.params in
   let procs = max 1 params.procs in
   let rng = Prng.create ~seed:params.seed in
+  (* per-run deterministic task ids, so traces are reproducible *)
+  Runnable.reset_ids ();
+  let emit ~at ~core ?task kind =
+    match trace with
+    | None -> ()
+    | Some tr -> Sim_trace.emit tr ~at ~core ?task kind
+  in
   let cores =
     Array.init procs (fun id ->
         {
@@ -79,12 +102,15 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
           last_active = 0;
           parked = false;
           busy = false;
+          seg_start = 0;
+          seg_end = 0;
           steal_fails = 0;
         })
   in
   let q = Eventq.create ~dummy:(Resume 0) in
   let interrupts =
-    Interrupts.create params config.mech ~mem_intensity:config.mem_intensity
+    Interrupts.create ?trace params config.mech
+      ~mem_intensity:config.mem_intensity
   in
   let next_beat_time = ref max_int in
   let schedule_beat () =
@@ -140,16 +166,21 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
           | None -> ()
           | Some w ->
               s.waiter <- None;
+              emit ~at:t ~core:core.id ~task:task.id
+                (Sim_trace.Join_resume { waiter = w.id });
               Wsdeque.push_bottom core.deque w)
   in
   (* Service pending heartbeats on a running core: handler cost plus
      (in TPAL mode with promotion enabled) one promotion attempt per
      beat, outermost-first.  Returns the cycles consumed. *)
-  let service_beats (core : core) : int =
+  let service_beats (core : core) (t : int) : int =
     let cost = ref core.pending_handler in
     let beats = core.pending_beats in
     core.pending_handler <- 0;
     core.pending_beats <- 0;
+    let tid =
+      match core.current with Some task -> task.id | None -> -1
+    in
     if
       config.promote
       && config.cfg.mode = Runnable.Tpal
@@ -158,25 +189,48 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
       let task = Option.get core.current in
       for _ = 1 to beats do
         incr promotion_attempts;
+        emit ~at:t ~core:core.id ~task:tid Sim_trace.Promote_attempt;
         match Runnable.try_promote config.cfg task with
         | Some child ->
             incr promotions;
             cost := !cost + params.tau_promote + params.join_cost;
+            emit ~at:t ~core:core.id ~task:tid
+              (Sim_trace.Promote_success { child = child.id });
             push_tasks core [ child ]
         | None -> ()
       done
     end;
     core.overhead <- core.overhead + !cost;
+    core.seg_start <- t;
+    core.seg_end <- t + !cost;
+    emit ~at:t ~core:core.id ~task:tid (Sim_trace.Seg_start Service);
+    emit ~at:(t + !cost) ~core:core.id ~task:tid
+      (Sim_trace.Seg_end
+         { cls = Service; work = 0; overhead = !cost; idle = 0 });
     !cost
   in
   (* Acquire work: own deque first, then a scan over up to P random
-     victims.  Returns the cycles the acquisition occupied. *)
-  let try_acquire (core : core) : int option =
+     victims — each probe targeting one of the {e other} P−1 cores
+     (probing oneself would silently burn 1/P of the budget).  Returns
+    the cycles the acquisition occupied. *)
+  let try_acquire (core : core) (t : int) : int option =
+    let acquired cost =
+      core.seg_start <- t;
+      core.seg_end <- t + cost;
+      emit ~at:t ~core:core.id
+        ~task:(match core.current with Some w -> w.id | None -> -1)
+        (Sim_trace.Seg_start Acquire);
+      emit ~at:(t + cost) ~core:core.id
+        ~task:(match core.current with Some w -> w.id | None -> -1)
+        (Sim_trace.Seg_end
+           { cls = Acquire; work = 0; overhead = cost; idle = 0 })
+    in
     match Wsdeque.pop_bottom core.deque with
-    | Some t ->
-        core.current <- Some t;
+    | Some task ->
+        core.current <- Some task;
         core.steal_fails <- 0;
         core.overhead <- core.overhead + params.pop_cost;
+        acquired params.pop_cost;
         Some params.pop_cost
     | None ->
         if procs = 1 then None
@@ -185,18 +239,22 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
           let tries = ref 0 in
           while !found = None && !tries < procs do
             incr tries;
-            let victim = Prng.int rng procs in
-            if victim <> core.id then
-              match Wsdeque.steal_top cores.(victim).deque with
-              | Some t -> found := Some t
-              | None -> ()
+            let v = Prng.int rng (procs - 1) in
+            let victim = if v >= core.id then v + 1 else v in
+            emit ~at:t ~core:core.id (Sim_trace.Steal_attempt { victim });
+            match Wsdeque.steal_top cores.(victim).deque with
+            | Some task -> found := Some (victim, task)
+            | None -> ()
           done;
           match !found with
-          | Some t ->
+          | Some (victim, task) ->
               incr steals;
               core.overhead <- core.overhead + params.steal_cost;
-              core.current <- Some t;
+              core.current <- Some task;
               core.steal_fails <- 0;
+              emit ~at:t ~core:core.id ~task:task.id
+                (Sim_trace.Steal_success { victim });
+              acquired params.steal_cost;
               Some params.steal_cost
           | None ->
               core.steal_fails <- core.steal_fails + 1;
@@ -211,7 +269,7 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
       decr active
     end;
     let beat_cost =
-      if core.pending_beats > 0 then service_beats core else 0
+      if core.pending_beats > 0 then service_beats core t else 0
     in
     let t = t + beat_cost in
     match core.current with
@@ -247,6 +305,17 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
         in
         let elapsed = max 1 (max out.consumed mem_time) in
         let t2 = t + elapsed in
+        core.seg_start <- t;
+        core.seg_end <- t2;
+        emit ~at:t ~core:core.id ~task:task.id (Sim_trace.Seg_start Run);
+        emit ~at:t2 ~core:core.id ~task:task.id
+          (Sim_trace.Seg_end
+             {
+               cls = Run;
+               work = out.work_done;
+               overhead = out.overhead_done;
+               idle = 0;
+             });
         core.last_active <- t2;
         (if out.finished then begin
            core.current <- None;
@@ -257,11 +326,12 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
            | Some s ->
                (* the join: park the task until its last child signals *)
                core.current <- None;
-               s.waiter <- Some task
+               s.waiter <- Some task;
+               emit ~at:t2 ~core:core.id ~task:task.id Sim_trace.Join_block
            | None -> ());
         Eventq.add q ~time:t2 (Resume core.id)
     | None -> (
-        match try_acquire core with
+        match try_acquire core t with
         | Some cost -> Eventq.add q ~time:(t + max 1 cost) (Resume core.id)
         | None ->
             if !remaining > 0 then begin
@@ -272,9 +342,18 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
                   (params.steal_retry * (1 lsl min 6 core.steal_fails))
               in
               core.idle <- core.idle + wait;
+              core.seg_start <- t;
+              core.seg_end <- t + wait;
+              emit ~at:t ~core:core.id (Sim_trace.Seg_start Idle);
+              emit ~at:(t + wait) ~core:core.id
+                (Sim_trace.Seg_end
+                   { cls = Idle; work = 0; overhead = 0; idle = wait });
               Eventq.add q ~time:(t + wait) (Resume core.id)
             end
-            else core.parked <- true)
+            else begin
+              core.parked <- true;
+              emit ~at:t ~core:core.id Sim_trace.Park
+            end)
   in
   let handle_beat (d : Interrupts.delivery) =
     if !remaining > 0 then begin
@@ -283,10 +362,22 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
         let core = cores.(d.core) in
         core.pending_handler <- core.pending_handler + d.handler_cost;
         core.pending_beats <- core.pending_beats + 1;
+        (* effective delivery point: the core's next promotion-ready
+           point at or after the nominal arrival (rollforward).  The
+           frontier also absorbs jittered ping deliveries whose
+           timestamps run slightly behind the sweep — they take effect
+           where the core actually is, never inside an already-traced
+           segment. *)
+        let eff = max d.at core.seg_end in
+        emit ~at:eff ~core:core.id
+          ~task:(match core.current with Some w -> w.id | None -> -1)
+          (Sim_trace.Beat_delivered
+             { arrived = d.at; handler_cost = d.handler_cost });
         (* wake a parked core so the handler cost is accounted (it may
            also find freshly promoted work from others) *)
         if core.parked then begin
           core.parked <- false;
+          emit ~at:d.at ~core:core.id Sim_trace.Unpark;
           Eventq.add q ~time:d.at (Resume core.id)
         end
       end;
@@ -301,7 +392,6 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
     | Some (t, Resume c) -> handle_resume cores.(c) t
     | Some (_, Beat d) -> handle_beat d
   done;
-  let heart = Params.heart_cycles params in
   let work = Array.fold_left (fun acc c -> acc + c.work) 0 cores in
   let overhead = Array.fold_left (fun acc c -> acc + c.overhead) 0 cores in
   let idle = Array.fold_left (fun acc c -> acc + c.idle) 0 cores in
@@ -315,9 +405,8 @@ let run (config : config) (ir : Par_ir.t) : Metrics.t =
     promotion_attempts = !promotion_attempts;
     steals = !steals;
     beats_delivered = !beats_delivered;
-    beats_target =
-      (if config.mech = Interrupts.Off || heart = 0 then 0
-       else procs * (!makespan / heart));
+    beats_emitted = Interrupts.delivered interrupts;
+    beats_target = Interrupts.target_count interrupts ~horizon:!makespan;
     beats_lost = Interrupts.lost interrupts;
   }
 

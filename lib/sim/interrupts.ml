@@ -52,13 +52,17 @@ type t = {
   (* accounting *)
   mutable delivered : int;
   mutable lost : int;
+  trace : Sim_trace.t option;  (** loss events are recorded here *)
 }
 
-(** [create params mech ~mem_intensity] instantiates a delivery stream.
-    [mem_intensity ∈ [0,1]] models how often the workload sits in
-    memory-stall / kernel paths that defer Linux signal delivery; it
-    has no effect on Nautilus IPIs. *)
-let create (params : Params.t) (mech : mech) ~(mem_intensity : float) : t =
+(** [create ?trace params mech ~mem_intensity] instantiates a delivery
+    stream.  [mem_intensity ∈ [0,1]] models how often the workload sits
+    in memory-stall / kernel paths that defer Linux signal delivery; it
+    has no effect on Nautilus IPIs.  [trace] records each lost beat
+    (the delivered ones are recorded by the engine, at their effective
+    delivery point). *)
+let create ?(trace : Sim_trace.t option) (params : Params.t) (mech : mech)
+    ~(mem_intensity : float) : t =
   let heart = Params.heart_cycles params in
   {
     params;
@@ -71,7 +75,13 @@ let create (params : Params.t) (mech : mech) ~(mem_intensity : float) : t =
     per_core_next = Array.make (max 1 params.procs) heart;
     delivered = 0;
     lost = 0;
+    trace;
   }
+
+let trace_loss (t : t) ~(at : int) ~(core : int) : unit =
+  match t.trace with
+  | None -> ()
+  | Some tr -> Sim_trace.emit tr ~at ~core Sim_trace.Beat_lost
 
 let jitter (t : t) : int =
   if t.params.signal_jitter = 0 then 0
@@ -97,6 +107,7 @@ let rec next_ping (t : t) : delivery option =
     t.sweep_pos <- t.sweep_pos + 1;
     if Prng.float t.rng < t.loss_prob then begin
       t.lost <- t.lost + 1;
+      trace_loss t ~at:send_done ~core;
       next_ping t
     end
     else begin
@@ -120,6 +131,7 @@ let rec next_percore (t : t) ~(handler_cost : int) ~(latency : int)
     t.per_core_next.(!core) <- nominal + t.heart;
     if lossy && Prng.float t.rng < t.loss_prob then begin
       t.lost <- t.lost + 1;
+      trace_loss t ~at:nominal ~core:!core;
       next_percore t ~handler_cost ~latency ~jittered ~lossy
     end
     else begin
@@ -148,7 +160,9 @@ let delivered (t : t) : int = t.delivered
 (** Beats lost so far (Linux signal coalescing). *)
 let lost (t : t) : int = t.lost
 
-(** Fleet-wide target beat count for a run of [horizon] cycles. *)
+(** Fleet-wide target beat count for a run of [horizon] cycles — the
+    denominator of Figure 10's achieved-rate ratios.  Uses the same
+    worker count the engine simulates ([max 1 procs]). *)
 let target_count (t : t) ~(horizon : int) : int =
   if t.mech = Off || t.heart = 0 then 0
-  else t.params.procs * (horizon / t.heart)
+  else max 1 t.params.procs * (horizon / t.heart)

@@ -13,7 +13,11 @@ type t = {
   promotions : int;  (** successful heartbeat promotions *)
   promotion_attempts : int;  (** handler entries (incl. aborted attempts) *)
   steals : int;  (** successful steals *)
-  beats_delivered : int;  (** heartbeat interrupts delivered *)
+  beats_delivered : int;  (** heartbeat interrupts delivered to cores *)
+  beats_emitted : int;
+      (** beats the interrupt mechanism generated; at most one more
+          than [beats_delivered] (a delivery generated just before the
+          run ended may never fire) *)
   beats_target : int;  (** nominal beats for the elapsed makespan *)
   beats_lost : int;  (** Linux signals lost/coalesced *)
 }
@@ -29,6 +33,7 @@ let zero =
     promotion_attempts = 0;
     steals = 0;
     beats_delivered = 0;
+    beats_emitted = 0;
     beats_target = 0;
     beats_lost = 0;
   }

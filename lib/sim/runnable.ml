@@ -54,10 +54,24 @@ and frame =
     }
 
 and task = {
+  id : int;  (** stable identity, for tracing and diagnostics *)
   mutable stack : frame list;
   mutable on_finish : sync option;
       (** the parent frame's join to signal when this task completes *)
 }
+
+(* Task ids are allocated from a global counter so every task created
+   during a run — eager Cilk spawns, heartbeat promotions, the root —
+   is distinguishable in traces.  [Engine.run] resets the counter per
+   run, keeping ids (and hence traces) deterministic. *)
+let id_counter = ref 0
+
+let fresh_id () : int =
+  let id = !id_counter in
+  incr id_counter;
+  id
+
+let reset_ids () : unit = id_counter := 0
 
 type cfg = {
   mode : mode;
@@ -123,7 +137,7 @@ let frame_sync (f : frame) : sync =
 let child_of (f : frame) (stack : frame list) : task =
   let s = frame_sync f in
   s.pending <- s.pending + 1;
-  { stack; on_finish = Some s }
+  { id = fresh_id (); stack; on_finish = Some s }
 
 (* Push the frames for an IR node on [task], charging mode-specific
    costs via [charge] and emitting eagerly spawned tasks via [emit]. *)
@@ -167,7 +181,7 @@ let rec expand (cfg : cfg) (task : task) (emit : task -> unit)
 (** [of_ir cfg ir] is a fresh root task poised to run [ir]; expansion
     is deferred to the first {!run_for} so its costs are accounted. *)
 let of_ir (_cfg : cfg) (ir : Par_ir.t) : task =
-  { stack = [ F_seq { rest = [ ir ] } ]; on_finish = None }
+  { id = fresh_id (); stack = [ F_seq { rest = [ ir ] } ]; on_finish = None }
 
 let is_finished (task : task) : bool = task.stack = []
 

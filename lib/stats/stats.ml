@@ -19,8 +19,13 @@ let geomean (xs : float list) : float =
           (List.fold_left (fun acc x -> acc +. log x) 0. xs
           /. float_of_int (List.length xs))
 
-let min_l (xs : float list) : float = List.fold_left min infinity xs
-let max_l (xs : float list) : float = List.fold_left max neg_infinity xs
+(* Like [mean]/[geomean], the extrema of an empty sample are [nan]
+   (not ±infinity, which would silently poison downstream ratios). *)
+let min_l (xs : float list) : float =
+  match xs with [] -> nan | _ -> List.fold_left min infinity xs
+
+let max_l (xs : float list) : float =
+  match xs with [] -> nan | _ -> List.fold_left max neg_infinity xs
 
 let stddev (xs : float list) : float =
   match xs with
@@ -49,7 +54,10 @@ let percent_change ~(from_ : float) (to_ : float) : float =
 
 let clamp ~lo ~hi (x : float) : float = Float.min hi (Float.max lo x)
 
-(** Re-export of the sibling table renderer, so that [Stats] is the
-    single entry point of the library ([stats.ml] is the library
-    interface module; without this alias [Table] would be hidden). *)
+(** Re-exports of the sibling modules, so that [Stats] is the single
+    entry point of the library ([stats.ml] is the library interface
+    module; without these aliases [Table] and [Chrome_trace] would be
+    hidden). *)
 module Table = Table
+
+module Chrome_trace = Chrome_trace

@@ -233,6 +233,178 @@ let prop_parallel_not_slower_than_bound =
       let m = run ~mode:Runnable.Cilk ~procs ir in
       m.makespan >= Par_ir.work ir / procs)
 
+(* --- Sim_trace: the observability layer --- *)
+
+let run_traced ?(mode = Runnable.Tpal) ?(mech = Interrupts.Off) ?(procs = 1)
+    ?(dilation = 100) ?(bw_cap = infinity) ?(promote = true) ir =
+  let cfg = Runnable.make_cfg ~dilation_pct:dilation mode (params procs) in
+  let config = Engine.make_config ~mech ~promote ~bw_cap cfg in
+  let trace = Sim_trace.create () in
+  let m = Engine.run ~trace config ir in
+  (m, trace)
+
+let traced_configs =
+  [
+    ("serial", Runnable.Serial, Interrupts.Off, 1, infinity);
+    ("cilk8", Runnable.Cilk, Interrupts.Off, 8, infinity);
+    ("cilk-bw", Runnable.Cilk, Interrupts.Off, 15, 3.0);
+    ("tpal-naut8", Runnable.Tpal, Interrupts.Nautilus_ipi, 8, infinity);
+    ("tpal-ping7", Runnable.Tpal, Interrupts.Ping_thread, 7, infinity);
+    ("tpal-papi4", Runnable.Tpal, Interrupts.Papi, 4, infinity);
+  ]
+
+let test_trace_reconciles_exactly () =
+  (* the tentpole invariant: summed traced segment cycles equal the
+     engine's Metrics to the cycle, per class, on every config *)
+  List.iter
+    (fun (name, ir) ->
+      List.iter
+        (fun (cname, mode, mech, procs, bw_cap) ->
+          let m, tr = run_traced ~mode ~mech ~procs ~bw_cap ir in
+          let tot = Sim_trace.totals tr in
+          let label what = Printf.sprintf "%s/%s %s" name cname what in
+          check_int (label "work") m.work tot.Sim_trace.work;
+          check_int (label "overhead") m.overhead tot.Sim_trace.overhead;
+          check_int (label "idle") m.idle tot.Sim_trace.idle;
+          check_int (label "beats") m.beats_delivered (Sim_trace.beats tr);
+          check_int (label "lost") m.beats_lost (Sim_trace.beats_lost tr);
+          check_int (label "steals") m.steals (Sim_trace.steals tr);
+          check_int (label "promotions") m.promotions
+            (Sim_trace.promotions tr))
+        traced_configs)
+    sample_irs
+
+let assert_no_run_segment_spans_beat (name : string) (tr : Sim_trace.t) :
+    unit =
+  let nprocs = Sim_trace.procs tr in
+  for c = 0 to nprocs - 1 do
+    let beats =
+      List.filter_map
+        (fun (e : Sim_trace.event) ->
+          match e.kind with
+          | Sim_trace.Beat_delivered _ when e.core = c -> Some e.at
+          | _ -> None)
+        (Sim_trace.events tr)
+    in
+    List.iter
+      (fun (cls, start, stop, _, _, _) ->
+        if cls = Sim_trace.Run then
+          List.iter
+            (fun b ->
+              if b > start && b < stop then
+                Alcotest.failf
+                  "%s: core %d run segment [%d,%d) spans beat at %d" name c
+                  start stop b)
+            beats)
+      (Sim_trace.segments_of_core tr c)
+  done
+
+let test_trace_no_segment_spans_beat () =
+  (* the engine's event-ordering invariant: effective beat deliveries
+     only land at segment boundaries (promotion-ready points) *)
+  let big = Par_ir.for_const ~n:1_000_000 ~cycles:13 in
+  List.iter
+    (fun (cname, mech, procs) ->
+      let _, tr = run_traced ~mode:Runnable.Tpal ~mech ~procs big in
+      check (cname ^ ": beats present") true (Sim_trace.beats tr > 0);
+      assert_no_run_segment_spans_beat cname tr)
+    [
+      ("nautilus-8", Interrupts.Nautilus_ipi, 8);
+      ("ping-7", Interrupts.Ping_thread, 7);
+      ("papi-4", Interrupts.Papi, 4);
+      ("nautilus-1", Interrupts.Nautilus_ipi, 1);
+    ]
+
+let test_trace_steal_probes_never_self () =
+  let rec t d : Par_ir.t =
+    if d = 0 then Par_ir.leaf 400
+    else Par_ir.spawn2 (fun () -> t (d - 1)) (fun () -> t (d - 1))
+  in
+  let procs = 8 in
+  let _, tr = run_traced ~mode:Runnable.Cilk ~procs (t 9) in
+  let attempts = ref 0 in
+  Sim_trace.iter
+    (fun (e : Sim_trace.event) ->
+      match e.kind with
+      | Sim_trace.Steal_attempt { victim } ->
+          incr attempts;
+          check "victim in range" true (victim >= 0 && victim < procs);
+          if victim = e.core then
+            Alcotest.failf "core %d probed itself" e.core
+      | _ -> ())
+    tr;
+  check "steal scan exercised" true (!attempts > 0)
+
+let test_beats_target_uses_final_makespan () =
+  let ir = Par_ir.for_const ~n:300_000 ~cycles:10 in
+  let procs = 4 in
+  let m = run ~mode:Runnable.Tpal ~mech:Interrupts.Nautilus_ipi ~procs ir in
+  let heart = Params.heart_cycles (params procs) in
+  check_int "target = procs * (makespan / heart)"
+    (procs * (m.makespan / heart))
+    m.beats_target;
+  let m_off = run ~mode:Runnable.Tpal ~mech:Interrupts.Off ~procs ir in
+  check_int "no mechanism, no target" 0 m_off.beats_target
+
+let test_trace_task_ids_and_determinism () =
+  let ir =
+    Par_ir.for_nested ~n:500 (fun i -> Par_ir.leaf (100 + (i mod 77)))
+  in
+  let go () =
+    run_traced ~mode:Runnable.Tpal ~mech:Interrupts.Ping_thread ~procs:7 ir
+  in
+  let m1, tr1 = go () in
+  let _, tr2 = go () in
+  check "trace deterministic" true
+    (Sim_trace.events tr1 = Sim_trace.events tr2);
+  (* ids are reset per run: every run segment names a task in
+     [0, tasks_created] (id 0 is the root) *)
+  Sim_trace.iter
+    (fun (e : Sim_trace.event) ->
+      match e.kind with
+      | Sim_trace.Seg_start Sim_trace.Run ->
+          check "run segment has a task id" true
+            (e.task >= 0 && e.task <= m1.tasks_created)
+      | _ -> ())
+    tr1
+
+let test_trace_chrome_export_valid () =
+  let ir = Par_ir.for_const ~n:200_000 ~cycles:9 in
+  let _, tr =
+    run_traced ~mode:Runnable.Tpal ~mech:Interrupts.Ping_thread ~procs:4 ir
+  in
+  let json = Sim_trace.to_chrome_string tr in
+  check "chrome export is valid JSON" true (Suite_stats.json_is_valid json);
+  check "report renders" true (String.length (Sim_trace.report tr) > 0)
+
+let prop_trace_reconciles_random =
+  QCheck.Test.make
+    ~name:"random IR/config: trace reconciles, mechanism counters agree"
+    ~count:30
+    QCheck.(
+      quad (int_range 100 60_000) (int_range 1 25) (int_range 1 8)
+        (int_range 0 3))
+    (fun (n, c, procs, mech_i) ->
+      let mech =
+        match mech_i with
+        | 0 -> Interrupts.Off
+        | 1 -> Interrupts.Ping_thread
+        | 2 -> Interrupts.Papi
+        | _ -> Interrupts.Nautilus_ipi
+      in
+      let ir = Par_ir.for_const ~n ~cycles:c in
+      let m, tr = run_traced ~mode:Runnable.Tpal ~mech ~procs ir in
+      let tot = Sim_trace.totals tr in
+      tot.Sim_trace.work = m.work
+      && tot.Sim_trace.overhead = m.overhead
+      && tot.Sim_trace.idle = m.idle
+      && Sim_trace.beats tr = m.beats_delivered
+      && Sim_trace.beats_lost tr = m.beats_lost
+      (* the mechanism generated every delivered beat, plus at most the
+         one left in flight when the run ended *)
+      && m.beats_emitted - m.beats_delivered >= 0
+      && m.beats_emitted - m.beats_delivered <= 1)
+
 let suite =
   ( "engine",
     [
@@ -265,4 +437,17 @@ let suite =
       Alcotest.test_case "empty program" `Quick test_empty_program;
       QCheck_alcotest.to_alcotest prop_modes_agree_on_work;
       QCheck_alcotest.to_alcotest prop_parallel_not_slower_than_bound;
+      Alcotest.test_case "trace reconciles with Metrics" `Quick
+        test_trace_reconciles_exactly;
+      Alcotest.test_case "no run segment spans a beat" `Quick
+        test_trace_no_segment_spans_beat;
+      Alcotest.test_case "steal probes never target self" `Quick
+        test_trace_steal_probes_never_self;
+      Alcotest.test_case "beats target formula" `Quick
+        test_beats_target_uses_final_makespan;
+      Alcotest.test_case "trace task ids & determinism" `Quick
+        test_trace_task_ids_and_determinism;
+      Alcotest.test_case "chrome export valid JSON" `Quick
+        test_trace_chrome_export_valid;
+      QCheck_alcotest.to_alcotest prop_trace_reconciles_random;
     ] )

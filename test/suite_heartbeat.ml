@@ -14,9 +14,45 @@ let check_int = Alcotest.(check int)
 
 (* An aggressive config so promotions definitely fire in fast tests:
    clock polling with a tiny heart. *)
-let hot : Hb.config = { heart_us = 5.; source = `Polling; poll_stride = 4 }
+let hot : Hb.config =
+  { Hb.default_config with heart_us = 5.; source = `Polling; poll_stride = 4 }
 
 let run f = Hb.run ~config:hot f
+
+let test_on_event_hook_matches_stats () =
+  (* the observability hook sees exactly the events the runtime's own
+     counters record *)
+  let beats = ref 0
+  and loops = ref 0
+  and branches = ref 0
+  and suspends = ref 0
+  and resumes = ref 0
+  and starts = ref 0
+  and finishes = ref 0 in
+  let on_event : Hb.event -> unit = function
+    | Hb.Beat -> incr beats
+    | Hb.Promoted `Loop -> incr loops
+    | Hb.Promoted `Branch -> incr branches
+    | Hb.Join_suspend -> incr suspends
+    | Hb.Join_resume -> incr resumes
+    | Hb.Task_start -> incr starts
+    | Hb.Task_finish -> incr finishes
+  in
+  let n = 200_000 in
+  let total = ref 0 in
+  let (), st =
+    Hb.run
+      ~config:{ hot with on_event = Some on_event }
+      (fun () -> Hb.par_for ~lo:0 ~hi:n (fun i -> total := !total + (i mod 3)))
+  in
+  check "work done" true (!total > 0);
+  check_int "beats" st.beats !beats;
+  check_int "loop promotions" st.loop_promotions !loops;
+  check_int "branch promotions" st.branch_promotions !branches;
+  check_int "suspends" st.joins !suspends;
+  check_int "every promoted task started" st.promotions !starts;
+  check_int "every started task finished" !starts !finishes;
+  check "suspends eventually resumed" true (!resumes <= !suspends)
 
 let test_par_for_covers_every_index () =
   let n = 100_000 in
@@ -167,6 +203,8 @@ let suite =
   ( "heartbeat-runtime",
     [
       Alcotest.test_case "par_for coverage" `Quick test_par_for_covers_every_index;
+      Alcotest.test_case "on_event hook matches stats" `Quick
+        test_on_event_hook_matches_stats;
       Alcotest.test_case "empty/single ranges" `Quick
         test_par_for_empty_and_single;
       Alcotest.test_case "fork2 both branches" `Quick test_fork2_runs_both;
