@@ -107,19 +107,32 @@ let binop_of_token (t : Lexer.token) : Ast.binop option =
 
 (* rhs of `r := ...` *)
 let parse_rhs (st : state) (dst : Ast.reg) : Ast.instr =
+  (* [jralloc l] and [prmempty r] take an identifier argument; a bare
+     keyword with nothing after it is an ordinary register read
+     ([snew] takes no argument, so that name stays reserved) *)
+  let next_is_ident =
+    match st.toks with
+    | _ :: { tok = Lexer.IDENT _; _ } :: _ -> true
+    | _ -> false
+  in
   match (peek st).tok with
-  | Lexer.IDENT "jralloc" ->
+  | Lexer.IDENT "jralloc" when next_is_ident ->
       advance st;
       let l = expect_ident st ~what:"join continuation label" in
       Ast.Jralloc (dst, l)
   | Lexer.IDENT "snew" ->
       advance st;
       Ast.Snew dst
-  | Lexer.IDENT "prmempty" ->
+  | Lexer.IDENT "prmempty" when next_is_ident ->
       advance st;
       let r = expect_ident st ~what:"stack register" in
       Ast.Prmempty (dst, r)
-  | Lexer.IDENT "mem" ->
+  | Lexer.IDENT "mem"
+    when (match st.toks with
+         | _ :: { tok = Lexer.LBRACKET; _ } :: _ -> true
+         | _ -> false) ->
+      (* one-token lookahead: bare [mem] not followed by '[' is an
+         ordinary register named "mem", not a load *)
       advance st;
       let base, off = parse_addr_rest st in
       Ast.Load (dst, base, off)
@@ -136,7 +149,19 @@ type raw_instr = Instr of Ast.instr | Term of Ast.terminator
 
 let parse_instr (st : state) : raw_instr =
   let t = peek st in
+  let next_is_assign =
+    match st.toks with
+    | _ :: { tok = Lexer.ASSIGN; _ } :: _ -> true
+    | _ -> false
+  in
   match t.tok with
+  (* an identifier directly followed by ':=' is always an assignment
+     target, even when it collides with an instruction keyword — this
+     keeps registers named [mem], [fork], [halt], … round-trippable *)
+  | Lexer.IDENT dst when next_is_assign ->
+      advance st;
+      advance st;
+      Instr (parse_rhs st dst)
   | Lexer.IDENT "jump" ->
       advance st;
       Term (Ast.Jump (parse_operand st))

@@ -1,0 +1,93 @@
+(** Corpus of shrunk fuzz reproducers.
+
+    Each reproducer is a plain [.tpal] file whose leading comment
+    lines carry machine-readable metadata:
+
+    {v
+    //! seed: 12345
+    //! oracle: sim-work
+    //! outputs: r0 r1 r2 r3 r4 r5
+    L0:  [.]
+      ...
+    v}
+
+    The lexer strips [//] comments, so the files parse with the stock
+    parser; the metadata is recovered by scanning raw lines.  Saved
+    reproducers are replayed by the fuzz test suite as regressions. *)
+
+open Tpal
+
+type entry = {
+  seed : int;
+  oracle : string;  (** the oracle that failed when this was found *)
+  outputs : Ast.reg list;
+  prog : Ast.program;
+}
+
+let render (e : entry) : string =
+  Printf.sprintf "//! seed: %d\n//! oracle: %s\n//! outputs: %s\n\n%s"
+    e.seed e.oracle
+    (String.concat " " e.outputs)
+    (Printer.program_to_string e.prog)
+
+(** [save ~dir e] writes the reproducer and returns its path. *)
+let save ~(dir : string) (e : entry) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (Printf.sprintf "seed_%d_%s.tpal" e.seed e.oracle) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render e));
+  path
+
+let metadata_line (key : string) (line : string) : string option =
+  let prefix = "//! " ^ key ^ ":" in
+  if String.length line >= String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then
+    Some
+      (String.trim
+         (String.sub line (String.length prefix)
+            (String.length line - String.length prefix)))
+  else None
+
+let load_string (src : string) : (entry, string) result =
+  let lines = String.split_on_char '\n' src in
+  let field key =
+    List.find_map (fun l -> metadata_line key (String.trim l)) lines
+  in
+  match (field "seed", field "oracle", field "outputs") with
+  | Some seed, Some oracle, Some outputs -> (
+      match int_of_string_opt seed with
+      | None -> Error ("bad seed: " ^ seed)
+      | Some seed -> (
+          match Parser.parse_result src with
+          | Error e -> Error e
+          | Ok prog ->
+              Ok
+                { seed; oracle; prog;
+                  outputs =
+                    List.filter (fun s -> s <> "")
+                      (String.split_on_char ' ' outputs) }))
+  | _ -> Error "missing //! seed / //! oracle / //! outputs metadata"
+
+let load (path : string) : (entry, string) result =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  load_string src
+
+(** All reproducers in [dir], sorted by filename; [] when the
+    directory does not exist. *)
+let load_dir (dir : string) : (string * (entry, string) result) list =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tpal")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))

@@ -1,0 +1,376 @@
+(** Seeded generator of well-formed TPAL programs.
+
+    Programs are built from a handful of {e fragment} shapes chained
+    sequentially from the entry block to a final [halt]:
+
+    - straight-line integer arithmetic over a fixed register pool;
+    - if/else diamonds that reconverge;
+    - bounded counted loops carrying a no-op [prppt] handler (so the
+      try-promote rule fires without changing results);
+    - unconditional fork/join regions with a ΔR register merge and a
+      combining block;
+    - [jralloc] immediately discharged by [join] (the join-continue
+      rule, no fork);
+    - stack regions ([snew]/[salloc]/[load]/[store]/promotion marks)
+      driven by a static model of the stack so every access is in
+      bounds and every [prmpop]/[prmsplit] finds a mark;
+    - a promotable reduction clone of the paper's [prod] (Figures
+      32–34) with a randomized associative-commutative operator, the
+      one fragment whose fork {e count} genuinely depends on heartbeat
+      timing while its results stay invariant.
+
+    Construction invariants the differential oracles rely on:
+
+    - every loop is bounded by a literal counter, so all programs
+      terminate on every execution path;
+    - the output registers [r0..r5] only ever hold integers;
+    - shift counts are literal and in [0,8], divisors are literal and
+      non-zero (both would otherwise be machine errors / UB);
+    - register names never collide with labels (labels start with
+      ['L']) or with parser keywords;
+    - all generated programs pass {!Tpal.Check} with zero errors. *)
+
+open Tpal
+
+type t = {
+  seed : int;
+  prog : Ast.program;
+  outputs : Ast.reg list;  (** registers holding the observable result *)
+  swap_safe : bool;
+      (** safe to evaluate with [swap_joins]: every [Assoc_comm] join
+          in the program has a register-symmetric continuation *)
+}
+
+let pool = [| "r0"; "r1"; "r2"; "r3"; "r4"; "r5" |]
+
+(* ------------------------------------------------------------------ *)
+(* Emission state: one current block being filled plus finished blocks. *)
+
+type g = {
+  rng : Sim.Prng.t;
+  mutable blocks : (Ast.label * Ast.block) list;  (* reversed *)
+  mutable cur_label : Ast.label;
+  mutable cur_annot : Ast.annot;
+  mutable cur_body : Ast.instr list;  (* reversed *)
+  mutable fresh : int;
+}
+
+let fresh (g : g) : int =
+  g.fresh <- g.fresh + 1;
+  g.fresh
+
+let emit (g : g) (i : Ast.instr) : unit = g.cur_body <- i :: g.cur_body
+
+let close (g : g) (term : Ast.terminator) : unit =
+  g.blocks <-
+    (g.cur_label, { Ast.annot = g.cur_annot; body = List.rev g.cur_body; term })
+    :: g.blocks
+
+let open_block (g : g) ?(annot = Ast.Plain) (label : Ast.label) : unit =
+  g.cur_label <- label;
+  g.cur_annot <- annot;
+  g.cur_body <- []
+
+let add_block (g : g) ?(annot = Ast.Plain) (label : Ast.label)
+    (body : Ast.instr list) (term : Ast.terminator) : unit =
+  g.blocks <- (label, { Ast.annot = annot; body; term }) :: g.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Random pieces. *)
+
+let rand_pool (g : g) : Ast.reg = pool.(Sim.Prng.int g.rng (Array.length pool))
+let rand_lit (g : g) : int = Sim.Prng.int g.rng 101 - 50
+
+let rand_operand (g : g) : Ast.operand =
+  if Sim.Prng.bool g.rng then Ast.Reg (rand_pool g) else Ast.Int (rand_lit g)
+
+let safe_ops =
+  [| Ast.Add; Sub; Mul; Lt; Le; Eq; Ne; Gt; Ge; And; Or; Xor |]
+
+(* One arithmetic instruction writing into the pool; shifts get a
+   bounded literal count and div/mod a non-zero literal divisor. *)
+let emit_arith (g : g) : unit =
+  match Sim.Prng.int g.rng 12 with
+  | 0 -> emit g (Ast.Mov (rand_pool g, rand_operand g))
+  | 1 ->
+      let op = if Sim.Prng.bool g.rng then Ast.Shl else Ast.Shr in
+      emit g
+        (Ast.Binop (rand_pool g, op, rand_operand g, Ast.Int (Sim.Prng.int g.rng 9)))
+  | 2 ->
+      let op = if Sim.Prng.bool g.rng then Ast.Div else Ast.Mod in
+      let d = 1 + Sim.Prng.int g.rng 9 in
+      let d = if Sim.Prng.bool g.rng then d else -d in
+      emit g (Ast.Binop (rand_pool g, op, rand_operand g, Ast.Int d))
+  | _ ->
+      let op = safe_ops.(Sim.Prng.int g.rng (Array.length safe_ops)) in
+      emit g (Ast.Binop (rand_pool g, op, rand_operand g, rand_operand g))
+
+let emit_ariths (g : g) (lo : int) (hi : int) : unit =
+  let n = lo + Sim.Prng.int g.rng (hi - lo + 1) in
+  for _ = 1 to n do
+    emit_arith g
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fragments.  Each appends to the current block and leaves the state
+   with an open current block for the next fragment. *)
+
+let frag_straight (g : g) : unit = emit_ariths g 2 6
+
+let frag_diamond (g : g) : unit =
+  let k = fresh g in
+  let lthen = Printf.sprintf "L%d_then" k
+  and lcont = Printf.sprintf "L%d_cont" k in
+  emit_ariths g 0 2;
+  emit g (Ast.If_jump (rand_pool g, Ast.Lab lthen));
+  emit_ariths g 1 3;
+  close g (Ast.Jump (Ast.Lab lcont));
+  open_block g lthen;
+  emit_ariths g 1 3;
+  close g (Ast.Jump (Ast.Lab lcont));
+  open_block g lcont
+
+(* Counted loop wearing a no-op prppt handler: promotion diverts to
+   [lh], which jumps straight back — the try-promote rule fires without
+   observable effect, for any heartbeat threshold. *)
+let frag_loop (g : g) : unit =
+  let k = fresh g in
+  let lloop = Printf.sprintf "L%d_loop" k
+  and lh = Printf.sprintf "L%d_h" k
+  and ldone = Printf.sprintf "L%d_done" k in
+  let c = Printf.sprintf "c%d" k and t = Printf.sprintf "t%d" k in
+  emit g (Ast.Mov (c, Ast.Int (1 + Sim.Prng.int g.rng 10)));
+  close g (Ast.Jump (Ast.Lab lloop));
+  open_block g ~annot:(Ast.Prppt lh) lloop;
+  emit g (Ast.Binop (t, Ast.Le, Ast.Reg c, Ast.Int 0));
+  emit g (Ast.If_jump (t, Ast.Lab ldone));
+  emit_ariths g 1 3;
+  emit g (Ast.Binop (c, Ast.Sub, Ast.Reg c, Ast.Int 1));
+  close g (Ast.Jump (Ast.Lab lloop));
+  add_block g lh [] (Ast.Jump (Ast.Lab lloop));
+  open_block g ldone
+
+(* Unconditional fork/join: the fork rule always fires (it is not
+   promotion-gated), both branches are straight-line, and the join
+   target merges two child registers through ΔR into fresh merge
+   registers consumed by the combining block.  Policy is [Assoc]: the
+   branches are not symmetric, so the runtime may not swap them. *)
+let frag_fork (g : g) : unit =
+  let k = fresh g in
+  let lchild = Printf.sprintf "L%d_child" k
+  and lk = Printf.sprintf "L%d_k" k
+  and lcomb = Printf.sprintf "L%d_comb" k
+  and lcont = Printf.sprintf "L%d_cont" k in
+  let jr = Printf.sprintf "j%d" k in
+  let m1 = Printf.sprintf "m%d" k and m2 = Printf.sprintf "n%d" k in
+  let src1 = rand_pool g and src2 = rand_pool g in
+  emit g (Ast.Jralloc (jr, lk));
+  emit_ariths g 0 2;
+  emit g (Ast.Fork (jr, Ast.Lab lchild));
+  emit_ariths g 0 3;
+  close g (Ast.Join jr);
+  open_block g lchild;
+  emit_ariths g 1 3;
+  close g (Ast.Join jr);
+  add_block g lcomb
+    [
+      Ast.Binop (rand_pool g, Ast.Add, Ast.Reg m1, Ast.Reg m2);
+      Ast.Binop (rand_pool g, Ast.Xor, Ast.Reg (rand_pool g), Ast.Reg m1);
+    ]
+    (Ast.Join jr);
+  open_block g ~annot:(Ast.Jtppt (Ast.Assoc, [ (src1, m1); (src2, m2) ], lcomb)) lk;
+  emit_ariths g 0 2;
+  close g (Ast.Jump (Ast.Lab lcont));
+  open_block g lcont
+
+(* jralloc discharged without a fork: the record is Closed when [join]
+   runs, so the join-continue rule jumps straight to the continuation
+   (whose jtppt annotation is never consulted on this path). *)
+let frag_join_continue (g : g) : unit =
+  let k = fresh g in
+  let lk = Printf.sprintf "L%d_k" k and lcomb = Printf.sprintf "L%d_c" k in
+  let jr = Printf.sprintf "j%d" k in
+  emit g (Ast.Jralloc (jr, lk));
+  emit_ariths g 1 2;
+  close g (Ast.Join jr);
+  add_block g lcomb [] (Ast.Join jr) (* unreachable, required by jtppt *);
+  open_block g ~annot:(Ast.Jtppt (Ast.Assoc, [], lcomb)) lk
+
+(* Stack region driven by a static model of the cells.  The model is a
+   list with the newest cell (offset 0) first; [`Num] cells hold an
+   integer, [`Mark] cells hold a promotion-ready mark.  Every address
+   is generated in bounds and marks are tracked exactly, so no stack
+   operation can fault. *)
+let frag_stack (g : g) : unit =
+  let k = fresh g in
+  let sp = Printf.sprintf "s%d" k in
+  emit g (Ast.Snew sp);
+  let model = ref [] in
+  let depth () = List.length !model
+  and cell i = List.nth !model i in
+  let set_cell i v =
+    model := List.mapi (fun j c -> if j = i then v else c) !model
+  in
+  let salloc n =
+    emit g (Ast.Salloc (sp, n));
+    model := List.init n (fun _ -> `Num) @ !model
+  in
+  salloc (1 + Sim.Prng.int g.rng 3);
+  let num_offsets () =
+    List.filteri (fun i _ -> cell i = `Num) (List.mapi (fun i _ -> i) !model)
+  and mark_offsets () =
+    List.filteri (fun i _ -> cell i = `Mark) (List.mapi (fun i _ -> i) !model)
+  in
+  let pick xs = List.nth xs (Sim.Prng.int g.rng (List.length xs)) in
+  let ops = 4 + Sim.Prng.int g.rng 7 in
+  for _ = 1 to ops do
+    match Sim.Prng.int g.rng 8 with
+    | 0 when depth () < 8 -> salloc (1 + Sim.Prng.int g.rng 3)
+    | 1 when depth () > 1 ->
+        let n = 1 + Sim.Prng.int g.rng (depth () - 1) in
+        emit g (Ast.Sfree (sp, n));
+        model := List.filteri (fun i _ -> i >= n) !model
+    | 2 ->
+        let off = Sim.Prng.int g.rng (depth ()) in
+        emit g (Ast.Store (sp, off, rand_operand g));
+        set_cell off `Num
+    | 3 when num_offsets () <> [] ->
+        emit g (Ast.Load (rand_pool g, sp, pick (num_offsets ())))
+    | 4 ->
+        let off = Sim.Prng.int g.rng (depth ()) in
+        emit g (Ast.Prmpush (sp, off));
+        set_cell off `Mark
+    | 5 when mark_offsets () <> [] ->
+        let off = pick (mark_offsets ()) in
+        emit g (Ast.Prmpop (sp, off));
+        set_cell off `Num
+    | 6 when mark_offsets () <> [] ->
+        (* prmsplit clears the oldest (deepest) mark and stores its
+           offset; mirror that on the model *)
+        emit g (Ast.Prmsplit (sp, rand_pool g));
+        set_cell (List.fold_left max 0 (mark_offsets ())) `Num
+    | _ -> emit g (Ast.Prmempty (rand_pool g, sp))
+  done;
+  (* surface a couple of cells into the observable registers *)
+  (match num_offsets () with
+  | [] -> ()
+  | offs ->
+      emit g (Ast.Load (rand_pool g, sp, pick offs));
+      emit g (Ast.Load (rand_pool g, sp, pick offs)))
+
+(* Promotable reduction: a clone of the paper's [prod] (Figures 32–34)
+   over a randomized associative-commutative operator.  The number of
+   forks depends on when heartbeats arrive; the reduced value must
+   not.  This is the only fragment whose joins are [Assoc_comm], and
+   its continuation is register-symmetric, so the whole program stays
+   safe under [swap_joins]. *)
+let frag_reduce (g : g) : unit =
+  let k = fresh g in
+  let l s = Printf.sprintf "L%d_%s" k s in
+  let a = Printf.sprintf "a%d" k
+  and b = Printf.sprintf "b%d" k
+  and acc = Printf.sprintf "acc%d" k
+  and acc2 = Printf.sprintf "acd%d" k
+  and t = Printf.sprintf "t%d" k
+  and q = Printf.sprintf "q%d" k
+  and w = Printf.sprintf "w%d" k
+  and tr = Printf.sprintf "tr%d" k
+  and jr = Printf.sprintf "j%d" k in
+  let op, ident =
+    match Sim.Prng.int g.rng 3 with
+    | 0 -> (Ast.Add, 0)
+    | 1 -> (Ast.Xor, 0)
+    | _ -> (Ast.Mul, 1)
+  in
+  let out = rand_pool g in
+  emit g (Ast.Mov (a, Ast.Int (3 + Sim.Prng.int g.rng 38)));
+  emit g
+    (Ast.Mov (b, Ast.Int (if op = Ast.Mul then 1 + Sim.Prng.int g.rng 3
+                          else rand_lit g)));
+  emit g (Ast.Mov (acc, Ast.Int ident));
+  close g (Ast.Jump (Ast.Lab (l "loop")));
+  (* serial loop, promotable at its head *)
+  add_block g ~annot:(Ast.Prppt (l "ltp")) (l "loop")
+    [
+      Ast.If_jump (a, Ast.Lab (l "exit"));
+      Ast.Binop (acc, op, Ast.Reg acc, Ast.Reg b);
+      Ast.Binop (a, Ast.Sub, Ast.Reg a, Ast.Int 1);
+    ]
+    (Ast.Jump (Ast.Lab (l "loop")));
+  add_block g (l "ltp")
+    [
+      Ast.Binop (t, Ast.Lt, Ast.Reg a, Ast.Int 2);
+      Ast.If_jump (t, Ast.Lab (l "loop"));
+      Ast.Jralloc (jr, l "exit");
+    ]
+    (Ast.Jump (Ast.Lab (l "promote")));
+  add_block g (l "lptp")
+    [
+      Ast.Binop (t, Ast.Lt, Ast.Reg a, Ast.Int 2);
+      Ast.If_jump (t, Ast.Lab (l "looppar"));
+    ]
+    (Ast.Jump (Ast.Lab (l "promote")));
+  add_block g (l "promote")
+    [
+      Ast.Binop (q, Ast.Div, Ast.Reg a, Ast.Int 2);
+      Ast.Binop (w, Ast.Mod, Ast.Reg a, Ast.Int 2);
+      Ast.Mov (a, Ast.Reg q);
+      Ast.Mov (tr, Ast.Reg acc);
+      Ast.Mov (acc, Ast.Int ident);
+      Ast.Fork (jr, Ast.Lab (l "looppar"));
+      Ast.Binop (a, Ast.Add, Ast.Reg q, Ast.Reg w);
+      Ast.Mov (acc, Ast.Reg tr);
+    ]
+    (Ast.Jump (Ast.Lab (l "looppar")));
+  add_block g ~annot:(Ast.Prppt (l "lptp")) (l "looppar")
+    [
+      Ast.If_jump (a, Ast.Lab (l "exitpar"));
+      Ast.Binop (acc, op, Ast.Reg acc, Ast.Reg b);
+      Ast.Binop (a, Ast.Sub, Ast.Reg a, Ast.Int 1);
+    ]
+    (Ast.Jump (Ast.Lab (l "looppar")));
+  add_block g (l "comb")
+    [ Ast.Binop (acc, op, Ast.Reg acc, Ast.Reg acc2) ]
+    (Ast.Join jr);
+  add_block g (l "exitpar") [] (Ast.Join jr);
+  open_block g
+    ~annot:(Ast.Jtppt (Ast.Assoc_comm, [ (acc, acc2) ], l "comb"))
+    (l "exit");
+  emit g (Ast.Mov (out, Ast.Reg acc));
+  let lcont = l "cont" in
+  close g (Ast.Jump (Ast.Lab lcont));
+  open_block g lcont
+
+(* ------------------------------------------------------------------ *)
+
+let generate ~(seed : int) : t =
+  let rng = Sim.Prng.create ~seed:(seed lxor 0xF022) in
+  let g =
+    { rng; blocks = []; cur_label = "L0"; cur_annot = Ast.Plain;
+      cur_body = []; fresh = 0 }
+  in
+  open_block g "L0";
+  Array.iter (fun r -> emit g (Ast.Mov (r, Ast.Int (rand_lit g)))) pool;
+  let nfrags = 3 + Sim.Prng.int g.rng 5 in
+  for _ = 1 to nfrags do
+    (* weighted fragment choice *)
+    match Sim.Prng.int g.rng 13 with
+    | 0 | 1 | 2 -> frag_straight g
+    | 3 | 4 -> frag_diamond g
+    | 5 | 6 -> frag_loop g
+    | 7 | 8 -> frag_fork g
+    | 9 -> frag_join_continue g
+    | 10 | 11 -> frag_stack g
+    | _ -> frag_reduce g
+  done;
+  close g Ast.Halt;
+  let prog = { Ast.entry = "L0"; blocks = List.rev g.blocks } in
+  (match Check.errors prog with
+  | [] -> ()
+  | ds ->
+      Fmt.failwith "Fuzz.Gen: seed %d generated an ill-formed program:@ %a@ %s"
+        seed
+        (Fmt.list Check.pp_diagnostic)
+        ds
+        (Printer.program_to_string prog));
+  { seed; prog; outputs = Array.to_list pool; swap_safe = true }

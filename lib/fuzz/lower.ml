@@ -1,0 +1,230 @@
+(** Shadow interpreter: evaluates a TPAL program with the same rules
+    as {!Tpal.Eval} (reusing {!Tpal.Step.step} for the sequential
+    transitions) while building the induced series–parallel graph as a
+    {!Sim.Par_ir.t}, with every sequential transition charged [cpi]
+    simulator cycles.
+
+    This gives the differential harness two things:
+
+    - an {e independent} implementation of the parallel rules
+      (fork/join/combine/promote) to cross-check [Eval]'s final
+      register file against;
+    - a concrete [Par_ir] program whose [work]/[span] must agree with
+      the {!Tpal.Cost} summary the evaluator computed, and which can
+      then be run through the discrete-event simulator, tying all
+      three layers of the codebase to one program.
+
+    Exact cost correspondence (checked by the harness): the evaluator
+    charges one work unit per spend plus [τ] per fork, so for the same
+    heartbeat threshold
+
+    [Par_ir.work ir = cpi * (cost.work - tau * forks)]
+
+    and the span satisfies
+
+    [cpi * (cost.span - tau * forks) <= Par_ir.span ir
+                                     <= cpi * cost.span]
+
+    (only the forks on the critical path carry their τ in the span,
+    and the IR does not model τ at all). *)
+
+open Tpal
+
+exception Stuck of Machine_error.t
+
+let ok = function Ok v -> v | Error e -> raise (Stuck e)
+
+type result_t = {
+  task : Task.t;  (** final configuration (registers, heap, stacks) *)
+  ir : Sim.Par_ir.t;
+  steps : int;  (** sequential transitions = [Eval] [stats.instructions] *)
+  forks : int;
+}
+
+type stop = Halted | Blocked of int
+
+type st = {
+  opts : Eval.options;
+  cpi : int;
+  mutable steps : int;
+  mutable forks : int;
+  mutable fuel : int;
+}
+
+let spend (st : st) : unit =
+  if st.fuel <= 0 then
+    raise (Stuck (Machine_error.Fuel_exhausted { budget = st.opts.fuel }));
+  st.fuel <- st.fuel - 1;
+  st.steps <- st.steps + 1
+
+let enter_fresh (t : Task.t) (label : Ast.label) : Task.t =
+  let block = ok (Heap.find label t.heap) in
+  Task.enter label block ~cycles:0 ~heap:t.heap ~regs:t.regs
+
+(* IR nodes accumulate in reverse; [leaf] counts sequential
+   transitions not yet flushed into a Leaf. *)
+let flush (st : st) (nodes : Sim.Par_ir.t list) (leaf : int) :
+    Sim.Par_ir.t list =
+  if leaf = 0 then nodes else Sim.Par_ir.Leaf (leaf * st.cpi) :: nodes
+
+let branch_ir (nodes : Sim.Par_ir.t list) : Sim.Par_ir.t =
+  match nodes with [ n ] -> n | _ -> Sim.Par_ir.Seq (List.rev nodes)
+
+let join_id (jr : Ast.reg) (regs : Regfile.t) ~(context : string) : int =
+  match ok (Regfile.find jr regs) with
+  | Value.Vjoin j -> j
+  | other ->
+      raise
+        (Stuck
+           (Machine_error.Type_error
+              { expected = "join-record"; got = Value.kind other; context }))
+
+(* One big-step derivation: runs until halt or a terminal join-block,
+   mirroring Eval's rules one for one. *)
+let rec go (st : st) (joins : Join.t) (task : Task.t)
+    (nodes : Sim.Par_ir.t list) (leaf : int) :
+    Join.t * Task.t * Sim.Par_ir.t list * stop =
+  match Eval.promotion_ready st.opts task with
+  | Some handler ->
+      spend st;
+      go st joins (enter_fresh task handler) nodes (leaf + 1)
+  | None -> (
+      match ok (Step.step task) with
+      | Step.Stepped task' ->
+          spend st;
+          go st joins task' nodes (leaf + 1)
+      | Step.Halted task' -> (joins, task', flush st nodes leaf, Halted)
+      | Step.Parallel (req, task) -> (
+          match req with
+          | Step.Req_jralloc { dst; cont } ->
+              spend st;
+              let id, joins' = Join.alloc cont joins in
+              let rest = List.tl task.code.rest in
+              let task' =
+                { task with
+                  pc = { task.pc with offset = task.pc.offset + 1 };
+                  cycles = task.cycles + 1;
+                  regs = Regfile.set dst (Value.Vjoin id) task.regs;
+                  code = { task.code with rest } }
+              in
+              go st joins' task' nodes (leaf + 1)
+          | Step.Req_join { jr } -> (
+              let j = join_id jr task.regs ~context:("join " ^ jr) in
+              let record = ok (Join.find j joins) in
+              match record.status with
+              | Join.Open ->
+                  spend st;
+                  (joins, task, flush st nodes (leaf + 1), Blocked j)
+              | Join.Closed ->
+                  spend st;
+                  let joins' = Join.remove j joins in
+                  let block = ok (Heap.find record.cont task.heap) in
+                  let task' =
+                    Task.enter record.cont block ~cycles:task.cycles
+                      ~heap:task.heap ~regs:task.regs
+                  in
+                  go st joins' task' nodes (leaf + 1))
+          | Step.Req_fork { jr; target } -> (
+              let j = join_id jr task.regs ~context:("fork " ^ jr) in
+              let record = ok (Join.find j joins) in
+              st.forks <- st.forks + 1;
+              let joins0 = Join.set j { record with status = Join.Open } joins in
+              let rest = List.tl task.code.rest in
+              let parent0 =
+                { task with
+                  pc = { task.pc with offset = task.pc.offset + 1 };
+                  cycles = 0;
+                  code = { task.code with rest } }
+              in
+              let child_label, child_block =
+                ok (Heap.resolve task.heap task.regs target)
+              in
+              let child0 =
+                Task.enter child_label child_block ~cycles:0 ~heap:task.heap
+                  ~regs:task.regs
+              in
+              let j1, t1, n1, s1 = go st joins0 parent0 [] 0 in
+              match s1 with
+              | Halted -> (j1, t1, branch_ir n1 :: flush st nodes leaf, Halted)
+              | Blocked jb1 -> (
+                  if jb1 <> j then
+                    raise
+                      (Stuck
+                         (Machine_error.Join_misuse
+                            { join = j;
+                              reason =
+                                Printf.sprintf
+                                  "parent branch joined on j%d instead" jb1 }));
+                  let j2, t2, n2, s2 = go st joins0 child0 [] 0 in
+                  match s2 with
+                  | Halted ->
+                      (j2, t2, branch_ir n2 :: flush st nodes leaf, Halted)
+                  | Blocked jb2 ->
+                      if jb2 <> j then
+                        raise
+                          (Stuck
+                             (Machine_error.Join_misuse
+                                { join = j;
+                                  reason =
+                                    Printf.sprintf
+                                      "child branch joined on j%d instead" jb2 }));
+                      let jp, dr, comb_label =
+                        match Heap.find_opt record.cont task.heap with
+                        | Some { annot = Ast.Jtppt (jp, dr, l); _ } ->
+                            (jp, dr, l)
+                        | Some _ ->
+                            raise
+                              (Stuck
+                                 (Machine_error.Join_misuse
+                                    { join = j;
+                                      reason =
+                                        "join continuation " ^ record.cont
+                                        ^ " is not a join-target (jtppt) block"
+                                    }))
+                        | None ->
+                            raise
+                              (Stuck (Machine_error.Unbound_label record.cont))
+                      in
+                      let r_parent, r_child =
+                        match (jp, st.opts.swap_joins) with
+                        | Ast.Assoc_comm, true -> (t2.regs, t1.regs)
+                        | (Ast.Assoc | Ast.Assoc_comm), _ -> (t1.regs, t2.regs)
+                      in
+                      let merged_regs = Regfile.merge r_parent r_child dr in
+                      let merged_heap = Heap.merge t1.heap t2.heap in
+                      let merged_joins =
+                        Join.set j record (Join.remove j (Join.merge j1 j2))
+                      in
+                      let comb_block = ok (Heap.find comb_label merged_heap) in
+                      let comb0 =
+                        Task.enter comb_label comb_block ~cycles:0
+                          ~heap:merged_heap ~regs:merged_regs
+                      in
+                      let ir1 = branch_ir n1 and ir2 = branch_ir n2 in
+                      let node =
+                        Sim.Par_ir.Spawn2 ((fun () -> ir1), fun () -> ir2)
+                      in
+                      let jm, tm, nc, sc =
+                        go st merged_joins comb0 [] 0
+                      in
+                      (jm, tm, nc @ (node :: flush st nodes leaf), sc)))))
+
+(** [lower ?options ~cpi p] evaluates [p] (empty initial registers) and
+    returns the final configuration together with the [Par_ir] image of
+    its execution.  Raises {!Stuck} on a machine error or when the
+    top-level derivation ends blocked. *)
+let lower ?(options = Eval.default_options) ~(cpi : int) (p : Ast.program) :
+    result_t =
+  let st =
+    { opts = options; cpi; steps = 0; forks = 0; fuel = options.fuel }
+  in
+  let task0 = ok (Task.initial p) in
+  let _, task, nodes, stop = go st Join.empty task0 [] 0 in
+  match stop with
+  | Blocked j ->
+      raise
+        (Stuck
+           (Machine_error.Join_misuse
+              { join = j; reason = "top-level derivation ended blocked" }))
+  | Halted ->
+      { task; ir = branch_ir nodes; steps = st.steps; forks = st.forks }

@@ -1,0 +1,131 @@
+(** Delta-debugging shrinker for divergent fuzz programs.
+
+    Given a failing program and a predicate that re-runs the oracle,
+    [minimize] greedily applies reduction passes — remove an
+    instruction, drop a whole block, neutralize an annotation, shrink
+    integer literals toward zero — keeping a candidate only when it is
+    still statically well-formed ({!Tpal.Check} reports no errors),
+    its reference evaluation still terminates, and the oracle still
+    fails.  Passes repeat to a fixpoint (bounded), so committed
+    reproducers are locally minimal: removing any single instruction
+    or block makes the divergence disappear. *)
+
+open Tpal
+
+(* A candidate is admissible when it is well-formed and the reference
+   (♥ off) evaluation halts — shrinking must preserve "this is a valid
+   terminating program", otherwise we'd minimize into a different bug.
+   The fuel is deliberately tight: many reductions make a loop
+   non-terminating (e.g. deleting its decrement), and each such
+   candidate costs its whole fuel budget, so a generous budget makes
+   shrinking quadratically slow.  Programs in the fuzzer's size range
+   halt within a small fraction of this. *)
+let admissible (p : Ast.program) : bool =
+  Check.errors p = []
+  &&
+  match
+    Eval.run
+      ~options:{ Eval.default_options with heart = None; fuel = 200_000 }
+      p
+  with
+  | Ok { stop = Eval.Halted; _ } -> true
+  | Ok _ | Error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Candidate streams, cheapest-to-try first. *)
+
+let map_block (p : Ast.program) (l : Ast.label) (f : Ast.block -> Ast.block) :
+    Ast.program =
+  { p with
+    blocks = List.map (fun (l', b) -> if l' = l then (l', f b) else (l', b)) p.blocks }
+
+(* every program with one instruction deleted *)
+let drop_instr_candidates (p : Ast.program) : Ast.program list =
+  List.concat_map
+    (fun (l, (b : Ast.block)) ->
+      List.mapi
+        (fun i _ ->
+          map_block p l (fun b ->
+              { b with body = List.filteri (fun j _ -> j <> i) b.body }))
+        b.body)
+    p.blocks
+
+(* every program with one non-entry block removed *)
+let drop_block_candidates (p : Ast.program) : Ast.program list =
+  List.filter_map
+    (fun (l, _) ->
+      if l = p.entry then None
+      else Some { p with blocks = List.remove_assoc l p.blocks })
+    p.blocks
+
+(* every program with one annotation neutralized to Plain *)
+let drop_annot_candidates (p : Ast.program) : Ast.program list =
+  List.filter_map
+    (fun (l, (b : Ast.block)) ->
+      match b.annot with
+      | Ast.Plain -> None
+      | _ -> Some (map_block p l (fun b -> { b with annot = Ast.Plain })))
+    p.blocks
+
+(* one pass of literal halving over all integer operands *)
+let shrink_int (n : int) : int option = if n = 0 then None else Some (n / 2)
+
+let shrink_operand (v : Ast.operand) : Ast.operand option =
+  match v with
+  | Ast.Int n -> Option.map (fun n -> Ast.Int n) (shrink_int n)
+  | Ast.Reg _ | Ast.Lab _ -> None
+
+let shrink_instr (i : Ast.instr) : Ast.instr option =
+  match i with
+  | Ast.Mov (r, v) -> Option.map (fun v -> Ast.Mov (r, v)) (shrink_operand v)
+  | Ast.Binop (r, op, v1, v2) -> (
+      match (shrink_operand v1, shrink_operand v2) with
+      | Some v1', _ -> Some (Ast.Binop (r, op, v1', v2))
+      | None, Some v2' -> Some (Ast.Binop (r, op, v1, v2'))
+      | None, None -> None)
+  | Ast.Store (r, n, v) ->
+      Option.map (fun v -> Ast.Store (r, n, v)) (shrink_operand v)
+  | _ -> None
+
+let shrink_literal_candidates (p : Ast.program) : Ast.program list =
+  List.concat_map
+    (fun (l, (b : Ast.block)) ->
+      List.concat
+        (List.mapi
+           (fun i instr ->
+             match shrink_instr instr with
+             | None -> []
+             | Some instr' ->
+                 [ map_block p l (fun b ->
+                       { b with
+                         body =
+                           List.mapi (fun j x -> if j = i then instr' else x)
+                             b.body }) ])
+           b.body))
+    p.blocks
+
+(* ------------------------------------------------------------------ *)
+
+let size (p : Ast.program) : int =
+  List.fold_left (fun acc (_, b) -> acc + Ast.block_length b) 0 p.blocks
+
+(** [minimize ~still_fails p] returns a locally-minimal program on
+    which [still_fails] holds (assuming it holds on [p]; otherwise [p]
+    is returned unchanged).  [max_rounds] bounds the greedy fixpoint. *)
+let minimize ?(max_rounds = 40) ~(still_fails : Ast.program -> bool)
+    (p : Ast.program) : Ast.program =
+  let try_candidates (cands : Ast.program list) : Ast.program option =
+    List.find_opt (fun c -> admissible c && still_fails c) cands
+  in
+  let rec loop p rounds =
+    if rounds <= 0 then p
+    else
+      let cands =
+        drop_block_candidates p @ drop_instr_candidates p
+        @ drop_annot_candidates p @ shrink_literal_candidates p
+      in
+      match try_candidates cands with
+      | Some c -> loop c (rounds - 1)
+      | None -> p
+  in
+  if still_fails p then loop p max_rounds else p

@@ -42,11 +42,24 @@ type config = {
           the saturation that bounds streaming benchmarks (mergesort,
           plus-reduce) on the paper's one-NUMA-node testbed.
           [infinity] = compute-bound. *)
+  faults : Interrupts.faults;
+      (** injected beat faults (see {!Interrupts.faults}); the
+          [steal_fail] component makes steal probes spuriously report
+          an empty deque — without touching the victim, so no task is
+          ever lost.  Used by the fuzzer's fault-injection oracle. *)
 }
 
 let make_config ?(mech = Interrupts.Off) ?(promote = true)
-    ?(mem_intensity = 0.3) ?(bw_cap = infinity) (cfg : Runnable.cfg) : config =
-  { cfg; mech; promote; mem_intensity; bw_cap }
+    ?(mem_intensity = 0.3) ?(bw_cap = infinity)
+    ?(faults = Interrupts.no_faults) (cfg : Runnable.cfg) : config =
+  { cfg; mech; promote; mem_intensity; bw_cap; faults }
+
+(** Raised by {!run} when simulated time passes the caller-supplied
+    horizon — the watchdog that turns a scheduler livelock (e.g. a lost
+    task leaving idle cores spinning forever) into a reportable failure
+    instead of a hang.  Carries the simulated time at which the guard
+    tripped. *)
+exception Horizon_exceeded of int
 
 type ev = Resume of int | Beat of Interrupts.delivery
 
@@ -76,11 +89,18 @@ type core = {
    (run_for additionally stops early whenever it spawns). *)
 let max_chunk = 250_000
 
-let run ?(trace : Sim_trace.t option) (config : config) (ir : Par_ir.t) :
-    Metrics.t =
+let run ?(trace : Sim_trace.t option) ?(horizon : int option)
+    (config : config) (ir : Par_ir.t) : Metrics.t =
   let params = config.cfg.params in
   let procs = max 1 params.procs in
   let rng = Prng.create ~seed:params.seed in
+  (* steal-fail fault draws come from their own split stream so that
+     enabling faults does not perturb victim sampling *)
+  let fault_rng = Prng.split (Prng.create ~seed:(params.seed lxor 0x5FA1)) in
+  let steal_faulty () =
+    config.faults.steal_fail > 0.
+    && Prng.float fault_rng < config.faults.steal_fail
+  in
   (* per-run deterministic task ids, so traces are reproducible *)
   Runnable.reset_ids ();
   let emit ~at ~core ?task kind =
@@ -109,7 +129,7 @@ let run ?(trace : Sim_trace.t option) (config : config) (ir : Par_ir.t) :
   in
   let q = Eventq.create ~dummy:(Resume 0) in
   let interrupts =
-    Interrupts.create ?trace params config.mech
+    Interrupts.create ?trace ~faults:config.faults params config.mech
       ~mem_intensity:config.mem_intensity
   in
   let next_beat_time = ref max_int in
@@ -242,9 +262,12 @@ let run ?(trace : Sim_trace.t option) (config : config) (ir : Par_ir.t) :
             let v = Prng.int rng (procs - 1) in
             let victim = if v >= core.id then v + 1 else v in
             emit ~at:t ~core:core.id (Sim_trace.Steal_attempt { victim });
-            match Wsdeque.steal_top cores.(victim).deque with
-            | Some task -> found := Some (victim, task)
-            | None -> ()
+            (* an injected steal fault makes the probe report empty
+               without inspecting the victim — the task stays put *)
+            if not (steal_faulty ()) then
+              match Wsdeque.steal_top cores.(victim).deque with
+              | Some task -> found := Some (victim, task)
+              | None -> ()
           done;
           match !found with
           | Some (victim, task) ->
@@ -385,12 +408,21 @@ let run ?(trace : Sim_trace.t option) (config : config) (ir : Par_ir.t) :
     end
     else next_beat_time := max_int
   in
+  let guard t =
+    match horizon with
+    | Some h when t > h -> raise (Horizon_exceeded t)
+    | _ -> ()
+  in
   let running = ref true in
   while !running do
     match Eventq.pop q with
     | None -> running := false
-    | Some (t, Resume c) -> handle_resume cores.(c) t
-    | Some (_, Beat d) -> handle_beat d
+    | Some (t, Resume c) ->
+        guard t;
+        handle_resume cores.(c) t
+    | Some (t, Beat d) ->
+        guard t;
+        handle_beat d
   done;
   let work = Array.fold_left (fun acc c -> acc + c.work) 0 cores in
   let overhead = Array.fold_left (fun acc c -> acc + c.overhead) 0 cores in

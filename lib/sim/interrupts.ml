@@ -36,6 +36,27 @@ let mech_name = function
 
 type delivery = { at : int; core : int; handler_cost : int }
 
+(** Fault-injection knobs for torture testing (differential fuzzing):
+    beats may be dropped, duplicated, or arbitrarily delayed beyond the
+    mechanism's native jitter, and steal probes may spuriously fail
+    ([steal_fail] is consumed by the engine, not here).  Heartbeat
+    promotion is a pure performance mechanism, so under any fault
+    schedule results must stay semantically identical — only timing and
+    metrics may drift.  All fault draws come from a dedicated split
+    stream so enabling faults never perturbs the mechanism's native
+    loss/jitter sequences. *)
+type faults = {
+  drop : float;  (** extra probability a beat is dropped, any mechanism *)
+  dup : float;  (** probability a delivered beat is delivered twice *)
+  fault_jitter : int;  (** extra uniform delay in cycles added per beat *)
+  steal_fail : float;  (** probability a steal probe spuriously misses *)
+}
+
+let no_faults = { drop = 0.; dup = 0.; fault_jitter = 0; steal_fail = 0. }
+
+let faults_active (f : faults) : bool =
+  f.drop > 0. || f.dup > 0. || f.fault_jitter > 0 || f.steal_fail > 0.
+
 type t = {
   params : Params.t;
   mech : mech;
@@ -49,20 +70,28 @@ type t = {
   mutable sweep_pos : int;  (** next worker in the current sweep *)
   (* per-core nominal schedules (Papi, Nautilus) *)
   mutable per_core_next : int array;
+  (* fault injection *)
+  faults : faults;
+  fault_rng : Prng.t;
+  mutable pending_dup : delivery option;
   (* accounting *)
   mutable delivered : int;
   mutable lost : int;
+  mutable dropped : int;  (** beats removed by fault injection *)
+  mutable duplicated : int;  (** extra beats added by fault injection *)
   trace : Sim_trace.t option;  (** loss events are recorded here *)
 }
 
-(** [create ?trace params mech ~mem_intensity] instantiates a delivery
-    stream.  [mem_intensity ∈ [0,1]] models how often the workload sits
-    in memory-stall / kernel paths that defer Linux signal delivery; it
-    has no effect on Nautilus IPIs.  [trace] records each lost beat
-    (the delivered ones are recorded by the engine, at their effective
-    delivery point). *)
-let create ?(trace : Sim_trace.t option) (params : Params.t) (mech : mech)
-    ~(mem_intensity : float) : t =
+(** [create ?trace ?faults params mech ~mem_intensity] instantiates a
+    delivery stream.  [mem_intensity ∈ [0,1]] models how often the
+    workload sits in memory-stall / kernel paths that defer Linux
+    signal delivery; it has no effect on Nautilus IPIs.  [faults]
+    layers injected drops / duplicates / delays on top of the
+    mechanism's native behaviour (default: none).  [trace] records each
+    lost beat (the delivered ones are recorded by the engine, at their
+    effective delivery point). *)
+let create ?(trace : Sim_trace.t option) ?(faults = no_faults)
+    (params : Params.t) (mech : mech) ~(mem_intensity : float) : t =
   let heart = Params.heart_cycles params in
   {
     params;
@@ -73,8 +102,13 @@ let create ?(trace : Sim_trace.t option) (params : Params.t) (mech : mech)
     sweep_start = heart;
     sweep_pos = 0;
     per_core_next = Array.make (max 1 params.procs) heart;
+    faults;
+    fault_rng = Prng.split (Prng.create ~seed:(params.seed lxor 0xFA17));
+    pending_dup = None;
     delivered = 0;
     lost = 0;
+    dropped = 0;
+    duplicated = 0;
     trace;
   }
 
@@ -141,9 +175,7 @@ let rec next_percore (t : t) ~(handler_cost : int) ~(latency : int)
     end
   end
 
-(** [next t] is the next delivery in time order, advancing the
-    mechanism's internal state; [None] when the mechanism is off. *)
-let next (t : t) : delivery option =
+let next_native (t : t) : delivery option =
   match t.mech with
   | Off -> None
   | Ping_thread -> next_ping t
@@ -154,11 +186,57 @@ let next (t : t) : delivery option =
       next_percore t ~handler_cost:t.params.ipi_handle
         ~latency:t.params.ipi_latency ~jittered:false ~lossy:false
 
+(** [next t] is the next delivery in time order, advancing the
+    mechanism's internal state; [None] when the mechanism is off.
+    Injected faults are applied here, on top of the native stream:
+    dropped beats are re-counted from [delivered] into [lost],
+    duplicates are queued one fault-jitter quantum later (so delivery
+    order is preserved), and extra delay is drawn per beat from the
+    dedicated fault stream. *)
+let rec next (t : t) : delivery option =
+  match t.pending_dup with
+  | Some d ->
+      t.pending_dup <- None;
+      Some d
+  | None -> (
+      match next_native t with
+      | None -> None
+      | Some d ->
+          let f = t.faults in
+          if f.drop > 0. && Prng.float t.fault_rng < f.drop then begin
+            (* the native layer already counted this beat as delivered *)
+            t.delivered <- t.delivered - 1;
+            t.lost <- t.lost + 1;
+            t.dropped <- t.dropped + 1;
+            trace_loss t ~at:d.at ~core:d.core;
+            next t
+          end
+          else begin
+            let d =
+              if f.fault_jitter > 0 then
+                { d with at = d.at + Prng.int t.fault_rng f.fault_jitter }
+              else d
+            in
+            if f.dup > 0. && Prng.float t.fault_rng < f.dup then begin
+              t.delivered <- t.delivered + 1;
+              t.duplicated <- t.duplicated + 1;
+              t.pending_dup <-
+                Some { d with at = d.at + max 1 f.fault_jitter }
+            end;
+            Some d
+          end)
+
 (** Beats actually delivered so far. *)
 let delivered (t : t) : int = t.delivered
 
-(** Beats lost so far (Linux signal coalescing). *)
+(** Beats lost so far (Linux signal coalescing plus injected drops). *)
 let lost (t : t) : int = t.lost
+
+(** Beats removed by fault injection (subset of [lost]). *)
+let dropped (t : t) : int = t.dropped
+
+(** Extra beats added by fault injection (subset of [delivered]). *)
+let duplicated (t : t) : int = t.duplicated
 
 (** Fleet-wide target beat count for a run of [horizon] cycles — the
     denominator of Figure 10's achieved-rate ratios.  Uses the same

@@ -1,26 +1,66 @@
 (** Deterministic pseudo-random numbers (splitmix64).
 
     Every stochastic choice in the simulator — steal victims, signal
-    jitter, workload generation — draws from an explicitly seeded
-    generator so that simulated experiments are exactly reproducible
-    run-to-run (a property the test suite relies on). *)
+    jitter, fault injection, workload and fuzz-program generation —
+    draws from an explicitly seeded generator so that simulated
+    experiments are exactly reproducible run-to-run (a property the
+    test suite relies on).
 
-type t = { mutable state : int64 }
+    Streams are {e splittable} in the SplittableRandom sense: each
+    stream carries its own odd increment (gamma), and {!split} derives
+    a child whose (state, gamma) pair is drawn — and mixed — from the
+    parent.  Consumers that interleave draws from several concerns
+    (steal-victim sampling, beat jitter, fault injection, program
+    generation) give each concern its own split stream, so adding
+    draws to one concern cannot perturb another. *)
 
-let create ~(seed : int) : t = { state = Int64.of_int seed }
+type t = { mutable state : int64; gamma : int64 }
 
-(** Independent stream derived from [t] — used to give each simulated
-    core its own generator so per-core draws do not depend on global
-    interleaving. *)
-let split (t : t) : t =
-  { state = Int64.add t.state 0x9E3779B97F4A7C15L }
+let golden_gamma = 0x9E3779B97F4A7C15L
 
-let next_int64 (t : t) : int64 =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
+let create ~(seed : int) : t =
+  { state = Int64.of_int seed; gamma = golden_gamma }
+
+(* Stafford variant-13 mixer — the splitmix64 output function. *)
+let mix64 (z : int64) : int64 =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount64 (x : int64) : int =
+  let n = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr n
+  done;
+  !n
+
+(* Murmur3-style mixer with different constants than [mix64] (the
+   mixGamma of SplittableRandom) — child gammas must come from a
+   different function family than the outputs. *)
+let mix_gamma (z : int64) : int64 =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor z 1L (* gammas must be odd *) in
+  (* avoid gammas with too-regular bit structure (few 01/10 pairs) *)
+  let pairs = Int64.logxor z (Int64.shift_right_logical z 1) in
+  if popcount64 pairs < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let next_int64 (t : t) : int64 =
+  t.state <- Int64.add t.state t.gamma;
+  mix64 t.state
+
+(** Independent stream derived from [t], advancing [t] by two draws.
+    The child's state and gamma are both freshly mixed, so parent and
+    child sequences are statistically independent — in particular the
+    child does {e not} replay the parent's future outputs (the defect
+    of the previous implementation, which derived the child's state
+    from the parent's next state with the same increment). *)
+let split (t : t) : t =
+  t.state <- Int64.add t.state t.gamma;
+  let state = mix64 t.state in
+  t.state <- Int64.add t.state t.gamma;
+  let gamma = mix_gamma t.state in
+  { state; gamma }
 
 (** Uniform integer in [0, bound) for [bound > 0]. *)
 let int (t : t) (bound : int) : int =

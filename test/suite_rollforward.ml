@@ -125,6 +125,107 @@ let prop_rollforward_preserves_results =
       | Ok fin -> Regfile.find_opt "c" fin.task.regs = Some (Value.Vint (a * b))
       | Error _ -> false)
 
+(* --- signal-timing edge cases --- *)
+
+(* drive a task until its pc first reaches [target] *)
+let rec step_until (task : Task.t) (target : Task.pc) (fuel : int) : Task.t =
+  if fuel <= 0 then Alcotest.fail "step_until: target pc never reached"
+  else if Task.equal_pc task.pc target then task
+  else
+    match Step.step task with
+    | Ok (Step.Stepped t) -> step_until t target (fuel - 1)
+    | Ok _ -> Alcotest.fail "step_until: unexpected machine request"
+    | Error e -> Alcotest.failf "step_until: %s" (Machine_error.show e)
+
+let seeded_task regs =
+  let task0 = Result.get_ok (Task.initial rf.program) in
+  { task0 with regs = Regfile.of_list regs }
+
+let test_beat_exactly_on_prppt () =
+  (* the signal lands when the pc is exactly at a promotion-ready
+     point (offset 0 of the prppt block).  redirect must land on the
+     rollforward copy — whose prppt annotation is dropped, promotion
+     now being explicit in its control flow — and resuming must still
+     divert into the handler and produce the right answer *)
+  let t =
+    step_until
+      (seeded_task [ ("a", Value.Vint 10); ("b", Value.Vint 3) ])
+      (Task.pc "loop" 0) 100
+  in
+  let r = Result.get_ok (Rollforward.redirect rf t) in
+  Alcotest.(check string) "label swapped" "rf$loop" r.pc.label;
+  check_int "offset still 0" 0 r.pc.offset;
+  (match Heap.find_opt "rf$loop" r.heap with
+  | Some b -> check "prppt annotation dropped" true (b.annot = Ast.Plain)
+  | None -> Alcotest.fail "rf$loop missing");
+  match Eval.run_task ~options:(opts None) Join.empty r with
+  | Ok fin ->
+      check "result" true
+        (Regfile.find_opt "c" fin.task.regs = Some (Value.Vint 30));
+      check "promotion forced with beats off" true (fin.stats.forks >= 1)
+  | Error e -> Alcotest.failf "resume: %s" (Machine_error.show e)
+
+let test_back_to_back_beats_one_block () =
+  (* two beats land inside the same block before a promotion-ready
+     point is reached.  the first redirect moves the pc into the
+     rollforward version; the second must be the identity (the pc is
+     already outside the mapped region), so the task rolls forward
+     exactly once and still completes correctly *)
+  let t =
+    step_until
+      (seeded_task [ ("a", Value.Vint 10); ("b", Value.Vint 3) ])
+      (Task.pc "loop" 2) 100
+  in
+  let once = Result.get_ok (Rollforward.redirect rf t) in
+  Alcotest.(check string) "first beat redirects" "rf$loop" once.pc.label;
+  check_int "offset preserved mid-block" 2 once.pc.offset;
+  let twice = Result.get_ok (Rollforward.redirect rf once) in
+  check "second beat is a no-op" true (Task.equal_pc once.pc twice.pc);
+  check "residual code unchanged" true
+    (List.length once.code.rest = List.length twice.code.rest);
+  match Eval.run_task ~options:(opts None) Join.empty twice with
+  | Ok fin ->
+      check "result" true
+        (Regfile.find_opt "c" fin.task.regs = Some (Value.Vint 30));
+      check "still exactly one diversion path" true (fin.stats.forks >= 1)
+  | Error e -> Alcotest.failf "resume: %s" (Machine_error.show e)
+
+let test_beat_during_join_resolution () =
+  (* the signal lands while the task is running a combine block, i.e.
+     mid join-resolution.  combine blocks are ordinary mapped blocks:
+     redirect swaps to rf$comb, whose join terminator must resolve
+     against the same record (join resolution is scheduler-level and
+     shared between the two versions) *)
+  let comb = List.assoc "rf$comb" rf.program.blocks in
+  check "join terminator kept" true (comb.term = Ast.Join "jr");
+  (match (List.assoc "rf$exit" rf.program.blocks).annot with
+  | Ast.Jtppt (_, _, l) ->
+      Alcotest.(check string) "join-target annotation shared" "comb" l
+  | _ -> Alcotest.fail "rf$exit lost its join-target annotation");
+  (* a closed record for jr whose continuation is the exit block: the
+     state mid join-resolution after both sides of a fork finished *)
+  let id, joins = Join.alloc "exit" Join.empty in
+  let heap = Heap.of_program rf.program in
+  let t =
+    Task.enter "comb"
+      (List.assoc "comb" rf.program.blocks)
+      ~cycles:3 ~heap
+      ~regs:
+        (Regfile.of_list
+           [ ("r", Value.Vint 5); ("r2", Value.Vint 7);
+             ("jr", Value.Vjoin id) ])
+  in
+  let r = Result.get_ok (Rollforward.redirect rf t) in
+  Alcotest.(check string) "redirected into rf$comb" "rf$comb" r.pc.label;
+  check_int "offset preserved" 0 r.pc.offset;
+  match Eval.run_task ~options:(opts None) joins r with
+  | Ok fin ->
+      check "join resolved from rollforward copy" true
+        (fin.stop = Eval.Halted);
+      check "combine result flows to continuation" true
+        (Regfile.find_opt "c" fin.task.regs = Some (Value.Vint 12))
+  | Error e -> Alcotest.failf "resume: %s" (Machine_error.show e)
+
 (* --- reduced block style (Appendix D.5) --- *)
 
 let test_reduced_style_correct () =
@@ -181,6 +282,12 @@ let suite =
       Alcotest.test_case "redirect outside map" `Quick
         test_redirect_outside_map_is_identity;
       QCheck_alcotest.to_alcotest prop_rollforward_preserves_results;
+      Alcotest.test_case "beat exactly on a prppt" `Quick
+        test_beat_exactly_on_prppt;
+      Alcotest.test_case "back-to-back beats in one block" `Quick
+        test_back_to_back_beats_one_block;
+      Alcotest.test_case "beat during join resolution" `Quick
+        test_beat_during_join_resolution;
       Alcotest.test_case "reduced style correct" `Quick
         test_reduced_style_correct;
       Alcotest.test_case "reduced style structural cost" `Quick

@@ -55,6 +55,66 @@ let test_prng_exponential_mean () =
   let mean = !sum /. float_of_int n in
   check "exponential mean near 10" true (abs_float (mean -. 10.) < 0.5)
 
+(* Pearson chi-square statistic for [draws] samples over [buckets]
+   equiprobable cells. With df = buckets-1 the statistic concentrates
+   around df ± a few sqrt(2·df); the bounds below are ~5 sigma. *)
+let chi_square ~buckets ~draws sample =
+  let counts = Array.make buckets 0 in
+  for _ = 1 to draws do
+    let b = sample () in
+    counts.(b) <- counts.(b) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int buckets in
+  Array.fold_left
+    (fun acc c ->
+      let d = float_of_int c -. expected in
+      acc +. (d *. d /. expected))
+    0. counts
+
+let test_prng_chi_square () =
+  let rng = Prng.create ~seed:0xC0FFEE in
+  let buckets = 64 in
+  let stat = chi_square ~buckets ~draws:65_536 (fun () -> Prng.int rng buckets) in
+  (* df = 63: mean 63, sigma ~11.2 *)
+  check "chi-square plausible" true (stat > 20. && stat < 130.)
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:42 in
+  let child = Prng.split parent in
+  (* the old split bug: child replayed the parent's exact future *)
+  let cs = List.init 32 (fun _ -> Prng.int child 1_000_000) in
+  let ps = List.init 32 (fun _ -> Prng.int parent 1_000_000) in
+  check "child does not replay parent" true (cs <> ps);
+  let overlap = List.filter (fun x -> List.mem x ps) cs in
+  check "sequences essentially disjoint" true (List.length overlap <= 2);
+  (* successive splits from the same parent are distinct streams *)
+  let p2 = Prng.create ~seed:42 in
+  let c1 = Prng.split p2 and c2 = Prng.split p2 in
+  let xs = List.init 32 (fun _ -> Prng.int c1 1_000_000) in
+  let ys = List.init 32 (fun _ -> Prng.int c2 1_000_000) in
+  check "sibling streams differ" true (xs <> ys)
+
+let test_prng_split_chi_square () =
+  (* first output of each of 16k children must itself be uniform *)
+  let parent = Prng.create ~seed:7 in
+  let buckets = 64 in
+  let stat =
+    chi_square ~buckets ~draws:16_384 (fun () ->
+        Prng.int (Prng.split parent) buckets)
+  in
+  check "split chi-square plausible" true (stat > 20. && stat < 130.)
+
+let test_prng_split_preserves_default_stream () =
+  (* splitting must advance the parent deterministically, and creating
+     a stream must reproduce the exact pre-split sequence (the whole
+     test suite depends on seeded sequences staying bit-identical) *)
+  let a = Prng.create ~seed:9 and b = Prng.create ~seed:9 in
+  let _ = Prng.split a and _ = Prng.split b in
+  for _ = 1 to 50 do
+    check_int "parents agree after split" (Prng.int a 1_000_000)
+      (Prng.int b 1_000_000)
+  done
+
 let test_zipf_head_heavy () =
   let rng = Prng.create ~seed:3 in
   let n = 10_000 in
@@ -162,6 +222,102 @@ let prop_deque_model =
         ops
       && Wsdeque.length d = List.length !model)
 
+let test_deque_stress_no_loss_no_dup () =
+  (* long random op sequence with unique task ids: every pushed id is
+     observed exactly once, either popped/stolen during the run or
+     still resident at the end *)
+  let rng = Prng.create ~seed:0xDE0E in
+  let d = Wsdeque.create () in
+  let next_id = ref 0 in
+  let pushed = Hashtbl.create 1024 in
+  let seen = Hashtbl.create 1024 in
+  let observe id =
+    check "no duplicate delivery" false (Hashtbl.mem seen id);
+    check "delivered id was pushed" true (Hashtbl.mem pushed id);
+    Hashtbl.replace seen id ()
+  in
+  for _ = 1 to 20_000 do
+    match Prng.int rng 3 with
+    | 0 ->
+        incr next_id;
+        Hashtbl.replace pushed !next_id ();
+        Wsdeque.push_bottom d !next_id
+    | 1 -> Option.iter observe (Wsdeque.pop_bottom d)
+    | _ -> Option.iter observe (Wsdeque.steal_top d)
+  done;
+  let rec drain () =
+    match Wsdeque.steal_top d with
+    | Some id ->
+        observe id;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "all pushed ids accounted for" (Hashtbl.length pushed)
+    (Hashtbl.length seen)
+
+let test_deque_stress_order_invariants () =
+  (* thief always sees the oldest resident task, owner the newest —
+     checked against a list model over a random interleaving *)
+  let rng = Prng.create ~seed:0xFACE in
+  let d = Wsdeque.create () in
+  let model = ref [] in
+  let next_id = ref 0 in
+  for _ = 1 to 10_000 do
+    match Prng.int rng 4 with
+    | 0 | 1 ->
+        incr next_id;
+        Wsdeque.push_bottom d !next_id;
+        model := !model @ [ !next_id ]
+    | 2 -> (
+        match (Wsdeque.pop_bottom d, List.rev !model) with
+        | None, [] -> ()
+        | Some got, newest :: rest ->
+            check_int "owner pops newest" newest got;
+            model := List.rev rest
+        | got, _ ->
+            Alcotest.failf "owner/model mismatch: got %s"
+              (match got with Some x -> string_of_int x | None -> "None"))
+    | _ -> (
+        match (Wsdeque.steal_top d, !model) with
+        | None, [] -> ()
+        | Some got, oldest :: rest ->
+            check_int "thief steals oldest" oldest got;
+            model := rest
+        | got, _ ->
+            Alcotest.failf "thief/model mismatch: got %s"
+              (match got with Some x -> string_of_int x | None -> "None"))
+  done;
+  check_int "final length agrees" (List.length !model) (Wsdeque.length d)
+
+let test_eventq_stress_stable_ties () =
+  (* random times drawn from a small range to force many collisions;
+     dequeue order must be nondecreasing in time and, within a time,
+     must preserve insertion order (seq tie-break) *)
+  let rng = Prng.create ~seed:0xBEA7 in
+  let q = Eventq.create ~dummy:(0, 0) in
+  let n = 5_000 in
+  for i = 1 to n do
+    let t = Prng.int rng 50 in
+    Eventq.add q ~time:t (t, i)
+  done;
+  let last_time = ref min_int and last_seq = ref 0 and popped = ref 0 in
+  let rec drain () =
+    match Eventq.pop q with
+    | None -> ()
+    | Some (t, (t', i)) ->
+        incr popped;
+        check_int "payload time matches key" t t';
+        check "nondecreasing time" true (t >= !last_time);
+        if t = !last_time then
+          check "stable tie-break (insertion order)" true (i > !last_seq);
+        last_time := t;
+        last_seq := i;
+        drain ()
+  in
+  drain ();
+  check_int "all events popped" n !popped
+
 (* --- Interrupts --- *)
 
 let params heart_us = { Params.default with heart_us }
@@ -246,6 +402,41 @@ let test_deliveries_monotone () =
       check "monotone-ish" true (mono 0 ds))
     [ Interrupts.Ping_thread; Interrupts.Papi; Interrupts.Nautilus_ipi ]
 
+let test_fault_drop_counts () =
+  let f = { Interrupts.no_faults with drop = 0.5 } in
+  let t =
+    Interrupts.create ~faults:f (params 100.) Interrupts.Nautilus_ipi
+      ~mem_intensity:0.
+  in
+  let ds = drain_deliveries t 500 in
+  check_int "500 delivered" 500 (List.length ds);
+  check "injected drops counted" true (Interrupts.dropped t > 100);
+  check_int "drops are the only losses on nautilus" (Interrupts.dropped t)
+    (Interrupts.lost t);
+  check_int "delivered counter matches returns" 500 (Interrupts.delivered t)
+
+let test_fault_dup_counts () =
+  let f = { Interrupts.no_faults with dup = 0.5 } in
+  let t =
+    Interrupts.create ~faults:f (params 100.) Interrupts.Nautilus_ipi
+      ~mem_intensity:0.
+  in
+  let ds = drain_deliveries t 600 in
+  check_int "600 delivered" 600 (List.length ds);
+  check "duplicates injected" true (Interrupts.duplicated t > 100);
+  check_int "no losses" 0 (Interrupts.lost t)
+
+let test_faults_off_stream_unchanged () =
+  (* the fault layer with no_faults must be byte-identical to the
+     native stream — enabling the plumbing cannot shift any test *)
+  let a = Interrupts.create (params 100.) Interrupts.Ping_thread ~mem_intensity:0.5 in
+  let b =
+    Interrupts.create ~faults:Interrupts.no_faults (params 100.)
+      Interrupts.Ping_thread ~mem_intensity:0.5
+  in
+  let da = drain_deliveries a 300 and db = drain_deliveries b 300 in
+  check "identical streams" true (da = db)
+
 let suite =
   ( "substrate",
     [
@@ -257,6 +448,13 @@ let suite =
       Alcotest.test_case "prng uniform mean" `Quick test_prng_float_mean;
       Alcotest.test_case "prng exponential mean" `Quick
         test_prng_exponential_mean;
+      Alcotest.test_case "prng chi-square" `Quick test_prng_chi_square;
+      Alcotest.test_case "prng split independence" `Quick
+        test_prng_split_independent;
+      Alcotest.test_case "prng split chi-square" `Quick
+        test_prng_split_chi_square;
+      Alcotest.test_case "prng split keeps default stream" `Quick
+        test_prng_split_preserves_default_stream;
       Alcotest.test_case "zipf head-heaviness" `Quick test_zipf_head_heavy;
       Alcotest.test_case "eventq time order" `Quick test_eventq_orders_by_time;
       Alcotest.test_case "eventq tie-break order" `Quick
@@ -266,6 +464,12 @@ let suite =
       Alcotest.test_case "deque owner LIFO" `Quick test_deque_lifo_owner;
       Alcotest.test_case "deque thief FIFO" `Quick test_deque_fifo_thief;
       QCheck_alcotest.to_alcotest prop_deque_model;
+      Alcotest.test_case "deque stress: no loss, no dup" `Quick
+        test_deque_stress_no_loss_no_dup;
+      Alcotest.test_case "deque stress: order invariants" `Quick
+        test_deque_stress_order_invariants;
+      Alcotest.test_case "eventq stress: stable ties" `Quick
+        test_eventq_stress_stable_ties;
       Alcotest.test_case "interrupts off" `Quick test_interrupts_off;
       Alcotest.test_case "nautilus hits target" `Quick test_nautilus_hits_target;
       Alcotest.test_case "ping thread loses signals" `Quick
@@ -276,4 +480,9 @@ let suite =
         test_nautilus_no_saturation_at_20us;
       Alcotest.test_case "PAPI handler cost" `Quick test_papi_costlier_handler;
       Alcotest.test_case "delivery monotonicity" `Quick test_deliveries_monotone;
+      Alcotest.test_case "fault drops counted" `Quick test_fault_drop_counts;
+      Alcotest.test_case "fault duplicates counted" `Quick
+        test_fault_dup_counts;
+      Alcotest.test_case "no_faults stream unchanged" `Quick
+        test_faults_off_stream_unchanged;
     ] )

@@ -126,7 +126,10 @@ let test_round_trip_canned () =
 (* property: printer/parser round trip over generated programs *)
 let gen_program : Ast.program QCheck.Gen.t =
   let open QCheck.Gen in
-  let reg = oneofl [ "a"; "b"; "c"; "t" ] in
+  (* register names deliberately include instruction keywords ([mem],
+     [fork], [jralloc]) — the parser disambiguates them by lookahead;
+     only [snew] is genuinely reserved ([r := snew] is ambiguous) *)
+  let reg = oneofl [ "a"; "b"; "c"; "t"; "mem"; "fork"; "jralloc" ] in
   let labels = [ "m"; "l0"; "l1"; "k" ] in
   let label = oneofl labels in
   let operand =

@@ -19,6 +19,7 @@ let () =
       Suite_engine.suite;
       Suite_workloads.suite;
       Suite_heartbeat.suite;
+      Suite_fuzz.suite;
       Suite_stats.suite;
       Suite_repro.suite;
     ]
