@@ -42,11 +42,18 @@ let write_trace (id : string) (file : string) : int =
           Printf.eprintf "cannot write trace: %s\n" msg;
           1
       | oc ->
-      let _metrics, tr = Repro.Runner.measure_traced spec in
+      let metrics, tr = Repro.Runner.measure_traced spec in
       output_string oc (Sim.Sim_trace.to_chrome_string tr);
       close_out oc;
       print_newline ();
       print_string (Sim.Sim_trace.report tr);
+      if Sim.Metrics.degraded metrics then
+        Printf.printf
+          "recovery: cores_lost=%d leases_expired=%d tasks_reexecuted=%d \
+           recovery_cycles=%d (mean %.0f per re-execution)\n"
+          metrics.cores_lost metrics.leases_expired metrics.tasks_reexecuted
+          metrics.recovery_cycles
+          (Sim.Metrics.mean_recovery_cycles metrics);
       Printf.printf
         "\nwrote %s (%d events) — load it at https://ui.perfetto.dev\n" file
         (Sim.Sim_trace.length tr);

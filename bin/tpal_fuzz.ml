@@ -5,6 +5,7 @@
 
      tpal_fuzz --count 1000 --seed 1
      tpal_fuzz --count 200 --cores 1,4 --mech ipi --no-faults
+     tpal_fuzz --count 200 --chaos --minimize
      tpal_fuzz --seed 42 --count 1 --minimize --out test/corpus
 
    Exits non-zero when any divergence is found; with --minimize each
@@ -27,9 +28,10 @@ let parse_cores (s : string) : int list =
       | _ -> Fmt.failwith "bad core count %S (expected e.g. 1,4,15)" c)
     (String.split_on_char ',' s)
 
-let run ~seed ~count ~cores ~mech ~faults ~hb ~minimize ~out ~progress =
+let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~minimize ~out ~progress =
   match
-    { Fuzz.Diff.cores = parse_cores cores; mechs = parse_mechs mech; faults; hb }
+    { Fuzz.Diff.cores = parse_cores cores; mechs = parse_mechs mech; faults;
+      chaos; hb }
   with
   | exception Failure msg ->
       Fmt.epr "tpal_fuzz: %s@." msg;
@@ -54,8 +56,13 @@ let run ~seed ~count ~cores ~mech ~faults ~hb ~minimize ~out ~progress =
             (Fuzz.Diff.check ~cfg p ~outputs:g.outputs)
         in
         let small = Fuzz.Shrink.minimize ~still_fails g.prog in
+        let prefix =
+          if String.length oracle >= 5 && String.sub oracle 0 5 = "chaos"
+          then "chaos_"
+          else ""
+        in
         let path =
-          Fuzz.Corpus.save ~dir:out
+          Fuzz.Corpus.save ~prefix ~dir:out
             { Fuzz.Corpus.seed = s; oracle; outputs = g.outputs; prog = small }
         in
         Fmt.pr "  shrunk reproducer: %s@." path
@@ -90,6 +97,13 @@ let mech =
 let no_faults =
   Arg.(value & flag & info [ "no-faults" ] ~doc:"Skip the fault-injection battery.")
 
+let chaos =
+  Arg.(value & flag & info [ "chaos" ]
+    ~doc:"Also run each program under a random crash/stall/slow-core \
+          schedule and check the recovery oracles (completion, work \
+          conservation, Brent bound at the surviving core count, \
+          determinism).")
+
 let no_hb =
   Arg.(value & flag & info [ "no-hb" ] ~doc:"Skip the real heartbeat-runtime executor.")
 
@@ -106,10 +120,10 @@ let cmd =
   Cmd.v
     (Cmd.info "tpal_fuzz" ~doc)
     Term.(
-      const (fun seed count cores mech no_faults no_hb minimize out quiet ->
-          run ~seed ~count ~cores ~mech ~faults:(not no_faults)
+      const (fun seed count cores mech no_faults chaos no_hb minimize out quiet ->
+          run ~seed ~count ~cores ~mech ~faults:(not no_faults) ~chaos
             ~hb:(not no_hb) ~minimize ~out ~progress:(not quiet))
-      $ seed $ count $ cores $ mech $ no_faults $ no_hb $ minimize $ out
-      $ quiet)
+      $ seed $ count $ cores $ mech $ no_faults $ chaos $ no_hb $ minimize
+      $ out $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -49,7 +49,7 @@ let () =
     | Promoted `Branch -> incr ev_branch
     | Join_suspend -> incr ev_suspends
     | Task_start -> incr ev_tasks
-    | Join_resume | Task_finish -> ()
+    | Join_resume | Task_finish | Stall_detected _ -> ()
   in
   let (), st =
     Heartbeat.Hb_runtime.run

@@ -13,6 +13,13 @@ type t =
   | Stack_bounds of { context : string; offset : int; depth : int }
   | Stack_type of { context : string; offset : int; got : string }
   | No_mark of { context : string }
+  | Mark_corruption of { context : string; expected : string; got : string }
+      (** the promotion-ready mark discipline was violated: the mark
+          being removed is not the innermost live one ([expected] is
+          the mark the runtime tried to pop, [got] the actual top of
+          the mark list).  Reaching this state means a scheduler bug —
+          marks obey strict LIFO nesting by construction — so the
+          runtime surfaces the offending state instead of asserting. *)
   | Unbound_join of int
   | Join_misuse of { join : int; reason : string }
   | Fork_target_not_block of string
@@ -33,6 +40,9 @@ let pp ppf = function
       Fmt.pf ppf "unexpected %s at stack offset %d in %s" got offset context
   | No_mark { context } ->
       Fmt.pf ppf "no promotion-ready mark available in %s" context
+  | Mark_corruption { context; expected; got } ->
+      Fmt.pf ppf "mark-list corruption in %s: popping %s but top is %s"
+        context expected got
   | Unbound_join j -> Fmt.pf ppf "unbound join record j%d" j
   | Join_misuse { join; reason } -> Fmt.pf ppf "join j%d misuse: %s" join reason
   | Fork_target_not_block s -> Fmt.pf ppf "fork target is not a block: %s" s

@@ -30,10 +30,15 @@ let render (e : entry) : string =
     (String.concat " " e.outputs)
     (Printer.program_to_string e.prog)
 
-(** [save ~dir e] writes the reproducer and returns its path. *)
-let save ~(dir : string) (e : entry) : string =
+(** [save ~dir e] writes the reproducer and returns its path.
+    [?prefix] prepends a family tag to the filename (e.g. [chaos_] for
+    crash-schedule reproducers, so they sort and grep as a group). *)
+let save ?(prefix = "") ~(dir : string) (e : entry) : string =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  let path = Filename.concat dir (Printf.sprintf "seed_%d_%s.tpal" e.seed e.oracle) in
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%sseed_%d_%s.tpal" prefix e.seed e.oracle)
+  in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)

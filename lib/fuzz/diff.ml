@@ -24,6 +24,14 @@
     - {b fault-*}: the same simulations under injected beat faults
       (drops, duplicates, extra jitter) and spurious steal failures
       still complete, conserve work, and respect the lower bounds.
+    - {b chaos-*}: simulations under a random crash/stall/slow-core
+      schedule ({!Sim.Interrupts.random_schedule}): the run completes
+      (no livelock) as long as one core survives, every IR cycle is
+      executed at least once (re-execution may add more), the span and
+      W/P lower bounds hold, the makespan stays within a Brent-style
+      bound at the {e surviving} core count with an allowance for the
+      lease-detection latency of each recovery, and repeated runs are
+      bit-identical (seed determinism of the recovery machinery).
     - {b hb-*}: the program executed on the real heartbeat runtime
       (OCaml effects, wall-clock beats) matches the reference
       outputs. *)
@@ -36,6 +44,10 @@ type cfg = {
   cores : int list;
   mechs : Sim.Interrupts.mech list;
   faults : bool;
+  chaos : bool;
+      (** run the crash/stall/slow-core schedule battery (the recovery
+          layer's oracle); off by default — it roughly doubles the
+          simulator share of the battery *)
   hb : bool;
 }
 
@@ -44,6 +56,7 @@ let default_cfg =
     cores = [ 1; 4; 15 ];
     mechs = [ Sim.Interrupts.Ping_thread; Papi; Nautilus_ipi ];
     faults = true;
+    chaos = false;
     hb = true;
   }
 
@@ -164,6 +177,94 @@ let check_sim_config ~(tag : string) ~(params : Sim.Params.t)
             fail (tag ^ "sim-determinism") "%s: two runs with one seed differ"
               where);
       List.rev !ds
+
+(* ------------------------------------------------------------------ *)
+(* Chaos battery: a random crash/stall/slow-core schedule, checked with
+   the recovery layer's oracles. *)
+
+let check_chaos ~(params : Sim.Params.t) ~(mech : Sim.Interrupts.mech)
+    (ir : Sim.Par_ir.t) ~(work : int) ~(span : int) : divergence list =
+  let p = max 1 params.procs in
+  let horizon = (60 * work) + 50_000_000 in
+  (* the fault-free run fixes the time window the schedule is drawn
+     over, so faults land while the program is actually running *)
+  match sim_run ~params ~mech ~faults:Sim.Interrupts.no_faults ~horizon ir with
+  | Error d -> [ d ]
+  | Ok m0 ->
+      let schedule =
+        Sim.Interrupts.random_schedule ~seed:params.seed ~procs:p
+          ~horizon:(max 1 m0.makespan)
+      in
+      let faults = { Sim.Interrupts.no_faults with schedule } in
+      let heart = max 1 (Sim.Params.heart_cycles params) in
+      (* mirrors the engine's lease TTL (lease_beats·♥ + two segment
+         lengths) and sweep period *)
+      let ttl = (max 1 params.lease_beats * heart) + 500_000 in
+      let sweep = max 1 (max 1 params.sweep_beats * heart) in
+      let stall_total =
+        List.fold_left
+          (fun acc (f : Sim.Interrupts.core_fault) ->
+            match f.kind with Sim.Interrupts.Stall n -> acc + n | _ -> acc)
+          0 schedule
+      in
+      let n_faults = List.length schedule in
+      (* every injected fault may cost one lease-detection latency plus
+         a full re-execution before the run can finish *)
+      let chaos_horizon =
+        horizon + stall_total + (n_faults * (ttl + (2 * sweep) + work))
+      in
+      let where =
+        Fmt.str "chaos P=%d %s (%d faults)" p (Sim.Interrupts.mech_name mech)
+          n_faults
+      in
+      (match sim_run ~params ~mech ~faults ~horizon:chaos_horizon ir with
+      | Error d -> [ { d with oracle = "chaos-livelock" } ]
+      | Ok m ->
+          let ds = ref [] in
+          let fail oracle fmt =
+            Fmt.kstr (fun detail -> ds := { oracle; detail } :: !ds) fmt
+          in
+          (* conservation, weakened to ≥: re-execution legitimately
+             repeats the cycles since a lost task's checkpoint, but
+             nothing may be silently lost *)
+          if m.work < work then
+            fail "chaos-work-lost" "%s: work %d < IR work %d" where m.work
+              work;
+          if m.makespan * p < work then
+            fail "chaos-lower-bound" "%s: makespan %d < W/P = %d/%d" where
+              m.makespan work p;
+          if m.makespan < span then
+            fail "chaos-lower-bound" "%s: makespan %d < span %d" where
+              m.makespan span;
+          (* Brent-style upper bound at the surviving core count, with
+             an allowance per recovery event: detection latency (TTL +
+             sweeps) plus a serial re-execution of the lost task *)
+          let surv = Sim.Metrics.surviving ~procs:p m in
+          let per_beat =
+            params.tau_promote + params.steal_cost + params.signal_handle
+            + params.papi_handle
+          in
+          let beats = 2 + (m.makespan / heart) in
+          let upper =
+            (8 * ((work / surv) + span))
+            + (4 * heart) + (beats * per_beat)
+            + (64 * params.steal_retry)
+            + stall_total
+            + (m.tasks_reexecuted * (ttl + (2 * sweep) + work))
+            + (m.cores_lost * (ttl + (2 * sweep)))
+          in
+          if m.makespan > upper then
+            fail "chaos-upper-bound"
+              "%s: makespan %d > bound %d (W=%d S=%d surv=%d reexec=%d)"
+              where m.makespan upper work span surv m.tasks_reexecuted;
+          (* the recovery machinery itself must be deterministic *)
+          (match sim_run ~params ~mech ~faults ~horizon:chaos_horizon ir with
+          | Error d -> ds := { d with oracle = "chaos-livelock" } :: !ds
+          | Ok m' ->
+              if m <> m' then
+                fail "chaos-determinism"
+                  "%s: two runs with one seed differ" where);
+          List.rev !ds)
 
 (* ------------------------------------------------------------------ *)
 
@@ -307,7 +408,7 @@ let check ?(cfg = default_cfg) (prog : Ast.program) ~(outputs : Ast.reg list)
                 let faults =
                   { Sim.Interrupts.drop = 0.3; dup = 0.25;
                     fault_jitter = Sim.Params.heart_cycles params / 2;
-                    steal_fail = 0.3 }
+                    steal_fail = 0.3; schedule = [] }
                 in
                 List.iter
                   (fun mech ->
@@ -315,6 +416,18 @@ let check ?(cfg = default_cfg) (prog : Ast.program) ~(outputs : Ast.reg list)
                       (check_sim_config ~tag:"fault-" ~params ~mech ~faults
                          ~check_upper:false lw.ir ~work ~span))
                   (List.filter (fun m -> m <> Sim.Interrupts.Off) cfg.mechs)
+              end;
+              (* --- chaos: crash/stall/slow cores + recovery --- *)
+              if cfg.chaos then begin
+                let params = Sim.Params.with_procs 4 base in
+                let mech =
+                  match
+                    List.filter (fun m -> m <> Sim.Interrupts.Off) cfg.mechs
+                  with
+                  | m :: _ -> m
+                  | [] -> Sim.Interrupts.Nautilus_ipi
+                in
+                add (check_chaos ~params ~mech lw.ir ~work ~span)
               end);
           (* --- the real heartbeat runtime --- *)
           (if cfg.hb then

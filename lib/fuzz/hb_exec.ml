@@ -27,7 +27,8 @@ type stop = Halted | Blocked of int
 (** Polling source so runs make no use of signals; a short beat so
     promotions actually happen in sub-millisecond programs. *)
 let default_config : Hb.config =
-  { heart_us = 50.; source = `Polling; poll_stride = 1; on_event = None }
+  { heart_us = 50.; source = `Polling; poll_stride = 1; lease_beats = 0;
+    on_event = None }
 
 let enter_fresh (t : Task.t) (label : Ast.label) : Task.t =
   let block = ok (Heap.find label t.heap) in

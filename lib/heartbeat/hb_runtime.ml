@@ -65,6 +65,14 @@ type event =
   | Join_resume  (** a suspended computation resumed by its last child *)
   | Task_start  (** a promoted task begins execution *)
   | Task_finish
+  | Stall_detected of { missed_beats : int }
+      (** the lease watchdog: the gap since the previous
+          promotion-ready point exceeded the task-lease TTL
+          ([lease_beats]·♥) — the mirror of the simulator's
+          lease-expiry sweep.  In this single-domain runtime nothing
+          is re-executed (the stalled computation {e is} the only
+          computation); the event surfaces the stall so a supervisor
+          can react. *)
 
 type config = {
   heart_us : float;  (** ♥ in microseconds *)
@@ -74,13 +82,22 @@ type config = {
   poll_stride : int;
       (** loop iterations between polls, amortising the poll cost on
           very fine-grained loops *)
+  lease_beats : int;
+      (** lease watchdog TTL in heartbeat periods; [0] (the default)
+          disables the watchdog and its clock reads entirely
+          (pay-for-use, like the simulator's recovery layer) *)
   on_event : (event -> unit) option;
       (** scheduling-event hook; [None] = tracing off (no overhead
           beyond one match per event site) *)
 }
 
 let default_config =
-  { heart_us = 100.; source = `Ping_thread; poll_stride = 32; on_event = None }
+  { heart_us = 100.; source = `Ping_thread; poll_stride = 32; lease_beats = 0;
+    on_event = None }
+
+(** A scheduler-invariant violation, carrying the classified machine
+    fault (the runtime's states map onto the abstract machine's). *)
+exception Machine_fault of Tpal.Machine_error.t
 
 type stats = {
   beats : int;  (** heartbeats observed at promotion-ready points *)
@@ -89,6 +106,7 @@ type stats = {
   branch_promotions : int;
   joins : int;  (** suspensions on a join record *)
   max_queue : int;  (** peak length of the promoted-task queue *)
+  stalls_detected : int;  (** lease-watchdog trips (0 with watchdog off) *)
 }
 
 type state = {
@@ -104,6 +122,8 @@ type state = {
   mutable st_branch_promotions : int;
   mutable st_joins : int;
   mutable st_max_queue : int;
+  mutable last_poll : float;  (** previous promotion-ready point (lease renewal) *)
+  mutable st_stalls : int;
 }
 
 let state : state option ref = ref None
@@ -139,12 +159,27 @@ let finish (s : state) (jr : join) : unit =
 let push_mark (s : state) (e : entry) : unit =
   s.current_marks := e :: !(s.current_marks)
 
+let describe_entry : entry -> string = function
+  | E_branch { thunk = Some _; _ } -> "a branch mark (unpromoted)"
+  | E_branch { thunk = None; _ } -> "a branch mark (promoted)"
+  | E_loop { lo; hi; _ } -> Printf.sprintf "a loop mark [%d, %d)" lo hi
+
 (* Marks obey strict LIFO nesting: the entry being removed is always
-   the innermost. *)
+   the innermost.  A violation means a scheduler bug; surface the
+   offending state as a typed fault instead of asserting. *)
 let pop_mark (s : state) (e : entry) : unit =
   match !(s.current_marks) with
   | top :: rest when top == e -> s.current_marks := rest
-  | _ -> assert false
+  | wrong ->
+      let got =
+        match wrong with
+        | [] -> "an empty mark list"
+        | top :: _ -> describe_entry top
+      in
+      raise
+        (Machine_fault
+           (Tpal.Machine_error.Mark_corruption
+              { context = "pop_mark"; expected = describe_entry e; got }))
 
 let enqueue (s : state) (t : task) : unit =
   Queue.add t s.queue;
@@ -196,9 +231,23 @@ let rec promote (s : state) : unit =
           marks = ref [] }
 
 (* [poll]: the promotion-ready program point — observe a pending beat
-   and promote. *)
+   and promote.  Reaching a poll renews the running task's lease; the
+   watchdog flags a gap longer than the lease TTL (the single-domain
+   mirror of the simulator's supervisor sweep). *)
 and poll () : unit =
   let s = get_state () in
+  if s.cfg.lease_beats > 0 then begin
+    let now = Unix.gettimeofday () in
+    let gap_us = (now -. s.last_poll) *. 1e6 in
+    let ttl_us = float_of_int s.cfg.lease_beats *. s.cfg.heart_us in
+    if gap_us > ttl_us then begin
+      s.st_stalls <- s.st_stalls + 1;
+      fire s
+        (Stall_detected
+           { missed_beats = int_of_float (gap_us /. s.cfg.heart_us) })
+    end;
+    s.last_poll <- now
+  end;
   let due =
     match s.cfg.source with
     | `Ping_thread ->
@@ -287,6 +336,7 @@ let stats () : stats =
     branch_promotions = s.st_branch_promotions;
     joins = s.st_joins;
     max_queue = s.st_max_queue;
+    stalls_detected = s.st_stalls;
   }
 
 (** [run ?config main] executes [main] under the heartbeat scheduler
@@ -308,6 +358,8 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
       st_branch_promotions = 0;
       st_joins = 0;
       st_max_queue = 0;
+      last_poll = Unix.gettimeofday ();
+      st_stalls = 0;
     }
   in
   state := Some s;

@@ -20,6 +20,34 @@
     when the previous beat fired, strictly earlier than any racing
     resume).
 
+    {2 Crash faults and recovery}
+
+    A fault {e schedule} ({!Interrupts.faults.schedule}) subjects
+    individual cores to crash / stall / slow-down events.  The recovery
+    layer keeps the run live as long as one core survives:
+
+    - {e task leases}: a core holding an in-flight task renews its
+      lease at every promotion-ready point (segment start); renewal
+      also refreshes a {e checkpoint} — a {!Runnable.snapshot} of the
+      task taken at safe points (acquisition, after beat service, after
+      spawning), i.e. points where all of the task's children are
+      registered in shared join records;
+    - {e supervisor sweep}: a periodic sweep (every
+      [sweep_beats · ♥]) requeues the checkpoint of any task whose
+      lease expired — the cycles since the checkpoint are genuinely
+      re-executed — and drains dead cores' deques into the survivors;
+    - {e idempotent joins}: a stalled core revives and {e races} the
+      re-executed copy; the first incarnation to complete flips the
+      task's shared {!Runnable.task.completed} latch and a duplicate
+      completion is a no-op rather than a double-join;
+    - {e quarantine}: dead cores leave the steal domain (thieves only
+      probe live cores once a core has died).
+
+    The whole layer is pay-for-use: with an empty schedule no fault or
+    sweep event is created, no snapshot is taken, and victim sampling
+    draws exactly the same stream — metrics are bit-identical to a
+    build without the layer.
+
     Pass [?trace] to {!run} to record every scheduling decision as a
     {!Sim_trace} event stream; recording off costs one match per
     emission site. *)
@@ -43,10 +71,11 @@ type config = {
           plus-reduce) on the paper's one-NUMA-node testbed.
           [infinity] = compute-bound. *)
   faults : Interrupts.faults;
-      (** injected beat faults (see {!Interrupts.faults}); the
-          [steal_fail] component makes steal probes spuriously report
-          an empty deque — without touching the victim, so no task is
-          ever lost.  Used by the fuzzer's fault-injection oracle. *)
+      (** injected faults (see {!Interrupts.faults}): the beat
+          components are consumed by the interrupt mechanism, while
+          [steal_fail] (spuriously empty steal probes — the task stays
+          put, nothing is lost) and [schedule] (core crash/stall/slow
+          events, recovered via task leases) are consumed here. *)
 }
 
 let make_config ?(mech = Interrupts.Off) ?(promote = true)
@@ -61,7 +90,13 @@ let make_config ?(mech = Interrupts.Off) ?(promote = true)
     tripped. *)
 exception Horizon_exceeded of int
 
-type ev = Resume of int | Beat of Interrupts.delivery
+type ev =
+  | Resume of int
+  | Beat of Interrupts.delivery
+  | Fault of Interrupts.core_fault
+  | Sweep  (** supervisor lease sweep (only with a fault schedule) *)
+
+type core_status = Alive | Stalled of int  (** revival time *) | Dead
 
 type core = {
   id : int;
@@ -82,6 +117,17 @@ type core = {
           any class) — the core's next promotion-ready point *)
   mutable steal_fails : int;  (** consecutive failed steal scans, for
                                   exponential back-off *)
+  (* crash-fault state (quiescent unless a fault schedule is set) *)
+  mutable status : core_status;
+  mutable slow : float;  (** wall-clock dilation of run segments, 1 = nominal *)
+  mutable lease : int;  (** expiry cycle of the in-flight task's lease;
+                            [max_int] = no lease outstanding *)
+  mutable ckpt : Runnable.task option;
+      (** checkpoint of the in-flight task: a snapshot from the last
+          safe point, never executed directly (requeues re-snapshot it) *)
+  mutable died_at : int;  (** when the core last lost liveness *)
+  mutable buried : bool;  (** dead core's deque already drained *)
+  mutable defer : bool;  (** a revival resume is already scheduled *)
 }
 
 (* Segment length bound: spawned work must become stealable, and the
@@ -101,6 +147,17 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
     config.faults.steal_fail > 0.
     && Prng.float fault_rng < config.faults.steal_fail
   in
+  (* crash-fault recovery is active only when a schedule is present:
+     otherwise no fault/sweep event exists, no snapshot is taken and
+     the victim-sampling stream is untouched (pay-for-use) *)
+  let recovery = config.faults.schedule <> [] in
+  let heart = max 1 (Params.heart_cycles params) in
+  (* lease TTL: a few beats of slack plus a two-segment allowance, so
+     a healthy core renewing at every segment start can never be
+     falsely expired (a slowed core can — it is then re-executed
+     elsewhere while it limps on, which the join latch makes safe) *)
+  let lease_ttl = (max 1 params.lease_beats * heart) + (2 * max_chunk) in
+  let sweep_period = max 1 (max 1 params.sweep_beats * heart) in
   (* per-run deterministic task ids, so traces are reproducible *)
   Runnable.reset_ids ();
   let emit ~at ~core ?task kind =
@@ -125,6 +182,13 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
           seg_start = 0;
           seg_end = 0;
           steal_fails = 0;
+          status = Alive;
+          slow = 1.;
+          lease = max_int;
+          ckpt = None;
+          died_at = 0;
+          buried = false;
+          defer = false;
         })
   in
   let q = Eventq.create ~dummy:(Resume 0) in
@@ -148,6 +212,10 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
   let steals = ref 0 in
   let beats_delivered = ref 0 in
   let makespan = ref 0 in
+  let cores_lost = ref 0 in
+  let leases_expired = ref 0 in
+  let tasks_reexecuted = ref 0 in
+  let recovery_cycles = ref 0 in
   (* number of cores with a work segment in flight, for the bandwidth
      model: a core counts as active from the event that starts its
      segment until the resume event that ends it *)
@@ -156,12 +224,38 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
     let k = float_of_int (max 1 !active) in
     if k > config.bw_cap then k /. config.bw_cap else 1.
   in
+  let renew_lease (core : core) (t : int) =
+    if recovery then core.lease <- t + lease_ttl
+  in
+  let checkpoint (core : core) =
+    if recovery then
+      core.ckpt <-
+        (match core.current with
+        | Some task -> Some (Runnable.snapshot task)
+        | None -> None)
+  in
+  let drop_lease (core : core) =
+    if recovery then begin
+      core.lease <- max_int;
+      core.ckpt <- None
+    end
+  in
   (* initial state: the whole program on core 0 *)
   cores.(0).current <- Some (Runnable.of_ir config.cfg ir);
+  renew_lease cores.(0) 0;
+  checkpoint cores.(0);
   for c = 0 to procs - 1 do
     Eventq.add q ~time:0 (Resume c)
   done;
   schedule_beat ();
+  if recovery then begin
+    List.iter
+      (fun (f : Interrupts.core_fault) ->
+        if f.victim >= 0 && f.victim < procs then
+          Eventq.add q ~time:(max 0 f.at) (Fault f))
+      config.faults.schedule;
+    Eventq.add q ~time:sweep_period Sweep
+  end;
   let push_tasks (core : core) (ts : Runnable.task list) =
     List.iter
       (fun t ->
@@ -172,23 +266,31 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
   in
   (* A task completed: signal its parent's join; the last child to
      arrive resumes the waiting parent on this core (continuations run
-     where the final strand ran, as in Cilk). *)
+     where the final strand ran, as in Cilk).  The completion latch is
+     shared by every incarnation of the logical task, so a second
+     completion — a stalled-then-revived core racing the supervisor's
+     re-execution — is a no-op instead of a double-join. *)
   let finish_task (core : core) (task : Runnable.task) (t : int) =
-    decr remaining;
     core.last_active <- t;
-    if t > !makespan then makespan := t;
-    match task.on_finish with
-    | None -> ()
-    | Some s ->
-        s.pending <- s.pending - 1;
-        if s.pending = 0 then (
-          match s.waiter with
-          | None -> ()
-          | Some w ->
-              s.waiter <- None;
-              emit ~at:t ~core:core.id ~task:task.id
-                (Sim_trace.Join_resume { waiter = w.id });
-              Wsdeque.push_bottom core.deque w)
+    if !(task.completed) then
+      emit ~at:t ~core:core.id ~task:task.id Sim_trace.Duplicate_finish
+    else begin
+      task.completed := true;
+      decr remaining;
+      if t > !makespan then makespan := t;
+      match task.on_finish with
+      | None -> ()
+      | Some s ->
+          s.pending <- s.pending - 1;
+          if s.pending = 0 then (
+            match s.waiter with
+            | None -> ()
+            | Some w ->
+                s.waiter <- None;
+                emit ~at:t ~core:core.id ~task:task.id
+                  (Sim_trace.Join_resume { waiter = w.id });
+                Wsdeque.push_bottom core.deque w)
+    end
   in
   (* Service pending heartbeats on a running core: handler cost plus
      (in TPAL mode with promotion enabled) one promotion attempt per
@@ -205,6 +307,10 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
       config.promote
       && config.cfg.mode = Runnable.Tpal
       && Option.is_some core.current
+      (* a logically completed task (this incarnation lost a duplicate
+         race) must not create new work; in a fault-free run the latch
+         of a current task is never set, so this costs one read *)
+      && not !((Option.get core.current).Runnable.completed)
     then begin
       let task = Option.get core.current in
       for _ = 1 to beats do
@@ -230,11 +336,17 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
     !cost
   in
   (* Acquire work: own deque first, then a scan over up to P random
-     victims — each probe targeting one of the {e other} P−1 cores
-     (probing oneself would silently burn 1/P of the budget).  Returns
-    the cycles the acquisition occupied. *)
+     victims — each probe targeting one of the {e other} cores still in
+     the steal domain (dead cores are quarantined out; probing oneself
+     would silently burn 1/P of the budget).  Returns the cycles the
+     acquisition occupied. *)
+  let any_dead () =
+    recovery && Array.exists (fun c -> c.status = Dead) cores
+  in
   let try_acquire (core : core) (t : int) : int option =
     let acquired cost =
+      renew_lease core t;
+      checkpoint core;
       core.seg_start <- t;
       core.seg_end <- t + cost;
       emit ~at:t ~core:core.id
@@ -256,19 +368,44 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
         if procs = 1 then None
         else begin
           let found = ref None in
-          let tries = ref 0 in
-          while !found = None && !tries < procs do
-            incr tries;
-            let v = Prng.int rng (procs - 1) in
-            let victim = if v >= core.id then v + 1 else v in
-            emit ~at:t ~core:core.id (Sim_trace.Steal_attempt { victim });
-            (* an injected steal fault makes the probe report empty
-               without inspecting the victim — the task stays put *)
-            if not (steal_faulty ()) then
-              match Wsdeque.steal_top cores.(victim).deque with
-              | Some task -> found := Some (victim, task)
-              | None -> ()
-          done;
+          if not (any_dead ()) then begin
+            (* the fault-free sampling path: bit-identical draws *)
+            let tries = ref 0 in
+            while !found = None && !tries < procs do
+              incr tries;
+              let v = Prng.int rng (procs - 1) in
+              let victim = if v >= core.id then v + 1 else v in
+              emit ~at:t ~core:core.id (Sim_trace.Steal_attempt { victim });
+              (* an injected steal fault makes the probe report empty
+                 without inspecting the victim — the task stays put *)
+              if not (steal_faulty ()) then
+                match Wsdeque.steal_top cores.(victim).deque with
+                | Some task -> found := Some (victim, task)
+                | None -> ()
+            done
+          end
+          else begin
+            (* degraded mode: sample only the surviving victims *)
+            let candidates =
+              Array.of_seq
+                (Seq.filter_map
+                   (fun c ->
+                     if c.id <> core.id && c.status <> Dead then Some c.id
+                     else None)
+                   (Array.to_seq cores))
+            in
+            let n = Array.length candidates in
+            let tries = ref 0 in
+            while !found = None && n > 0 && !tries < procs do
+              incr tries;
+              let victim = candidates.(Prng.int rng n) in
+              emit ~at:t ~core:core.id (Sim_trace.Steal_attempt { victim });
+              if not (steal_faulty ()) then
+                match Wsdeque.steal_top cores.(victim).deque with
+                | Some task -> found := Some (victim, task)
+                | None -> ()
+            done
+          end;
           match !found with
           | Some (victim, task) ->
               incr steals;
@@ -284,15 +421,27 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
               None
         end
   in
-  let handle_resume (core : core) (t : int) =
-    core.parked <- false;
+  let close_segment (core : core) =
     if core.busy then begin
       (* the segment scheduled by the previous resume has ended *)
       core.busy <- false;
       decr active
-    end;
+    end
+  in
+  let run_body (core : core) (t : int) =
+    core.parked <- false;
+    close_segment core;
+    renew_lease core t;
     let beat_cost =
-      if core.pending_beats > 0 then service_beats core t else 0
+      if core.pending_beats > 0 then begin
+        let c = service_beats core t in
+        (* safe point: any promoted child is now registered in the
+           shared join records, so a re-execution from this snapshot
+           cannot re-give work away inconsistently *)
+        checkpoint core;
+        c
+      end
+      else 0
     in
     let t = t + beat_cost in
     match core.current with
@@ -308,25 +457,39 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
           (* the segment's wall-clock extent is capped at [cap]; when
              the workload is bandwidth-bound beyond its compute
              dilation, correspondingly fewer cycles retire per unit of
-             wall-clock *)
+             wall-clock — and a slow-faulted core retires [slow]×
+             fewer still *)
           let compute_dilation =
             float_of_int config.cfg.dilation_pct /. 100.
           in
-          let stretch = Float.max 1. (dilate /. compute_dilation) in
+          let stretch =
+            Float.max 1. (dilate /. compute_dilation) *. core.slow
+          in
           max 1 (int_of_float (float_of_int (min cap max_chunk) /. stretch))
         in
         let out = Runnable.run_for config.cfg task ~budget in
         core.work <- core.work + out.work_done;
         core.overhead <- core.overhead + out.overhead_done;
         push_tasks core out.spawned;
+        if
+          recovery && out.spawned <> []
+          && (not out.finished)
+          && out.blocked = None
+        then
+          (* safe point: the spawned children are registered *)
+          checkpoint core;
         (* wall-clock: the larger of compute time (dilated work +
            scheduling) and memory time (raw traffic through the
-           saturated bus) *)
+           saturated bus), both stretched by a slow-core fault *)
         let mem_time =
           out.overhead_done
           + int_of_float (float_of_int out.raw_done *. dilate)
         in
-        let elapsed = max 1 (max out.consumed mem_time) in
+        let elapsed =
+          let e = max 1 (max out.consumed mem_time) in
+          if core.slow = 1. then e
+          else max 1 (int_of_float (float_of_int e *. core.slow))
+        in
         let t2 = t + elapsed in
         core.seg_start <- t;
         core.seg_end <- t2;
@@ -342,6 +505,7 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
         core.last_active <- t2;
         (if out.finished then begin
            core.current <- None;
+           drop_lease core;
            finish_task core task t2
          end
          else
@@ -349,34 +513,73 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
            | Some s ->
                (* the join: park the task until its last child signals *)
                core.current <- None;
+               drop_lease core;
                s.waiter <- Some task;
                emit ~at:t2 ~core:core.id ~task:task.id Sim_trace.Join_block
            | None -> ());
         Eventq.add q ~time:t2 (Resume core.id)
     | None -> (
-        match try_acquire core t with
-        | Some cost -> Eventq.add q ~time:(t + max 1 cost) (Resume core.id)
-        | None ->
-            if !remaining > 0 then begin
-              (* exponential back-off bounds the probing traffic (and
-                 the simulator's event count) during work droughts *)
-              let wait =
-                min 20_000
-                  (params.steal_retry * (1 lsl min 6 core.steal_fails))
-              in
-              core.idle <- core.idle + wait;
-              core.seg_start <- t;
-              core.seg_end <- t + wait;
-              emit ~at:t ~core:core.id (Sim_trace.Seg_start Idle);
-              emit ~at:(t + wait) ~core:core.id
-                (Sim_trace.Seg_end
-                   { cls = Idle; work = 0; overhead = 0; idle = wait });
-              Eventq.add q ~time:(t + wait) (Resume core.id)
-            end
-            else begin
-              core.parked <- true;
-              emit ~at:t ~core:core.id Sim_trace.Park
-            end)
+        if recovery && !remaining = 0 then begin
+          (* nothing logical remains; don't resurrect requeued
+             duplicates that lost their race *)
+          core.parked <- true;
+          emit ~at:t ~core:core.id Sim_trace.Park
+        end
+        else
+          match try_acquire core t with
+          | Some cost -> Eventq.add q ~time:(t + max 1 cost) (Resume core.id)
+          | None ->
+              if !remaining > 0 then begin
+                (* exponential back-off bounds the probing traffic (and
+                   the simulator's event count) during work droughts *)
+                let wait =
+                  min 20_000
+                    (params.steal_retry * (1 lsl min 6 core.steal_fails))
+                in
+                core.idle <- core.idle + wait;
+                core.seg_start <- t;
+                core.seg_end <- t + wait;
+                emit ~at:t ~core:core.id (Sim_trace.Seg_start Idle);
+                emit ~at:(t + wait) ~core:core.id
+                  (Sim_trace.Seg_end
+                     { cls = Idle; work = 0; overhead = 0; idle = wait });
+                Eventq.add q ~time:(t + wait) (Resume core.id)
+              end
+              else begin
+                core.parked <- true;
+                emit ~at:t ~core:core.id Sim_trace.Park
+              end)
+  in
+  let handle_resume (core : core) (t : int) =
+    match core.status with
+    | Dead ->
+        (* the burial: close the in-flight segment's accounting; the
+           core schedules nothing further *)
+        close_segment core
+    | Stalled until when t < until ->
+        close_segment core;
+        if not core.defer then begin
+          core.defer <- true;
+          (* the frozen gap is idle time; the frontier moves to the
+             revival point so beats land after it (a frozen core
+             cannot service its handler) *)
+          core.idle <- core.idle + (until - t);
+          core.seg_start <- t;
+          core.seg_end <- until;
+          emit ~at:t ~core:core.id (Sim_trace.Seg_start Idle);
+          emit ~at:until ~core:core.id
+            (Sim_trace.Seg_end
+               { cls = Idle; work = 0; overhead = 0; idle = until - t });
+          Eventq.add q ~time:until (Resume core.id)
+        end
+    | Stalled _ ->
+        core.status <- Alive;
+        core.defer <- false;
+        emit ~at:t ~core:core.id
+          ~task:(match core.current with Some w -> w.id | None -> -1)
+          Sim_trace.Core_recover;
+        run_body core t
+    | Alive -> run_body core t
   in
   let handle_beat (d : Interrupts.delivery) =
     if !remaining > 0 then begin
@@ -397,8 +600,9 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
           (Sim_trace.Beat_delivered
              { arrived = d.at; handler_cost = d.handler_cost });
         (* wake a parked core so the handler cost is accounted (it may
-           also find freshly promoted work from others) *)
-        if core.parked then begin
+           also find freshly promoted work from others) — unless it is
+           dead, in which case the beat fires into the void *)
+        if core.parked && core.status <> Dead then begin
           core.parked <- false;
           emit ~at:d.at ~core:core.id Sim_trace.Unpark;
           Eventq.add q ~time:d.at (Resume core.id)
@@ -408,9 +612,124 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
     end
     else next_beat_time := max_int
   in
+  let handle_fault (f : Interrupts.core_fault) (t : int) =
+    if !remaining > 0 then begin
+      let core = cores.(f.victim) in
+      match (core.status, f.kind) with
+      | Dead, _ -> () (* already gone *)
+      | _, Interrupts.Crash ->
+          (* effective at the frontier: the in-flight atomic segment
+             completes (its state mutations are already applied), then
+             the core is gone — exactly the granularity at which beats
+             take effect *)
+          let eff = max t core.seg_end in
+          core.status <- Dead;
+          core.died_at <- eff;
+          core.parked <- false;
+          incr cores_lost;
+          emit ~at:eff ~core:core.id
+            ~task:(match core.current with Some w -> w.id | None -> -1)
+            Sim_trace.Core_crash
+      | Alive, Interrupts.Stall n ->
+          let eff = max t core.seg_end in
+          let until = eff + max 1 n in
+          core.status <- Stalled until;
+          core.died_at <- eff;
+          emit ~at:eff ~core:core.id
+            ~task:(match core.current with Some w -> w.id | None -> -1)
+            (Sim_trace.Core_stall { until });
+          if core.parked then begin
+            (* push the parked core through the defer path so the
+               revival is scheduled *)
+            core.parked <- false;
+            Eventq.add q ~time:eff (Resume core.id)
+          end
+      | Stalled _, Interrupts.Stall _ ->
+          () (* already frozen; overlapping stalls coalesce *)
+      | (Alive | Stalled _), Interrupts.Slow x ->
+          core.slow <- Float.max core.slow (Float.max 1. x);
+          emit ~at:t ~core:core.id (Sim_trace.Core_slow { factor = core.slow })
+    end
+  in
+  (* The supervisor sweep: requeue tasks whose lease expired (their
+     holder is dead, frozen, or too slow to trust) and drain dead
+     cores' deques into the survivors.  Requeue destinations rotate
+     over live cores, preferring ones that are actually running. *)
+  let rr = ref 0 in
+  let dest_core () : core =
+    let n = Array.length cores in
+    let pick pred =
+      let found = ref None in
+      for k = 0 to n - 1 do
+        let c = cores.((!rr + k) mod n) in
+        if !found = None && pred c then begin
+          found := Some c;
+          rr := (!rr + k + 1) mod n
+        end
+      done;
+      !found
+    in
+    match pick (fun c -> c.status = Alive) with
+    | Some c -> c
+    | None -> (
+        match pick (fun c -> c.status <> Dead) with
+        | Some c -> c
+        | None -> cores.(0) (* unreachable: schedules keep a survivor *))
+  in
+  let requeue ~(at : int) ~(from_ : int) (task : Runnable.task) =
+    let dest = dest_core () in
+    Wsdeque.push_bottom dest.deque task;
+    emit ~at ~core:dest.id ~task:task.id (Sim_trace.Task_requeue { from_ });
+    if dest.parked then begin
+      dest.parked <- false;
+      emit ~at ~core:dest.id Sim_trace.Unpark;
+      Eventq.add q ~time:at (Resume dest.id)
+    end
+  in
+  let handle_sweep (t : int) =
+    if !remaining > 0 then begin
+      Array.iter
+        (fun core ->
+          (* quarantine: a dead core's deque is shared memory — the
+             supervisor drains it into the survivors *)
+          if core.status = Dead && not core.buried then begin
+            core.buried <- true;
+            List.iter
+              (fun task -> requeue ~at:t ~from_:core.id task)
+              (Wsdeque.to_list core.deque);
+            Wsdeque.clear core.deque
+          end;
+          (* expired lease: requeue a fresh snapshot of the last
+             checkpoint — the cycles since it are re-executed *)
+          match core.current with
+          | Some task when t > core.lease ->
+              incr leases_expired;
+              emit ~at:t ~core:core.id ~task:task.id Sim_trace.Lease_expired;
+              let ckpt =
+                match core.ckpt with Some c -> c | None -> task
+              in
+              let clone = Runnable.snapshot ckpt in
+              incr tasks_reexecuted;
+              recovery_cycles :=
+                !recovery_cycles + (t - (core.lease - lease_ttl));
+              requeue ~at:t ~from_:core.id clone;
+              if core.status = Dead then begin
+                core.current <- None;
+                core.ckpt <- None;
+                core.lease <- max_int
+              end
+              else
+                (* the holder may yet revive and race the clone; don't
+                   expire it again until it renews *)
+                core.lease <- max_int
+          | _ -> ())
+        cores;
+      Eventq.add q ~time:(t + sweep_period) Sweep
+    end
+  in
   let guard t =
     match horizon with
-    | Some h when t > h -> raise (Horizon_exceeded t)
+    | Some h when t > h && !remaining > 0 -> raise (Horizon_exceeded t)
     | _ -> ()
   in
   let running = ref true in
@@ -423,6 +742,12 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
     | Some (t, Beat d) ->
         guard t;
         handle_beat d
+    | Some (t, Fault f) ->
+        guard t;
+        handle_fault f t
+    | Some (t, Sweep) ->
+        guard t;
+        handle_sweep t
   done;
   let work = Array.fold_left (fun acc c -> acc + c.work) 0 cores in
   let overhead = Array.fold_left (fun acc c -> acc + c.overhead) 0 cores in
@@ -440,6 +765,10 @@ let run ?(trace : Sim_trace.t option) ?(horizon : int option)
     beats_emitted = Interrupts.delivered interrupts;
     beats_target = Interrupts.target_count interrupts ~horizon:!makespan;
     beats_lost = Interrupts.lost interrupts;
+    cores_lost = !cores_lost;
+    leases_expired = !leases_expired;
+    tasks_reexecuted = !tasks_reexecuted;
+    recovery_cycles = !recovery_cycles;
   }
 
 (** [serial_time params ir] — the Serial baseline: pure algorithm work

@@ -36,26 +36,93 @@ let mech_name = function
 
 type delivery = { at : int; core : int; handler_cost : int }
 
+(** Crash-fault events against individual cores — the hard failure
+    modes the benign beat faults below cannot express.  Each event
+    names a victim core and the virtual cycle at which it strikes;
+    the engine applies it at the core's next promotion-ready point
+    (segment boundary), mirroring how beats take effect under
+    rollforward.
+
+    - [Crash]: the core halts permanently.  Its deque is drained into
+      the survivors by the supervisor sweep and its in-flight task is
+      re-executed from its last lease checkpoint.
+    - [Stall n]: the core freezes for [n] cycles, then revives and
+      {e continues} its in-flight task — racing any re-execution the
+      supervisor started in the meantime (the idempotent-join case).
+    - [Slow f]: from the fault time on, the core retires cycles [f]×
+      slower (wall-clock dilation of its run segments). *)
+type core_fault_kind = Crash | Stall of int | Slow of float
+
+type core_fault = { victim : int; at : int; kind : core_fault_kind }
+
+let pp_core_fault ppf (f : core_fault) =
+  match f.kind with
+  | Crash -> Fmt.pf ppf "core %d: crash at %d" f.victim f.at
+  | Stall n -> Fmt.pf ppf "core %d: stall at %d for %d" f.victim f.at n
+  | Slow x -> Fmt.pf ppf "core %d: slow at %d factor %g" f.victim f.at x
+
 (** Fault-injection knobs for torture testing (differential fuzzing):
     beats may be dropped, duplicated, or arbitrarily delayed beyond the
-    mechanism's native jitter, and steal probes may spuriously fail
-    ([steal_fail] is consumed by the engine, not here).  Heartbeat
-    promotion is a pure performance mechanism, so under any fault
-    schedule results must stay semantically identical — only timing and
-    metrics may drift.  All fault draws come from a dedicated split
-    stream so enabling faults never perturbs the mechanism's native
-    loss/jitter sequences. *)
+    mechanism's native jitter, steal probes may spuriously fail
+    ([steal_fail] is consumed by the engine, not here), and whole cores
+    may crash, stall or slow down ([schedule], also consumed by the
+    engine).  Heartbeat promotion is a pure performance mechanism, so
+    under any fault schedule results must stay semantically identical —
+    only timing and metrics may drift.  All fault draws come from a
+    dedicated split stream so enabling faults never perturbs the
+    mechanism's native loss/jitter sequences. *)
 type faults = {
   drop : float;  (** extra probability a beat is dropped, any mechanism *)
   dup : float;  (** probability a delivered beat is delivered twice *)
   fault_jitter : int;  (** extra uniform delay in cycles added per beat *)
   steal_fail : float;  (** probability a steal probe spuriously misses *)
+  schedule : core_fault list;
+      (** crash/stall/slow events; [[]] = no core faults, and the
+          engine's whole recovery layer stays off (pay-for-use) *)
 }
 
-let no_faults = { drop = 0.; dup = 0.; fault_jitter = 0; steal_fail = 0. }
+let no_faults =
+  { drop = 0.; dup = 0.; fault_jitter = 0; steal_fail = 0.; schedule = [] }
 
 let faults_active (f : faults) : bool =
   f.drop > 0. || f.dup > 0. || f.fault_jitter > 0 || f.steal_fail > 0.
+  || f.schedule <> []
+
+(** [random_schedule ~seed ~procs ~horizon] draws a crash/stall/slow
+    schedule for a [procs]-core run expected to span about [horizon]
+    cycles.  At least one core always survives every drawn schedule
+    (crashes hit at most [procs − 1] distinct victims), so recovery can
+    always make progress.  Draws come from a dedicated split stream
+    derived from [seed] alone — generating a schedule never perturbs
+    any other randomized choice. *)
+let random_schedule ~(seed : int) ~(procs : int) ~(horizon : int) :
+    core_fault list =
+  if procs <= 1 then []
+  else begin
+    let rng = Prng.split (Prng.create ~seed:(seed lxor 0xC4A5)) in
+    let horizon = max 1 horizon in
+    let n_events = 1 + Prng.int rng (max 1 (procs / 2)) in
+    let crashed = Array.make procs false in
+    let crashes = ref 0 in
+    let rec draw (k : int) (acc : core_fault list) : core_fault list =
+      if k = 0 then List.rev acc
+      else begin
+        let victim = Prng.int rng procs in
+        let at = Prng.int rng horizon in
+        let kind =
+          match Prng.int rng 3 with
+          | 0 when !crashes < procs - 1 && not crashed.(victim) ->
+              crashed.(victim) <- true;
+              incr crashes;
+              Crash
+          | 1 -> Stall (1 + Prng.int rng horizon)
+          | _ -> Slow (1.5 +. Prng.float_range rng 6.5)
+        in
+        draw (k - 1) ({ victim; at; kind } :: acc)
+      end
+    in
+    draw n_events []
+  end
 
 type t = {
   params : Params.t;

@@ -20,6 +20,18 @@ type t = {
           run ended may never fire) *)
   beats_target : int;  (** nominal beats for the elapsed makespan *)
   beats_lost : int;  (** Linux signals lost/coalesced *)
+  (* crash-fault recovery (all zero when no fault schedule is set) *)
+  cores_lost : int;  (** cores permanently crashed during the run *)
+  leases_expired : int;
+      (** task leases the supervisor found expired (dead, stalled or
+          suspiciously slow cores) *)
+  tasks_reexecuted : int;
+      (** tasks requeued for re-execution from their last checkpoint
+          after a lease expiry *)
+  recovery_cycles : int;
+      (** cycles between a victim core's last sign of progress and the
+          supervisor requeueing its task, summed over recoveries — the
+          detection latency of the lease protocol *)
 }
 
 let zero =
@@ -36,11 +48,26 @@ let zero =
     beats_emitted = 0;
     beats_target = 0;
     beats_lost = 0;
+    cores_lost = 0;
+    leases_expired = 0;
+    tasks_reexecuted = 0;
+    recovery_cycles = 0;
   }
 
-(** Fraction of total core-time spent on useful work — Figure 15b. *)
+(** Did the run lose cores or re-execute tasks?  Distinguishes a
+    degraded-mode run at a glance. *)
+let degraded (m : t) : bool =
+  m.cores_lost > 0 || m.leases_expired > 0 || m.tasks_reexecuted > 0
+
+(** Worker cores still alive at the end of the run (never reported
+    below 1: the recovery invariant requires one survivor). *)
+let surviving ~(procs : int) (m : t) : int = max 1 (procs - m.cores_lost)
+
+(** Fraction of total core-time spent on useful work — Figure 15b.
+    Guarded against both a zero makespan and a non-positive core
+    count (a degenerate [procs − cores_lost] a caller might pass). *)
 let utilization ~(procs : int) (m : t) : float =
-  if m.makespan = 0 then 0.
+  if m.makespan = 0 || procs <= 0 then 0.
   else float_of_int m.work /. (float_of_int procs *. float_of_int m.makespan)
 
 (** Achieved fleet-wide heartbeat rate in beats per second. *)
@@ -48,9 +75,25 @@ let achieved_rate (params : Params.t) (m : t) : float =
   let secs = Params.seconds_of_cycles params m.makespan in
   if secs <= 0. then 0. else float_of_int m.beats_delivered /. secs
 
+(** Per-core average of [total] over the cores that survived the run —
+    the division the [cores_lost] path makes hazardous.  Returns 0
+    rather than dividing by zero on an empty fleet. *)
+let per_surviving_core ~(procs : int) (m : t) (total : int) : float =
+  let s = surviving ~procs m in
+  if s <= 0 then 0. else float_of_int total /. float_of_int s
+
+(** Mean recovery latency per re-executed task; 0 when nothing was
+    re-executed (the divide-by-zero guard for fault-free runs). *)
+let mean_recovery_cycles (m : t) : float =
+  if m.tasks_reexecuted = 0 then 0.
+  else float_of_int m.recovery_cycles /. float_of_int m.tasks_reexecuted
+
 let pp ppf (m : t) =
   Fmt.pf ppf
     "makespan=%d work=%d overhead=%d idle=%d tasks=%d promotions=%d \
      steals=%d beats=%d/%d"
     m.makespan m.work m.overhead m.idle m.tasks_created m.promotions m.steals
-    m.beats_delivered m.beats_target
+    m.beats_delivered m.beats_target;
+  if degraded m then
+    Fmt.pf ppf " cores_lost=%d leases_expired=%d reexecuted=%d recovery=%d"
+      m.cores_lost m.leases_expired m.tasks_reexecuted m.recovery_cycles

@@ -44,6 +44,15 @@ type t = {
   ipi_latency : int;  (** Nautilus: IPI delivery latency, cycles *)
   ipi_handle : int;  (** Nautilus: receive-side handler, cycles *)
   signal_jitter : int;  (** Linux: max random delivery jitter, cycles *)
+  (* crash-fault recovery (active only when a fault schedule is set) *)
+  lease_beats : int;
+      (** task-lease time-to-live in heartbeat periods; a core that
+          has not renewed the lease on its in-flight task for this
+          many beats (plus a segment-length allowance) is presumed
+          dead and the task is re-executed elsewhere *)
+  sweep_beats : int;
+      (** supervisor sweep period in heartbeat periods: how often
+          expired leases are collected and dead cores' deques drained *)
   seed : int;  (** PRNG seed for steals/jitter *)
 }
 
@@ -65,6 +74,8 @@ let default : t =
     ipi_latency = 1_500;
     ipi_handle = 900;
     signal_jitter = 27_000 (* up to 10 µs of OS-induced delay *);
+    lease_beats = 3;
+    sweep_beats = 1;
     seed = 0x7541;
   }
 

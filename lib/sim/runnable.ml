@@ -58,6 +58,13 @@ and task = {
   mutable stack : frame list;
   mutable on_finish : sync option;
       (** the parent frame's join to signal when this task completes *)
+  completed : bool ref;
+      (** one-shot completion latch {e shared by every incarnation} of
+          the same logical task: after a crash or stall the supervisor
+          may re-execute a task from its last checkpoint while a
+          revived core races the original copy to completion — the
+          first incarnation to finish flips the latch, and a duplicate
+          completion is a no-op instead of a double-join *)
 }
 
 (* Task ids are allocated from a global counter so every task created
@@ -137,7 +144,7 @@ let frame_sync (f : frame) : sync =
 let child_of (f : frame) (stack : frame list) : task =
   let s = frame_sync f in
   s.pending <- s.pending + 1;
-  { id = fresh_id (); stack; on_finish = Some s }
+  { id = fresh_id (); stack; on_finish = Some s; completed = ref false }
 
 (* Push the frames for an IR node on [task], charging mode-specific
    costs via [charge] and emitting eagerly spawned tasks via [emit]. *)
@@ -181,7 +188,37 @@ let rec expand (cfg : cfg) (task : task) (emit : task -> unit)
 (** [of_ir cfg ir] is a fresh root task poised to run [ir]; expansion
     is deferred to the first {!run_for} so its costs are accounted. *)
 let of_ir (_cfg : cfg) (ir : Par_ir.t) : task =
-  { id = fresh_id (); stack = [ F_seq { rest = [ ir ] } ]; on_finish = None }
+  { id = fresh_id ();
+    stack = [ F_seq { rest = [ ir ] } ];
+    on_finish = None;
+    completed = ref false }
+
+(** [snapshot task] — a lease checkpoint: a deep copy of the task's
+    frame stack whose mutable per-frame state (loop indices, leaf
+    budgets, advertised branches) is private to the copy, while the
+    fork-join plumbing stays {e shared}: every [sync] field aliases the
+    original record (children spawned by either incarnation signal the
+    same join), [on_finish] aliases the parent's sync, and [completed]
+    is the same latch, so the logical task completes exactly once no
+    matter how many incarnations run.  The copy keeps the original's
+    [id] — it is the same logical task, and reusing the id keeps task
+    numbering identical between faulted and fault-free runs. *)
+let snapshot (task : task) : task =
+  let copy_frame = function
+    | F_leaf f -> F_leaf { remaining = f.remaining }
+    | F_for f ->
+        F_for { i = f.i; hi = f.hi; cost = f.cost; grain = f.grain;
+                sync = f.sync }
+    | F_nest f ->
+        F_nest { i = f.i; hi = f.hi; body = f.body; grain = f.grain;
+                 sync = f.sync }
+    | F_seq f -> F_seq { rest = f.rest }
+    | F_spawn f -> F_spawn { second = f.second; sync = f.sync }
+  in
+  { id = task.id;
+    stack = List.map copy_frame task.stack;
+    on_finish = task.on_finish;
+    completed = task.completed }
 
 let is_finished (task : task) : bool = task.stack = []
 

@@ -51,6 +51,18 @@ type kind =
   | Join_resume of { waiter : int }
   | Park
   | Unpark
+  (* crash-fault recovery (emitted only when a fault schedule is set) *)
+  | Core_crash  (** the core halted permanently at [at] *)
+  | Core_stall of { until : int }  (** frozen until [until], then revives *)
+  | Core_slow of { factor : float }  (** retiring cycles [factor]× slower *)
+  | Core_recover  (** a stalled core resumed execution *)
+  | Lease_expired  (** the supervisor found this core's task lease expired *)
+  | Task_requeue of { from_ : int }
+      (** [task] re-enqueued on core [core] for re-execution after
+          being lost on core [from_] (lease expiry or deque drain) *)
+  | Duplicate_finish
+      (** a second incarnation of [task] completed; the join latch
+          made it a no-op *)
 
 type event = {
   at : int;  (** virtual cycle *)
@@ -152,6 +164,18 @@ let promotions (t : t) : int =
   count
     (fun e -> match e.kind with Promote_success _ -> true | _ -> false)
     t
+
+(** Cores that crashed permanently during the traced run. *)
+let crashes (t : t) : int =
+  count (fun e -> match e.kind with Core_crash -> true | _ -> false) t
+
+(** Tasks requeued for re-execution (lease expiries and deque drains). *)
+let requeues (t : t) : int =
+  count (fun e -> match e.kind with Task_requeue _ -> true | _ -> false) t
+
+(** Duplicate completions absorbed by the idempotent-join latch. *)
+let duplicate_finishes (t : t) : int =
+  count (fun e -> match e.kind with Duplicate_finish -> true | _ -> false) t
 
 (** Per-core utilization (work cycles / makespan) bucketed into
     [bins] equal-width bins over [0,1] — the traced counterpart of
@@ -324,15 +348,27 @@ let report ?(width = 64) (t : t) : string =
   done;
   let lat = List.map float_of_int (steal_latencies t) in
   let inter = List.map float_of_int (promotion_interarrivals t) in
+  (* empty distributions (zero completed steals, zero beats) render as
+     "-" instead of the nan a bare mean would produce *)
+  let stat f xs = match xs with [] -> "-" | _ -> f1 (f xs) in
   Buffer.add_string buf
     (Printf.sprintf
        "\nbeats delivered=%d lost=%d | promotions=%d (inter-arrival mean %s \
         cycles) | steals=%d (latency mean %s max %s cycles)\n"
        (beats t) (beats_lost t) (promotions t)
-       (f1 (Stats.mean inter))
+       (stat Stats.mean inter)
        (steals t)
-       (f1 (Stats.mean lat))
-       (f1 (Stats.max_l lat)));
+       (stat Stats.mean lat)
+       (stat Stats.max_l lat));
+  let nc = crashes t and nr = requeues t and nd = duplicate_finishes t in
+  let nstall =
+    count (fun e -> match e.kind with Core_stall _ -> true | _ -> false) t
+  in
+  if nc > 0 || nr > 0 || nd > 0 || nstall > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "DEGRADED: crashes=%d stalls=%d requeues=%d duplicate-finishes=%d\n"
+         nc nstall nr nd);
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -396,7 +432,17 @@ let to_chrome ?(cycles_per_us = Params.default.cycles_per_us) (t : t) :
       | Join_resume { waiter } ->
           add ~args:[ ("waiter", C.Int waiter) ] "join-resume" "join"
       | Park -> add "park" "scheduler"
-      | Unpark -> add "unpark" "scheduler")
+      | Unpark -> add "unpark" "scheduler"
+      | Core_crash -> add "crash" "fault"
+      | Core_stall { until } ->
+          add ~args:[ ("until", C.Int until) ] "stall" "fault"
+      | Core_slow { factor } ->
+          add ~args:[ ("factor", C.Float factor) ] "slow" "fault"
+      | Core_recover -> add "recover" "fault"
+      | Lease_expired -> add "lease-expired" "recovery"
+      | Task_requeue { from_ } ->
+          add ~args:[ ("from", C.Int from_) ] "requeue" "recovery"
+      | Duplicate_finish -> add "duplicate-finish" "recovery")
     t;
   meta @ spans @ List.rev !instants
 

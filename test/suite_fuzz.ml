@@ -21,8 +21,21 @@ let quick_cfg =
     Diff.cores = [ 1; 4 ];
     mechs = [ Sim.Interrupts.Nautilus_ipi ];
     faults = true;
+    chaos = false;
     hb = true;
   }
+
+(* a smaller slice with the crash-schedule battery switched on, so the
+   recovery oracles run on every commit too *)
+let chaos_cfg = { quick_cfg with Diff.chaos = true }
+
+let test_battery_chaos () =
+  for seed = 1 to 10 do
+    let g = Gen.generate ~seed in
+    match Diff.check_gen ~cfg:chaos_cfg g with
+    | [] -> ()
+    | ds -> Alcotest.failf "seed %d: %s" seed (pp_divs ds)
+  done
 
 let test_battery_quick () =
   for seed = 1 to 30 do
@@ -119,7 +132,16 @@ let test_corpus_replay () =
           | Error msg -> Alcotest.failf "%s: %s" path msg
           | Ok (e : Corpus.entry) -> (
               check (path ^ " checks") true (Tpal.Check.errors e.prog = []);
-              match Diff.check ~cfg:quick_cfg e.prog ~outputs:e.outputs with
+              (* chaos-oracle reproducers replay with the crash-schedule
+                 battery switched on, so they guard the recovery layer *)
+              let cfg =
+                if
+                  String.length e.oracle >= 5
+                  && String.sub e.oracle 0 5 = "chaos"
+                then chaos_cfg
+                else quick_cfg
+              in
+              match Diff.check ~cfg e.prog ~outputs:e.outputs with
               | [] -> ()
               | ds ->
                   Alcotest.failf "%s (guards oracle %s): %s" path e.oracle
@@ -146,6 +168,7 @@ let suite =
       Alcotest.test_case "differential battery, 30 seeds" `Quick
         test_battery_quick;
       Alcotest.test_case "full battery, 5 seeds" `Quick test_battery_full_cfg;
+      Alcotest.test_case "chaos battery, 10 seeds" `Quick test_battery_chaos;
       Alcotest.test_case "generator is seed-deterministic" `Quick
         test_generator_deterministic;
       QCheck_alcotest.to_alcotest prop_generated_valid;

@@ -37,6 +37,7 @@ let test_on_event_hook_matches_stats () =
     | Hb.Join_resume -> incr resumes
     | Hb.Task_start -> incr starts
     | Hb.Task_finish -> incr finishes
+    | Hb.Stall_detected _ -> ()
   in
   let n = 200_000 in
   let total = ref 0 in

@@ -17,6 +17,7 @@ let () =
       Suite_assets.suite;
       Suite_substrate.suite;
       Suite_engine.suite;
+      Suite_faults.suite;
       Suite_workloads.suite;
       Suite_heartbeat.suite;
       Suite_fuzz.suite;
