@@ -8,7 +8,14 @@
    order; see EXPERIMENTS.md for the measured-vs-paper discussion.
 
    Set REPRO_QUICK=1 to skip the (slow) full figure regeneration and
-   run only the Bechamel suite. *)
+   run only the Bechamel suite.
+
+   --par-bench switches to the multi-domain pipeline instead: every
+   real kernel in Workloads.Real_bench runs serially and then under
+   Par.Runtime at each requested domain count, checksums are compared,
+   and wall-clock + speedup + scheduler counters are printed as a
+   table and written as machine-readable JSON (--json PATH, or the
+   BENCH_JSON environment variable; default BENCH_par.json). *)
 
 let run_figures () =
   print_endline
@@ -137,6 +144,223 @@ let benchmark () =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* The multi-domain pipeline: real kernels on Par.Runtime, recording
+   the speedup trajectory as JSON. *)
+
+type par_row = {
+  bench : string;
+  domains : int;  (* 0 = the serial baseline row *)
+  seconds : float;
+  speedup : float;
+  checksum : int;
+  promotions : int;
+  steals : int;
+  joins : int;
+  beats : int;
+}
+
+(* median-of-k wall-clock; k small because the kernels are sized to
+   run for tens of milliseconds each *)
+let time_median ~(repeat : int) (f : unit -> 'a) : float * 'a =
+  let last = ref None in
+  let times =
+    List.init (max 1 repeat) (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        let v = f () in
+        last := Some v;
+        Unix.gettimeofday () -. t0)
+  in
+  let sorted = List.sort compare times in
+  (List.nth sorted (List.length sorted / 2), Option.get !last)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_par_json ~(path : string) ~(scale : int) (rows : par_row list) :
+    unit =
+  let oc = open_out path in
+  let row_json (r : par_row) =
+    Printf.sprintf
+      "    {\"bench\": \"%s\", \"domains\": %d, \"seconds\": %.6f, \
+       \"speedup\": %.3f, \"checksum\": %d, \"promotions\": %d, \"steals\": \
+       %d, \"joins\": %d, \"beats\": %d}"
+      (json_escape r.bench) r.domains r.seconds r.speedup r.checksum
+      r.promotions r.steals r.joins r.beats
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": \"par_bench\",\n\
+    \  \"host_cores\": %d,\n\
+    \  \"scale\": %d,\n\
+    \  \"results\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (Domain.recommended_domain_count ())
+    scale
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n%!" path (List.length rows)
+
+let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
+    ~(benches : string list option) : unit =
+  let benches =
+    match benches with
+    | None -> Workloads.Real_bench.all
+    | Some names ->
+        List.map
+          (fun n ->
+            match Workloads.Real_bench.find n with
+            | Some b -> b
+            | None ->
+                Printf.eprintf "unknown benchmark %S (have: %s)\n%!" n
+                  (String.concat ", " Workloads.Real_bench.names);
+                exit 2)
+          names
+  in
+  Printf.printf
+    "=== par bench: %d kernels, domains {%s}, scale %d, host cores %d ===\n%!"
+    (List.length benches)
+    (String.concat ", " (List.map string_of_int domains))
+    scale
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-16s %8s %10s %8s %10s %8s %8s %8s\n%!" "bench" "domains"
+    "seconds" "speedup" "promos" "steals" "joins" "beats";
+  let rows = ref [] in
+  let emit r =
+    rows := r :: !rows;
+    Printf.printf "%-16s %8s %10.4f %7.2fx %10d %8d %8d %8d\n%!" r.bench
+      (if r.domains = 0 then "serial" else string_of_int r.domains)
+      r.seconds r.speedup r.promotions r.steals r.joins r.beats
+  in
+  List.iter
+    (fun (b : Workloads.Real_bench.t) ->
+      let serial_s, serial_sum =
+        time_median ~repeat:3 (fun () ->
+            Workloads.Real_bench.run_serial b ~scale)
+      in
+      emit
+        {
+          bench = b.name;
+          domains = 0;
+          seconds = serial_s;
+          speedup = 1.0;
+          checksum = serial_sum;
+          promotions = 0;
+          steals = 0;
+          joins = 0;
+          beats = 0;
+        };
+      List.iter
+        (fun d ->
+          let cfg = { Par.Runtime.default_config with domains = d } in
+          let par_s, (par_sum, (st : Par.Runtime.stats)) =
+            time_median ~repeat:3 (fun () ->
+                Par.Runtime.run ~config:cfg (fun () ->
+                    b.run (module Par.Runtime.Exec) ~scale))
+          in
+          if par_sum <> serial_sum then begin
+            Printf.eprintf
+              "FATAL: %s at %d domains diverged from serial (checksums %d vs \
+               %d)\n\
+               %!"
+              b.name d par_sum serial_sum;
+            exit 1
+          end;
+          emit
+            {
+              bench = b.name;
+              domains = d;
+              seconds = par_s;
+              speedup = serial_s /. par_s;
+              checksum = par_sum;
+              promotions = st.total.promotions;
+              steals = st.total.steals;
+              joins = st.total.joins;
+              beats = st.total.beats;
+            })
+        domains)
+    benches;
+  let json =
+    match json with None -> Sys.getenv_opt "BENCH_JSON" | some -> some
+  in
+  match json with
+  | None -> ()
+  | Some path -> write_par_json ~path ~scale (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let parse_int_list (what : string) (s : string) : int list =
+  String.split_on_char ',' s
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         match int_of_string_opt (String.trim s) with
+         | Some n when n > 0 -> n
+         | _ ->
+             Printf.eprintf "bad %s %S (want comma-separated ints)\n%!" what s;
+             exit 2)
+
+let usage () =
+  print_endline
+    "usage: bench [--par-bench] [--domains 1,2,4] [--scale N] [--json PATH]\n\
+    \             [--benches a,b,c]\n\
+     without --par-bench: regenerate the simulated figures (unless\n\
+     REPRO_QUICK=1) and run the Bechamel microbenchmark suite.\n\
+     With --par-bench: run the real kernels on the multi-domain runtime\n\
+     and write BENCH_par.json (or --json PATH / $BENCH_JSON)."
+
 let () =
-  if Sys.getenv_opt "REPRO_QUICK" = None then run_figures ();
-  benchmark ()
+  let args = Array.to_list Sys.argv |> List.tl in
+  let par_bench = ref false in
+  let domains = ref [ 1; 2; 4 ] in
+  let scale = ref 1 in
+  let json = ref None in
+  let benches = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--par-bench" :: rest ->
+        par_bench := true;
+        parse rest
+    | "--domains" :: v :: rest ->
+        domains := parse_int_list "--domains" v;
+        parse rest
+    | "--scale" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> scale := n
+        | _ ->
+            Printf.eprintf "bad --scale %S\n%!" v;
+            exit 2);
+        parse rest
+    | "--json" :: v :: rest ->
+        json := Some v;
+        parse rest
+    | "--benches" :: v :: rest ->
+        benches :=
+          Some (String.split_on_char ',' v |> List.filter (fun s -> s <> ""));
+        parse rest
+    | ("--help" | "-h") :: _ -> usage (); exit 0
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %S\n%!" arg;
+        usage ();
+        exit 2
+  in
+  parse args;
+  if !par_bench then
+    run_par_bench ~domains:!domains ~scale:!scale ~json:!json
+      ~benches:!benches
+  else begin
+    if Sys.getenv_opt "REPRO_QUICK" = None then run_figures ();
+    benchmark ()
+  end

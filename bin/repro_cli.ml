@@ -1,5 +1,6 @@
 (* repro — run one (or all) of the paper's experiments by id and print
-   the regenerated table(s).
+   the regenerated table(s), or run a real workload kernel on the
+   multi-domain heartbeat runtime.
 
    Ids: fig6 fig7 fig8 fig9 fig10 fig11 fig13 fig14 fig15 headline
    tuner ablation trace all.
@@ -8,17 +9,24 @@
    representative configuration with the cycle recorder attached and
    write a Chrome trace-event JSON (load it at https://ui.perfetto.dev
    or chrome://tracing); the per-core timeline report prints to
-   stdout. *)
+   stdout.
+
+   With --workload NAME (instead of an experiment id), run the named
+   real kernel from Workloads.Real_bench on `--domains N` OCaml 5
+   domains under Par.Runtime, verify its checksum against the serial
+   executor, and print wall-clock plus the scheduler counters
+   (beats, promotions, steals, joins). *)
 
 open Cmdliner
 
 let id_arg =
   Arg.(
-    required & pos 0 (some string) None
+    value & pos 0 (some string) None
     & info [] ~docv:"EXPERIMENT"
         ~doc:
           "One of: fig6 fig7 fig8 fig9 fig10 fig11 fig13 fig14 fig15 \
-           headline tuner ablation trace all.")
+           headline tuner ablation trace all.  Omit when using \
+           $(b,--workload).")
 
 let trace_arg =
   Arg.(
@@ -28,6 +36,34 @@ let trace_arg =
           "Also record a per-core cycle trace of the experiment's \
            representative configuration and write it to $(docv) in Chrome \
            trace-event JSON (Perfetto-loadable).")
+
+let workload_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "workload" ] ~docv:"NAME"
+        ~doc:
+          "Run the named real kernel on the multi-domain heartbeat runtime \
+           instead of a simulated experiment.  One of: plus_reduce, \
+           mergesort, mandelbrot, spmv, kmeans, srad, floyd_warshall, \
+           knapsack.")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Worker domains for $(b,--workload) (default 1).")
+
+let scale_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "scale" ] ~docv:"K"
+        ~doc:"Input-size multiplier for $(b,--workload) (default 1).")
+
+let heart_arg =
+  Arg.(
+    value & opt float 100.
+    & info [ "heart-us" ] ~docv:"US"
+        ~doc:"Heartbeat period in microseconds for $(b,--workload).")
 
 let write_trace (id : string) (file : string) : int =
   match Repro.Figures.trace_spec id with
@@ -59,19 +95,92 @@ let write_trace (id : string) (file : string) : int =
         (Sim.Sim_trace.length tr);
       0)
 
-let go id trace_file =
-  match Repro.Figures.by_name id with
+let run_workload (name : string) (domains : int) (scale : int)
+    (heart_us : float) : int =
+  match Workloads.Real_bench.find name with
   | None ->
-      Printf.eprintf "unknown experiment %S\n" id;
+      Printf.eprintf "unknown workload %S (have: %s)\n" name
+        (String.concat ", " Workloads.Real_bench.names);
       1
-  | Some tables -> (
-      List.iter Repro.Figures.print_table tables;
-      match trace_file with
-      | None -> 0
-      | Some file -> write_trace id file)
+  | Some b ->
+      if domains < 1 || scale < 1 then begin
+        Printf.eprintf "--domains and --scale must be >= 1\n";
+        1
+      end
+      else begin
+        Printf.printf
+          "workload %s: %d items at scale %d, %d domain(s), heart %.0f us \
+           (host cores: %d)\n\
+           %!"
+          b.name (b.base_items ~scale) scale domains heart_us
+          (Domain.recommended_domain_count ());
+        let t0 = Unix.gettimeofday () in
+        let serial = Workloads.Real_bench.run_serial b ~scale in
+        let serial_s = Unix.gettimeofday () -. t0 in
+        let config =
+          { Par.Runtime.default_config with domains; heart_us }
+        in
+        let par, (st : Par.Runtime.stats) =
+          Par.Runtime.run ~config (fun () ->
+              b.run (module Par.Runtime.Exec) ~scale)
+        in
+        Printf.printf "serial   %10.4f s  checksum %d\n" serial_s serial;
+        Printf.printf "par      %10.4f s  checksum %d  speedup %.2fx\n"
+          st.elapsed_s par
+          (serial_s /. st.elapsed_s);
+        Printf.printf
+          "stats    beats %d  promotions %d (%d loop, %d branch)  steals \
+           %d/%d  joins %d  resumes %d  tasks %d\n"
+          st.total.beats st.total.promotions st.total.loop_promotions
+          st.total.branch_promotions st.total.steals st.total.steal_attempts
+          st.total.joins st.total.resumes st.total.tasks_run;
+        Array.iteri
+          (fun i (w : Par.Runtime.worker_stats) ->
+            Printf.printf
+              "  worker %d: tasks %d  promotions %d  steals %d  max deque %d\n"
+              i w.tasks_run w.promotions w.steals w.max_deque)
+          st.per_worker;
+        if par <> serial then begin
+          Printf.eprintf
+            "FATAL: parallel checksum %d diverges from serial %d\n" par serial;
+          1
+        end
+        else begin
+          Printf.printf "checksums agree\n";
+          0
+        end
+      end
+
+let go id trace_file workload domains scale heart_us =
+  match (workload, id) with
+  | Some name, None -> run_workload name domains scale heart_us
+  | Some _, Some _ ->
+      Printf.eprintf "give either an experiment id or --workload, not both\n";
+      2
+  | None, None ->
+      Printf.eprintf "missing EXPERIMENT id (or --workload NAME)\n";
+      2
+  | None, Some id -> (
+      match Repro.Figures.by_name id with
+      | None ->
+          Printf.eprintf "unknown experiment %S\n" id;
+          1
+      | Some tables -> (
+          List.iter Repro.Figures.print_table tables;
+          match trace_file with
+          | None -> 0
+          | Some file -> write_trace id file))
 
 let () =
   let info =
-    Cmd.info "repro" ~doc:"Regenerate one of the paper's figures or tables."
+    Cmd.info "repro"
+      ~doc:
+        "Regenerate one of the paper's figures or tables, or run a real \
+         workload on the multi-domain heartbeat runtime."
   in
-  exit (Cmd.eval' (Cmd.v info Term.(const go $ id_arg $ trace_arg)))
+  exit
+    (Cmd.eval'
+       (Cmd.v info
+          Term.(
+            const go $ id_arg $ trace_arg $ workload_arg $ domains_arg
+            $ scale_arg $ heart_arg)))

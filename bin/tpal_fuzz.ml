@@ -1,7 +1,8 @@
 (* Differential fuzzing driver: generate random TPAL programs and
    cross-check them across the sequential evaluator, the discrete-event
    simulator (all interrupt mechanisms, several core counts, optional
-   fault injection) and the real heartbeat runtime.
+   fault injection), the real heartbeat runtime, and the multi-domain
+   runtime (--par lists the domain counts; --no-par skips it).
 
      tpal_fuzz --count 1000 --seed 1
      tpal_fuzz --count 200 --cores 1,4 --mech ipi --no-faults
@@ -28,10 +29,11 @@ let parse_cores (s : string) : int list =
       | _ -> Fmt.failwith "bad core count %S (expected e.g. 1,4,15)" c)
     (String.split_on_char ',' s)
 
-let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~minimize ~out ~progress =
+let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~par ~minimize ~out
+    ~progress =
   match
     { Fuzz.Diff.cores = parse_cores cores; mechs = parse_mechs mech; faults;
-      chaos; hb }
+      chaos; hb; par = (if par = "" then [] else parse_cores par) }
   with
   | exception Failure msg ->
       Fmt.epr "tpal_fuzz: %s@." msg;
@@ -107,6 +109,14 @@ let chaos =
 let no_hb =
   Arg.(value & flag & info [ "no-hb" ] ~doc:"Skip the real heartbeat-runtime executor.")
 
+let par =
+  Arg.(value & opt string "1,2,4"
+    & info [ "par" ] ~docv:"D,D,…"
+        ~doc:"Domain counts for the multi-domain runtime executor.")
+
+let no_par =
+  Arg.(value & flag & info [ "no-par" ] ~doc:"Skip the multi-domain runtime executor.")
+
 let minimize =
   Arg.(value & flag & info [ "minimize" ] ~doc:"Shrink divergent programs and save reproducers.")
 
@@ -120,10 +130,14 @@ let cmd =
   Cmd.v
     (Cmd.info "tpal_fuzz" ~doc)
     Term.(
-      const (fun seed count cores mech no_faults chaos no_hb minimize out quiet ->
+      const
+        (fun seed count cores mech no_faults chaos no_hb par no_par minimize
+             out quiet ->
           run ~seed ~count ~cores ~mech ~faults:(not no_faults) ~chaos
-            ~hb:(not no_hb) ~minimize ~out ~progress:(not quiet))
-      $ seed $ count $ cores $ mech $ no_faults $ chaos $ no_hb $ minimize
-      $ out $ quiet)
+            ~hb:(not no_hb)
+            ~par:(if no_par then "" else par)
+            ~minimize ~out ~progress:(not quiet))
+      $ seed $ count $ cores $ mech $ no_faults $ chaos $ no_hb $ par $ no_par
+      $ minimize $ out $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -34,7 +34,12 @@
       bit-identical (seed determinism of the recovery machinery).
     - {b hb-*}: the program executed on the real heartbeat runtime
       (OCaml effects, wall-clock beats) matches the reference
-      outputs. *)
+      outputs.
+    - {b par-*}: the program executed on the multi-domain runtime
+      ({!Par_exec}) at each configured domain count matches the
+      reference outputs — forks really run concurrently here, so this
+      oracle is the battery's only check of cross-domain promotion,
+      stealing, and join resolution. *)
 
 open Tpal
 
@@ -49,6 +54,9 @@ type cfg = {
           layer's oracle); off by default — it roughly doubles the
           simulator share of the battery *)
   hb : bool;
+  par : int list;
+      (** domain counts for the multi-domain runtime oracle; [[]]
+          switches it off *)
 }
 
 let default_cfg =
@@ -58,6 +66,7 @@ let default_cfg =
     faults = true;
     chaos = false;
     hb = true;
+    par = [ 1; 2; 4 ];
   }
 
 (** Simulator cycles charged per TPAL instruction when lowering.
@@ -437,6 +446,19 @@ let check ?(cfg = default_cfg) (prog : Ast.program) ~(outputs : Ast.reg list)
                  add
                    (compare_outputs ~oracle:"hb-outputs" ~what:"hb runtime"
                       expected (snapshot outputs task.regs)));
+          (* --- the multi-domain runtime, per domain count --- *)
+          List.iter
+            (fun domains ->
+              match Par_exec.run ~options:(with_heart 17) ~domains prog with
+              | Error e ->
+                  add [ div "par-stuck" "domains=%d: %a" domains
+                          Machine_error.pp e ]
+              | Ok (task, _stats) ->
+                  add
+                    (compare_outputs ~oracle:"par-outputs"
+                       ~what:(Fmt.str "par runtime domains=%d" domains)
+                       expected (snapshot outputs task.regs)))
+            cfg.par;
           !ds)
 
 (** [check_gen ?cfg g] = [check g.prog ~outputs:g.outputs]. *)

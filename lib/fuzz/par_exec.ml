@@ -1,0 +1,41 @@
+(** TPAL execution on the multi-domain heartbeat runtime: the
+    {!Tpal_drive} interpreter core forking through
+    {!Par.Runtime.fork2} inside one {!Par.Runtime.run} session — the
+    fuzz battery's only executor where a generated program's forks can
+    really run concurrently on separate domains.
+
+    Uses the [`Polling] beat source (no ping domain): fuzz batteries
+    run thousands of short sessions, and with polling a 1-domain
+    session spawns no domains at all while an N-domain session spawns
+    exactly N−1. *)
+
+open Tpal
+
+exception Stuck = Tpal_drive.Stuck
+
+module Drive = Tpal_drive.Make (struct
+  let fork2 = Par.Runtime.fork2
+end)
+
+let config ~(domains : int) ~(heart_us : float) : Par.Runtime.config =
+  {
+    Par.Runtime.default_config with
+    domains;
+    heart_us;
+    source = `Polling;
+    poll_stride = 1;
+  }
+
+(** [run ?options ?domains ?heart_us p] interprets [p] inside one
+    {!Par.Runtime.run} session at the given domain count.  Returns the
+    final task and the scheduler's statistics. *)
+let run ?(options = Eval.default_options) ?(domains = 2) ?(heart_us = 50.)
+    (p : Ast.program) : (Task.t * Par.Runtime.stats, Machine_error.t) result =
+  try
+    let task, stats =
+      Par.Runtime.run
+        ~config:(config ~domains ~heart_us)
+        (fun () -> Drive.interpret ~options p)
+    in
+    Ok (task, stats)
+  with Stuck e -> Error e

@@ -363,10 +363,21 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
     }
   in
   state := Some s;
-  let ticker =
-    match config.source with
-    | `Polling -> None
-    | `Ping_thread ->
+  (* teardown runs on EVERY exit path below — including a failed
+     Thread.create — so a dead session can never leak its ticker
+     thread or leave [state] poisoned for the next run *)
+  let ticker : Thread.t option ref = ref None in
+  let finalize () =
+    s.ticker_stop <- true;
+    Option.iter Thread.join !ticker;
+    ticker := None;
+    state := None
+  in
+  Fun.protect ~finally:finalize @@ fun () ->
+  (match config.source with
+  | `Polling -> ()
+  | `Ping_thread ->
+      ticker :=
         Some
           (Thread.create
              (fun () ->
@@ -374,8 +385,7 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
                  Thread.delay (config.heart_us *. 1e-6);
                  s.beat_flag <- true
                done)
-             ())
-  in
+             ()));
   let result = ref None in
   (* Each task body runs under its own deep handler; a suspended
      continuation carries that handler with it, so resuming it (from
@@ -414,19 +424,9 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
         fire s Task_finish;
         drain ()
   in
-  let finalize () =
-    s.ticker_stop <- true;
-    Option.iter Thread.join ticker;
-    state := None
-  in
-  (try
-     exec (fun () -> result := Some (main ()));
-     drain ()
-   with e ->
-     finalize ();
-     raise e);
+  exec (fun () -> result := Some (main ()));
+  drain ();
   let st = stats () in
-  finalize ();
   match !result with
   | Some r -> (r, st)
   | None ->

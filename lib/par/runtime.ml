@@ -1,0 +1,650 @@
+(** A real multi-domain heartbeat runtime on OCaml 5: the paper's §3
+    runtime executed on hardware parallelism rather than on the
+    abstract machine, the discrete-event simulator, or the
+    single-domain effects runtime ({!Heartbeat.Hb_runtime}).
+
+    One {e worker domain} per configured core, each owning a
+    thread-safe Chase–Lev deque ({!Ws_deque}); a dedicated {e ping
+    domain} raises every worker's heartbeat flag each ♥ µs (the
+    Linux ping thread of §3.4).  User code exposes latent parallelism
+    through {!par_for} and {!fork2}, which run serially by default; at
+    each promotion-ready poll a worker that observes its beat flag
+    {e promotes} the outermost latent construct of its running
+    computation into a real task, pushed on its own deque.  Idle
+    workers {e steal from the top} of a victim's deque — the oldest,
+    outermost task, the work-first/steal-oldest discipline of the
+    heartbeat line of work.
+
+    Joins are effect-suspended: a parent whose children were promoted
+    performs {!Wait} and parks its continuation in the join record;
+    the {e last-finishing} child — on whichever domain it happens to
+    run — wins an atomic handshake and re-enqueues the parent, so the
+    parent resumes on that child's domain.  The handshake is the only
+    cross-domain protocol in the scheduler:
+
+    - [pending : int Atomic.t] counts outstanding promoted children
+      {e plus the parent's own stake of 1}.  A child is counted
+      (increment) strictly before its task becomes visible (push), and
+      the parent's stake is only released inside the suspension
+      handler — so while the parent is running, [pending] never
+      reaches 0, no child ever believes it is last, and [waiter] is
+      untouched.  A join record is reused across promotion
+      generations (a loop promotes at several beats); the stake is
+      what keeps an early-finishing child of one generation from
+      racing the handshake of a later one.
+    - [waiter : waiter Atomic.t] moves [No_waiter → Waiting] (parent's
+      CAS after releasing its stake) or [No_waiter → Resumed] (the
+      unique child that decremented [pending] to 0); whichever
+      transition loses the race observes the other, and the parent is
+      resumed exactly once.  The parent re-arms [pending := 1],
+      [waiter := No_waiter] when its suspension returns, at which
+      point no task of the join is live.
+
+    Promotion-ready marks, the mark-list discipline and the
+    outermost-first policy are exactly {!Heartbeat.Hb_runtime}'s.  The
+    mark list is part of the computation (the ref travels with a
+    suspended continuation and is re-installed on the resuming
+    worker), and is only ever touched by the domain currently running
+    that computation — so it needs no synchronisation, but it does
+    mean {e no scheduler state may be cached across a call into user
+    code}: any nested [par_for]/[fork2] may suspend, migrate the
+    computation to another domain, and return there.  Every operation
+    below therefore re-reads the worker context from domain-local
+    storage after potential suspension points. *)
+
+type join = { pending : int Atomic.t; waiter : waiter Atomic.t }
+
+and waiter =
+  | No_waiter
+  | Waiting of {
+      k : (unit, unit) Effect.Deep.continuation;
+      marks : entry list ref;
+          (** the suspended computation's mark list, re-installed on
+              the resuming worker *)
+    }
+  | Resumed
+
+and branch_state = { mutable thunk : (unit -> unit) option; bjr : join }
+
+and loop_state = {
+  mutable lo : int;
+  mutable hi : int;
+  f : int -> unit;
+  ljr : join;
+}
+
+(** Promotion-ready marks: one per live promotable construct, owned by
+    whichever domain is running the computation. *)
+and entry = E_branch of branch_state | E_loop of loop_state
+
+type task = { run : unit -> unit; marks : entry list ref }
+
+type worker = {
+  id : int;
+  deque : task Ws_deque.t;
+  beat : bool Atomic.t;  (** raised by the ping domain every ♥ µs *)
+  mutable rng : int;  (** xorshift state for victim selection *)
+  mutable current_marks : entry list ref;
+  mutable last_beat : float;  (** [`Polling] source only *)
+  (* stats: plain fields, owner-domain only; aggregated after join *)
+  mutable st_beats : int;
+  mutable st_promotions : int;
+  mutable st_loop_promotions : int;
+  mutable st_branch_promotions : int;
+  mutable st_joins : int;
+  mutable st_resumes : int;
+  mutable st_steals : int;
+  mutable st_steal_attempts : int;
+  mutable st_tasks : int;
+  mutable st_max_deque : int;
+}
+
+(** Observability hook events, fired from the worker's own code path
+    (callbacks must be cheap, domain-safe, and must not call back into
+    the runtime).  The [worker] argument of [on_event] identifies the
+    firing domain. *)
+type event =
+  | Beat
+  | Promoted of [ `Loop | `Branch ]
+  | Join_suspend
+  | Join_resume  (** last child re-enqueued the suspended parent *)
+  | Steal of { victim : int }
+  | Task_start
+  | Task_finish
+
+type config = {
+  domains : int;  (** worker domains; 1 = serial with promotion *)
+  heart_us : float;  (** ♥ in microseconds *)
+  source : [ `Ping_domain | `Polling ];
+      (** beat source: the dedicated ping domain (§3.4), or each
+          worker polling the clock directly *)
+  poll_stride : int;  (** loop iterations between polls *)
+  on_event : (worker:int -> event -> unit) option;
+}
+
+let default_config =
+  {
+    domains = 1;
+    heart_us = 100.;
+    source = `Ping_domain;
+    poll_stride = 32;
+    on_event = None;
+  }
+
+type pool = {
+  cfg : config;
+  workers : worker array;
+  stop : bool Atomic.t;  (** main completed, or a task raised *)
+  ping_stop : bool Atomic.t;
+  error : exn option Atomic.t;  (** first exception, wins the race *)
+}
+
+type ctx = { pool : pool; worker : worker }
+
+(** A scheduler-invariant violation (same classification as the
+    single-domain runtime's). *)
+exception Machine_fault of Tpal.Machine_error.t
+
+type worker_stats = {
+  beats : int;
+  promotions : int;
+  loop_promotions : int;
+  branch_promotions : int;
+  joins : int;  (** parent suspensions on a join record *)
+  resumes : int;  (** parents re-enqueued by their last child *)
+  steals : int;
+  steal_attempts : int;
+  tasks_run : int;
+  max_deque : int;
+}
+
+type stats = {
+  domains : int;
+  elapsed_s : float;  (** wall-clock of the whole session *)
+  total : worker_stats;  (** sums over workers; [max_deque] is a max *)
+  per_worker : worker_stats array;
+}
+
+(* ------------------------------------------------------------------ *)
+
+type _ Effect.t += Wait : join -> unit Effect.t
+
+let ctx_key : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let cur_ctx () : ctx =
+  match Domain.DLS.get ctx_key with
+  | Some c -> c
+  | None ->
+      invalid_arg "Par.Runtime: par_for/fork2 used outside Par.Runtime.run"
+
+let fire (ctx : ctx) (e : event) : unit =
+  match ctx.pool.cfg.on_event with
+  | None -> ()
+  | Some f -> f ~worker:ctx.worker.id e
+
+(* pending starts at 1: the parent's stake (see the header comment) *)
+let fresh_join () = { pending = Atomic.make 1; waiter = Atomic.make No_waiter }
+
+let push_task (ctx : ctx) (t : task) : unit =
+  let w = ctx.worker in
+  Ws_deque.push_bottom w.deque t;
+  let len = Ws_deque.length w.deque in
+  if len > w.st_max_deque then w.st_max_deque <- len
+
+(* A promoted child finished.  While the parent holds its stake,
+   [pending] stays ≥ 1 after any child decrement, so the branch below
+   is only ever taken by the unique child that ran after the parent
+   released the stake and drained the count — per join epoch, exactly
+   one task touches [waiter] here. *)
+let finish (ctx : ctx) (jr : join) : unit =
+  let n = Atomic.fetch_and_add jr.pending (-1) in
+  if n = 1 then
+    match Atomic.exchange jr.waiter Resumed with
+    | Waiting { k; marks } ->
+        ctx.worker.st_resumes <- ctx.worker.st_resumes + 1;
+        fire ctx Join_resume;
+        push_task ctx { run = (fun () -> Effect.Deep.continue k ()); marks }
+    | No_waiter ->
+        (* the parent is between releasing its stake and its CAS; its
+           CAS will fail against [Resumed] and continue inline *)
+        ()
+    | Resumed -> () (* unreachable: one exchanger per epoch *)
+
+let push_mark (ctx : ctx) (e : entry) : unit =
+  let m = ctx.worker.current_marks in
+  m := e :: !m
+
+let describe_entry : entry -> string = function
+  | E_branch { thunk = Some _; _ } -> "a branch mark (unpromoted)"
+  | E_branch { thunk = None; _ } -> "a branch mark (promoted)"
+  | E_loop { lo; hi; _ } -> Printf.sprintf "a loop mark [%d, %d)" lo hi
+
+(* Marks obey strict LIFO nesting per computation; a violation is a
+   scheduler bug, surfaced as a typed fault. *)
+let pop_mark (ctx : ctx) (e : entry) : unit =
+  let m = ctx.worker.current_marks in
+  match !m with
+  | top :: rest when top == e -> m := rest
+  | wrong ->
+      let got =
+        match wrong with
+        | [] -> "an empty mark list"
+        | top :: _ -> describe_entry top
+      in
+      raise
+        (Machine_fault
+           (Tpal.Machine_error.Mark_corruption
+              { context = "pop_mark"; expected = describe_entry e; got }))
+
+(* [promote]: split the outermost (least-recent) promotable entry of
+   the running computation — the paper's outermost-first policy.
+   [pending] is raised before the task is pushed, so a join can never
+   transiently read 0 while work is still outstanding.  Task bodies
+   re-fetch their context at run time: they execute on whichever
+   domain pops or steals them. *)
+let rec promote (ctx : ctx) : unit =
+  let w = ctx.worker in
+  let promotable = function
+    | E_branch { thunk = Some _; _ } -> true
+    | E_branch _ -> false
+    | E_loop { lo; hi; _ } -> hi - lo >= 2
+  in
+  let rec oldest = function
+    | [] -> None
+    | e :: rest -> (
+        match oldest rest with
+        | Some _ as found -> found
+        | None -> if promotable e then Some e else None)
+  in
+  match oldest !(w.current_marks) with
+  | None -> ()
+  | Some (E_branch b) ->
+      let thunk = Option.get b.thunk in
+      b.thunk <- None;
+      Atomic.incr b.bjr.pending;
+      w.st_promotions <- w.st_promotions + 1;
+      w.st_branch_promotions <- w.st_branch_promotions + 1;
+      fire ctx (Promoted `Branch);
+      let jr = b.bjr in
+      push_task ctx
+        { run =
+            (fun () ->
+              thunk ();
+              finish (cur_ctx ()) jr);
+          marks = ref [] }
+  | Some (E_loop l) ->
+      let mid = l.lo + ((l.hi - l.lo + 1) / 2) in
+      let child_lo = mid and child_hi = l.hi in
+      l.hi <- mid;
+      Atomic.incr l.ljr.pending;
+      w.st_promotions <- w.st_promotions + 1;
+      w.st_loop_promotions <- w.st_loop_promotions + 1;
+      fire ctx (Promoted `Loop);
+      let f = l.f and jr = l.ljr in
+      push_task ctx
+        { run =
+            (fun () ->
+              par_for_range child_lo child_hi f jr;
+              finish (cur_ctx ()) jr);
+          marks = ref [] }
+
+(* [poll]: the promotion-ready program point — observe a pending beat
+   and promote.  Fetches the context fresh: the computation may have
+   migrated since the previous poll. *)
+and poll () : unit =
+  let ctx = cur_ctx () in
+  let w = ctx.worker in
+  let due =
+    match ctx.pool.cfg.source with
+    | `Ping_domain ->
+        if Atomic.get w.beat then begin
+          Atomic.set w.beat false;
+          true
+        end
+        else false
+    | `Polling ->
+        let now = Unix.gettimeofday () in
+        if (now -. w.last_beat) *. 1e6 >= ctx.pool.cfg.heart_us then begin
+          w.last_beat <- now;
+          true
+        end
+        else false
+  in
+  if due then begin
+    w.st_beats <- w.st_beats + 1;
+    fire ctx Beat;
+    promote ctx
+  end
+
+(* The promotable loop runner: iterations of [lo, hi) with the range
+   advertised on the mark list; polls every [poll_stride] iterations.
+   Promoted children re-enter this runner with the shared join record,
+   so their remaining iterations promote recursively.  [f] may suspend
+   and migrate the computation, hence the fresh context at every
+   scheduler touch-point. *)
+and par_for_range (lo : int) (hi : int) (f : int -> unit) (jr : join) : unit =
+  if lo < hi then begin
+    let l = { lo; hi; f; ljr = jr } in
+    let e = E_loop l in
+    push_mark (cur_ctx ()) e;
+    let stride = max 1 (cur_ctx ()).pool.cfg.poll_stride in
+    let k = ref 0 in
+    while l.lo < l.hi do
+      f l.lo;
+      l.lo <- l.lo + 1;
+      incr k;
+      if !k >= stride then begin
+        k := 0;
+        poll ()
+      end
+    done;
+    pop_mark (cur_ctx ()) e
+  end
+
+(* Join point.  [pending = 1] means only our stake is left: every
+   child (if any) has already finished, and — stake never released —
+   none of them touched [waiter]; nothing to do.  Otherwise suspend:
+   the handler releases the stake and the handshake decides who
+   resumes us.  When the suspension returns, no task of this join is
+   live any more (the resumer was the last, and increments only come
+   from tasks of the join), so re-arming for the next promotion
+   generation is race-free. *)
+and join_on (jr : join) : unit =
+  if Atomic.get jr.pending > 1 then begin
+    let ctx = cur_ctx () in
+    ctx.worker.st_joins <- ctx.worker.st_joins + 1;
+    fire ctx Join_suspend;
+    Effect.perform (Wait jr);
+    Atomic.set jr.pending 1;
+    Atomic.set jr.waiter No_waiter
+  end
+
+(** [par_for ~lo ~hi f]: a parallel-for with latent parallelism only —
+    runs serially unless heartbeats promote remaining iterations onto
+    other domains. *)
+let par_for ~(lo : int) ~(hi : int) (f : int -> unit) : unit =
+  let jr = fresh_join () in
+  par_for_range lo hi f jr;
+  poll ();
+  join_on jr
+
+(** [fork2 a b]: run [a] then [b] serially by default, advertising [b]
+    for promotion while [a] runs (the cilk_spawn/cilk_sync pair). *)
+let fork2 (a : unit -> unit) (b : unit -> unit) : unit =
+  let jr = fresh_join () in
+  let bs = { thunk = Some b; bjr = jr } in
+  let e = E_branch bs in
+  push_mark (cur_ctx ()) e;
+  a ();
+  pop_mark (cur_ctx ()) e;
+  poll ();
+  match bs.thunk with
+  | Some b ->
+      (* never promoted: run serially; nothing can join on [jr] *)
+      bs.thunk <- None;
+      b ()
+  | None -> join_on jr
+
+(** The executor surface {!Workloads.Exec.S}-shaped kernels run
+    against — pass [(module Par.Runtime.Exec)] inside a {!run}
+    session. *)
+module Exec = struct
+  let par_for = par_for
+  let fork2 = fork2
+end
+
+(* ------------------------------------------------------------------ *)
+(* The scheduler loop.                                                 *)
+
+(* xorshift for victim selection: cheap, worker-local *)
+let rand (w : worker) : int =
+  let x = w.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  w.rng <- (if x = 0 then 0x9E3779B1 else x);
+  w.rng
+
+(* Every task body runs under this deep handler; a suspended
+   continuation carries it along, so resuming the continuation — on
+   whichever domain [finish] runs — re-enters the scheduler's
+   discipline automatically.  The handler resolves its worker context
+   dynamically (the effect is always performed on the domain currently
+   running the computation, which need not be the domain that captured
+   the continuation).  Parking a waiter simply returns from the task's
+   [match_with], handing control back to the worker loop. *)
+let handler : (unit, unit) Effect.Deep.handler =
+  {
+    retc = (fun () -> ());
+    exnc = (fun e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Wait jr ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let ctx = cur_ctx () in
+                let marks = ctx.worker.current_marks in
+                (* release the parent's stake; from here a child can
+                   drain [pending] to 0 and touch [waiter] *)
+                let n = Atomic.fetch_and_add jr.pending (-1) in
+                if n = 1 then
+                  (* children drained between join_on's check and the
+                     release: nothing to wait for *)
+                  Effect.Deep.continue k ()
+                else if
+                  Atomic.compare_and_set jr.waiter No_waiter
+                    (Waiting { k; marks })
+                then () (* parked; the last child re-enqueues us *)
+                else
+                  (* the last child exchanged [Resumed] between our
+                     release and our CAS *)
+                  Effect.Deep.continue k ())
+        | _ -> None);
+  }
+
+let run_task (ctx : ctx) (t : task) : unit =
+  let w = ctx.worker in
+  w.current_marks <- t.marks;
+  w.st_tasks <- w.st_tasks + 1;
+  fire ctx Task_start;
+  (try Effect.Deep.match_with t.run () handler
+   with e ->
+     (* first failure wins; stop the pool, the session re-raises *)
+     if Atomic.compare_and_set ctx.pool.error None (Some e) then ();
+     Atomic.set ctx.pool.stop true);
+  fire ctx Task_finish
+
+(* One randomized sweep over the other workers' deque tops. *)
+let try_steal (ctx : ctx) : task option =
+  let w = ctx.worker in
+  let workers = ctx.pool.workers in
+  let n = Array.length workers in
+  let r = rand w in
+  let found = ref None in
+  let off = ref 0 in
+  while Option.is_none !found && !off < n - 1 do
+    let d = 1 + ((r + !off) mod (n - 1)) in
+    let victim = (w.id + d) mod n in
+    w.st_steal_attempts <- w.st_steal_attempts + 1;
+    (match Ws_deque.steal_top workers.(victim).deque with
+    | Some t ->
+        w.st_steals <- w.st_steals + 1;
+        fire ctx (Steal { victim });
+        found := Some t
+    | None -> ());
+    incr off
+  done;
+  !found
+
+(* A worker only exits with its own deque empty, and only the owner
+   pushes to a deque — so no task is ever stranded in an exited
+   worker's deque. *)
+let worker_loop (ctx : ctx) : unit =
+  let pool = ctx.pool in
+  let n = Array.length pool.workers in
+  let running = ref true in
+  while !running do
+    match Ws_deque.pop_bottom ctx.worker.deque with
+    | Some t -> run_task ctx t
+    | None -> (
+        if Atomic.get pool.stop then running := false
+        else if n = 1 then Domain.cpu_relax ()
+        else
+          match try_steal ctx with
+          | Some t -> run_task ctx t
+          | None -> Domain.cpu_relax ())
+  done
+
+let run_worker (pool : pool) (id : int) : unit =
+  let ctx = { pool; worker = pool.workers.(id) } in
+  Domain.DLS.set ctx_key (Some ctx);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set ctx_key None)
+    (fun () -> worker_loop ctx)
+
+let ping_loop (pool : pool) : unit =
+  let period = Float.max 1e-6 (pool.cfg.heart_us *. 1e-6) in
+  while not (Atomic.get pool.ping_stop) do
+    Unix.sleepf period;
+    Array.iter (fun w -> Atomic.set w.beat true) pool.workers
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let make_worker ~(id : int) : worker =
+  {
+    id;
+    deque = Ws_deque.create ();
+    beat = Atomic.make false;
+    rng = 0x9E3779B1 + (id * 0x85EBCA77);
+    current_marks = ref [];
+    last_beat = Unix.gettimeofday ();
+    st_beats = 0;
+    st_promotions = 0;
+    st_loop_promotions = 0;
+    st_branch_promotions = 0;
+    st_joins = 0;
+    st_resumes = 0;
+    st_steals = 0;
+    st_steal_attempts = 0;
+    st_tasks = 0;
+    st_max_deque = 0;
+  }
+
+let worker_stats (w : worker) : worker_stats =
+  {
+    beats = w.st_beats;
+    promotions = w.st_promotions;
+    loop_promotions = w.st_loop_promotions;
+    branch_promotions = w.st_branch_promotions;
+    joins = w.st_joins;
+    resumes = w.st_resumes;
+    steals = w.st_steals;
+    steal_attempts = w.st_steal_attempts;
+    tasks_run = w.st_tasks;
+    max_deque = w.st_max_deque;
+  }
+
+let zero_stats =
+  {
+    beats = 0;
+    promotions = 0;
+    loop_promotions = 0;
+    branch_promotions = 0;
+    joins = 0;
+    resumes = 0;
+    steals = 0;
+    steal_attempts = 0;
+    tasks_run = 0;
+    max_deque = 0;
+  }
+
+let sum_stats (per : worker_stats array) : worker_stats =
+  Array.fold_left
+    (fun acc (s : worker_stats) ->
+      {
+        beats = acc.beats + s.beats;
+        promotions = acc.promotions + s.promotions;
+        loop_promotions = acc.loop_promotions + s.loop_promotions;
+        branch_promotions = acc.branch_promotions + s.branch_promotions;
+        joins = acc.joins + s.joins;
+        resumes = acc.resumes + s.resumes;
+        steals = acc.steals + s.steals;
+        steal_attempts = acc.steal_attempts + s.steal_attempts;
+        tasks_run = acc.tasks_run + s.tasks_run;
+        max_deque = max acc.max_deque s.max_deque;
+      })
+    zero_stats per
+
+(* Sessions cannot nest or overlap: one pool per process at a time. *)
+let active = Atomic.make false
+
+(** [run ?config main] executes [main] under the multi-domain
+    heartbeat scheduler: [config.domains] worker domains (the calling
+    domain is worker 0) plus, with the [`Ping_domain] source, one ping
+    domain.  Returns [main]'s result and the session statistics.
+    Exceptions raised by any task abort the session and re-raise
+    here. *)
+let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
+  if not (Atomic.compare_and_set active false true) then
+    invalid_arg "Par.Runtime.run: already running";
+  Fun.protect
+    ~finally:(fun () -> Atomic.set active false)
+    (fun () ->
+      let n = max 1 config.domains in
+      let pool =
+        {
+          cfg = config;
+          workers = Array.init n (fun id -> make_worker ~id);
+          stop = Atomic.make false;
+          ping_stop = Atomic.make false;
+          error = Atomic.make None;
+        }
+      in
+      let result = ref None in
+      let t0 = Unix.gettimeofday () in
+      (* main is an ordinary task on worker 0's deque; its completion
+         implies every fork has joined, so no task can outlive it *)
+      Ws_deque.push_bottom pool.workers.(0).deque
+        {
+          run =
+            (fun () ->
+              result := Some (main ());
+              Atomic.set pool.stop true);
+          marks = ref [];
+        };
+      let ping =
+        match config.source with
+        | `Polling -> None
+        | `Ping_domain -> Some (Domain.spawn (fun () -> ping_loop pool))
+      in
+      let stop_ping () =
+        Atomic.set pool.ping_stop true;
+        Option.iter Domain.join ping
+      in
+      let others =
+        try
+          Array.init (n - 1) (fun i ->
+              Domain.spawn (fun () -> run_worker pool (i + 1)))
+        with e ->
+          (* spawn failed: stop whatever did start, then re-raise *)
+          Atomic.set pool.stop true;
+          stop_ping ();
+          raise e
+      in
+      run_worker pool 0;
+      Array.iter Domain.join others;
+      stop_ping ();
+      let elapsed_s = Unix.gettimeofday () -. t0 in
+      (match Atomic.get pool.error with Some e -> raise e | None -> ());
+      let per_worker = Array.map worker_stats pool.workers in
+      let st =
+        { domains = n; elapsed_s; total = sum_stats per_worker; per_worker }
+      in
+      match !result with
+      | Some r -> (r, st)
+      | None ->
+          invalid_arg
+            "Par.Runtime.run: computation did not complete (deadlock?)")

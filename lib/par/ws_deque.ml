@@ -1,0 +1,124 @@
+(** Chase–Lev work-stealing deque over OCaml 5 [Atomic]s — the
+    thread-safe generalisation of the simulator's {!Sim.Wsdeque}.
+
+    One worker domain {e owns} each deque: only the owner calls
+    {!push_bottom} and {!pop_bottom} (LIFO at the bottom, preserving
+    locality), while any other domain may call {!steal_top} (FIFO at
+    the top — the oldest, and under heartbeat promotion the
+    {e outermost}, task), the discipline the paper's runtime inherits
+    from Chase–Lev [2005].
+
+    The implementation follows the classic algorithm (Chase & Lev;
+    the C11 formulation of Lê et al. [2013]) with [top] and [bottom]
+    as monotone atomic counters indexing a circular buffer.  Every
+    shared access goes through an [Atomic] — OCaml's atomics are
+    sequentially consistent, which is strictly stronger than the
+    acquire/release fences the algorithm needs, so the usual proofs
+    carry over directly:
+
+    - the owner publishes a pushed cell {e before} advancing [bottom],
+      so a thief that observes [top < bottom] also observes the cell;
+    - the single CAS on [top] arbitrates every top-end removal — the
+      last-element race between a popping owner and stealing thieves
+      has exactly one winner;
+    - a cell can only be recycled after [bottom] wraps past it, which
+      the grow-on-full rule ([bottom - top < capacity]) makes
+      impossible while any thief could still successfully CAS its
+      index, so a stale read is always discarded by the failing CAS.
+
+    Growth is owner-side only: the buffer is copied into one twice the
+    size and republished atomically; thieves holding the old buffer
+    read indices in [top, bottom), which the owner never overwrites
+    in-place. *)
+
+type 'a t = {
+  top : int Atomic.t;  (** steal end; monotonically increasing *)
+  bottom : int Atomic.t;  (** owner end *)
+  tab : 'a option Atomic.t array Atomic.t;  (** circular buffer *)
+}
+
+let min_capacity = 16
+
+let create () : 'a t =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    tab = Atomic.make (Array.init min_capacity (fun _ -> Atomic.make None));
+  }
+
+(** Snapshot length — exact for the owner between its own operations,
+    a safe approximation for any other observer. *)
+let length (d : 'a t) : int =
+  max 0 (Atomic.get d.bottom - Atomic.get d.top)
+
+let is_empty (d : 'a t) : bool = length d = 0
+
+(* Owner-only: double the buffer, copying live cells [t, b). *)
+let grow (d : 'a t) (t : int) (b : int) : unit =
+  let old = Atomic.get d.tab in
+  let n = Array.length old in
+  let n' = 2 * n in
+  let tab = Array.init n' (fun _ -> Atomic.make None) in
+  for i = t to b - 1 do
+    Atomic.set tab.(i land (n' - 1)) (Atomic.get old.(i land (n - 1)))
+  done;
+  Atomic.set d.tab tab
+
+(** Owner push at the bottom. *)
+let push_bottom (d : 'a t) (x : 'a) : unit =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  let tab = Atomic.get d.tab in
+  let tab =
+    if b - t >= Array.length tab then begin
+      grow d t b;
+      Atomic.get d.tab
+    end
+    else tab
+  in
+  Atomic.set tab.(b land (Array.length tab - 1)) (Some x);
+  Atomic.set d.bottom (b + 1)
+
+(** Owner pop at the bottom (LIFO).  The one-element case races with
+    thieves and is decided by the CAS on [top]. *)
+let pop_bottom (d : 'a t) : 'a option =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* empty: restore the invariant bottom = top *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let tab = Atomic.get d.tab in
+    let cell = tab.(b land (Array.length tab - 1)) in
+    let v = Atomic.get cell in
+    if b > t then begin
+      Atomic.set cell None;
+      v
+    end
+    else begin
+      (* last element: win it from the thieves or lose it to one *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then begin
+        Atomic.set cell None;
+        v
+      end
+      else None
+    end
+  end
+
+(** Thief steal from the top (FIFO — the oldest task).  [None] means
+    the deque looked empty {e or} the thief lost a race; callers treat
+    both as "try elsewhere". *)
+let steal_top (d : 'a t) : 'a option =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then None
+  else begin
+    let tab = Atomic.get d.tab in
+    let v = Atomic.get tab.(t land (Array.length tab - 1)) in
+    if Atomic.compare_and_set d.top t (t + 1) then v else None
+  end

@@ -51,17 +51,29 @@ let bound (inst : instance) (i : int) (cap : int) (value : int) : float =
 
 type result = { best : int; nodes : int }
 
-(** Exhaustive branch-and-bound search.  [best] is shared through a
-    ref so parallel executors racing on it only prune more or less —
-    never produce a wrong optimum. *)
+(* Monotone CAS-max: a racing writer can only lose to a *larger*
+   incumbent, so the optimum is never overwritten by a stale lower
+   value (the plain read-check-write it replaces could do exactly
+   that under real domains). *)
+let rec raise_to (best : int Atomic.t) (value : int) : unit =
+  let cur = Atomic.get best in
+  if value > cur && not (Atomic.compare_and_set best cur value) then
+    raise_to best value
+
+(** Exhaustive branch-and-bound search.  The incumbent is shared
+    through a monotone atomic, so parallel executors racing on it only
+    prune more or less — never produce a wrong optimum.  [nodes] is
+    schedule-dependent under parallel pruning; [best] is the
+    deterministic part of the result. *)
 let search (module E : Exec.S) (inst : instance) : result =
-  let best = ref 0 in
-  let nodes = ref 0 in
+  let best = Atomic.make 0 in
+  let nodes = Atomic.make 0 in
   let n = Array.length inst.items in
   let rec go i cap value =
-    incr nodes;
-    if value > !best then best := value;
-    if i < n && bound inst i cap value > float_of_int !best then begin
+    ignore (Atomic.fetch_and_add nodes 1);
+    raise_to best value;
+    if i < n && bound inst i cap value > float_of_int (Atomic.get best)
+    then begin
       let it = inst.items.(i) in
       if it.weight <= cap then
         E.fork2
@@ -71,7 +83,7 @@ let search (module E : Exec.S) (inst : instance) : result =
     end
   in
   go 0 inst.capacity 0;
-  { best = !best; nodes = !nodes }
+  { best = Atomic.get best; nodes = Atomic.get nodes }
 
 let search_serial (inst : instance) : result =
   search (module Exec.Serial) inst

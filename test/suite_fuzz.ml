@@ -15,7 +15,8 @@ let pp_divs ds =
        ds)
 
 (* a trimmed battery for per-commit latency: one mechanism, two core
-   counts, faults and the real heartbeat runtime still on *)
+   counts, faults, the real heartbeat runtime, and one multi-domain
+   configuration still on *)
 let quick_cfg =
   {
     Diff.cores = [ 1; 4 ];
@@ -23,6 +24,7 @@ let quick_cfg =
     faults = true;
     chaos = false;
     hb = true;
+    par = [ 2 ];
   }
 
 (* a smaller slice with the crash-schedule battery switched on, so the

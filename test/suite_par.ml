@@ -1,0 +1,352 @@
+(* The multi-domain runtime (lib/par): the concurrent Chase–Lev deque
+   under real contention, and the scheduler's correctness properties —
+   exactly-once loop coverage, fork trees, join resolution across
+   domains, kernel equality against the serial executor, session
+   reuse, and exception propagation.
+
+   Everything here gates on nothing: the runtime must be correct at
+   any domain count on any host, including domain counts above the
+   core count (oversubscription just means more preemption).  Only
+   SPEEDUP claims depend on real cores, and those live in the bench
+   pipeline (BENCH_par.json), not in tier-1. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Ws_deque, single-threaded: LIFO at the bottom, FIFO at the top. *)
+
+let test_deque_lifo () =
+  let d = Par.Ws_deque.create () in
+  check "fresh empty" true (Par.Ws_deque.is_empty d);
+  for i = 1 to 100 do
+    Par.Ws_deque.push_bottom d i
+  done;
+  check_int "length" 100 (Par.Ws_deque.length d);
+  for i = 100 downto 1 do
+    check_int "pop order" i
+      (match Par.Ws_deque.pop_bottom d with Some v -> v | None -> -1)
+  done;
+  check "drained" true (Par.Ws_deque.is_empty d);
+  check "pop on empty" true (Par.Ws_deque.pop_bottom d = None)
+
+let test_deque_fifo_steal () =
+  let d = Par.Ws_deque.create () in
+  for i = 1 to 50 do
+    Par.Ws_deque.push_bottom d i
+  done;
+  (* thieves see the oldest end *)
+  for i = 1 to 25 do
+    check_int "steal order" i
+      (match Par.Ws_deque.steal_top d with Some v -> v | None -> -1)
+  done;
+  (* the owner still sees LIFO on what remains *)
+  for i = 50 downto 26 do
+    check_int "pop after steals" i
+      (match Par.Ws_deque.pop_bottom d with Some v -> v | None -> -1)
+  done;
+  check "steal on empty" true (Par.Ws_deque.steal_top d = None)
+
+let test_deque_grow () =
+  (* push far past the initial capacity, interleaving pops *)
+  let d = Par.Ws_deque.create () in
+  let next = ref 0 in
+  let popped = ref [] in
+  for _ = 1 to 2000 do
+    Par.Ws_deque.push_bottom d !next;
+    incr next;
+    if !next mod 3 = 0 then
+      match Par.Ws_deque.pop_bottom d with
+      | Some v -> popped := v :: !popped
+      | None -> Alcotest.fail "pop on non-empty"
+  done;
+  let rec drain acc =
+    match Par.Ws_deque.pop_bottom d with
+    | Some v -> drain (v :: acc)
+    | None -> acc
+  in
+  let all = List.sort compare (!popped @ drain []) in
+  check_int "no lost or duplicated elements" 2000 (List.length all);
+  List.iteri (fun i v -> if i <> v then Alcotest.failf "hole at %d: %d" i v) all
+
+(* ------------------------------------------------------------------ *)
+(* Ws_deque under real contention: one owner domain doing push/pop,
+   several thief domains stealing, ≥1e5 operations.  Checks: the
+   multiset of popped+stolen elements is exactly the pushed multiset
+   (nothing lost, nothing duplicated), and each thief observes
+   strictly increasing elements (single-deque steals are FIFO). *)
+
+let test_deque_stress () =
+  let d = Par.Ws_deque.create () in
+  let total = 120_000 in
+  let n_thieves = 3 in
+  let stop = Atomic.make false in
+  let stolen = Array.init n_thieves (fun _ -> ref []) in
+  let thieves =
+    Array.init n_thieves (fun t ->
+        Domain.spawn (fun () ->
+            let mine = stolen.(t) in
+            while not (Atomic.get stop) do
+              match Par.Ws_deque.steal_top d with
+              | Some v -> mine := v :: !mine
+              | None -> Domain.cpu_relax ()
+            done;
+            (* final sweep so nothing is stranded *)
+            let rec sweep () =
+              match Par.Ws_deque.steal_top d with
+              | Some v ->
+                  mine := v :: !mine;
+                  sweep ()
+              | None -> ()
+            in
+            sweep ()))
+  in
+  let popped = ref [] in
+  let next = ref 0 in
+  let rng = ref 42 in
+  let rand () =
+    rng := (!rng * 1103515245) + 12345;
+    (!rng lsr 16) land 0xFF
+  in
+  while !next < total do
+    (* bursts of pushes, then a few pops: keeps the deque crossing the
+       empty/one-element boundary where the races live *)
+    let burst = 1 + (rand () mod 8) in
+    for _ = 1 to burst do
+      if !next < total then begin
+        Par.Ws_deque.push_bottom d !next;
+        incr next
+      end
+    done;
+    let pops = rand () mod 4 in
+    for _ = 1 to pops do
+      match Par.Ws_deque.pop_bottom d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+    done
+  done;
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  (* drain what the owner still holds *)
+  let rec drain () =
+    match Par.Ws_deque.pop_bottom d with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (* per-thief FIFO: steals from one deque arrive oldest-first *)
+  Array.iteri
+    (fun t mine ->
+      let in_order = List.rev !mine in
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+            if a >= b then
+              Alcotest.failf "thief %d saw %d before %d (not FIFO)" t a b;
+            mono rest
+        | _ -> ()
+      in
+      mono in_order)
+    stolen;
+  (* conservation: pushed = popped ⊎ stolen *)
+  let all =
+    List.sort compare
+      (!popped @ Array.fold_left (fun acc r -> !r @ acc) [] stolen)
+  in
+  check_int "conservation (no lost/duplicated)" total (List.length all);
+  List.iteri
+    (fun i v -> if i <> v then Alcotest.failf "element %d missing (saw %d)" i v)
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Runtime properties. *)
+
+let cfg ?(domains = 3) ?(heart_us = 25.) () =
+  { Par.Runtime.default_config with domains; heart_us }
+
+let test_par_for_exactly_once () =
+  List.iter
+    (fun domains ->
+      let n = 50_000 in
+      let hits = Array.make n 0 in
+      let (), _ =
+        Par.Runtime.run ~config:(cfg ~domains ())
+          (fun () ->
+            Par.Runtime.par_for ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1))
+      in
+      Array.iteri
+        (fun i h ->
+          if h <> 1 then
+            Alcotest.failf "domains=%d: index %d ran %d times" domains i h)
+        hits)
+    [ 1; 2; 4 ]
+
+let test_fork_tree () =
+  (* a fib-shaped fork tree: deeply nested fork2 with joins resolved
+     across domains *)
+  let rec fib n =
+    if n < 2 then n
+    else begin
+      let a = ref 0 and b = ref 0 in
+      Par.Runtime.fork2
+        (fun () -> a := fib (n - 1))
+        (fun () -> b := fib (n - 2));
+      !a + !b
+    end
+  in
+  List.iter
+    (fun domains ->
+      let r, st =
+        Par.Runtime.run ~config:(cfg ~domains ~heart_us:10. ()) (fun () ->
+            fib 20)
+      in
+      check_int (Printf.sprintf "fib 20 at %d domains" domains) 6765 r;
+      (* resumes and joins must balance: every parked parent is woken
+         exactly once *)
+      check_int
+        (Printf.sprintf "joins = resumes at %d domains" domains)
+        st.total.joins st.total.resumes)
+    [ 1; 2; 3 ]
+
+let test_nested_par_for () =
+  let n = 120 in
+  let grid = Array.make (n * n) 0 in
+  let (), _ =
+    Par.Runtime.run ~config:(cfg ()) (fun () ->
+        Par.Runtime.par_for ~lo:0 ~hi:n (fun r ->
+            Par.Runtime.par_for ~lo:0 ~hi:n (fun c ->
+                grid.((r * n) + c) <- grid.((r * n) + c) + 1)))
+  in
+  Array.iteri
+    (fun i h -> if h <> 1 then Alcotest.failf "cell %d ran %d times" i h)
+    grid
+
+let test_kernel_equality () =
+  (* every registry kernel, bit-identical to serial at 2 and 3 domains *)
+  List.iter
+    (fun (b : Workloads.Real_bench.t) ->
+      let serial = Workloads.Real_bench.run_serial b ~scale:1 in
+      List.iter
+        (fun domains ->
+          let par, _ =
+            Par.Runtime.run ~config:(cfg ~domains ()) (fun () ->
+                b.run (module Par.Runtime.Exec) ~scale:1)
+          in
+          check_int
+            (Printf.sprintf "%s at %d domains" b.name domains)
+            serial par)
+        [ 2; 3 ])
+    Workloads.Real_bench.all
+
+let test_session_reuse () =
+  (* repeated sessions in one process: no leaked domains, no poisoned
+     global state (the teardown path joins everything it spawned) *)
+  for i = 1 to 5 do
+    let r, _ =
+      Par.Runtime.run ~config:(cfg ()) (fun () ->
+          let acc = Atomic.make 0 in
+          Par.Runtime.par_for ~lo:0 ~hi:1000 (fun j ->
+              ignore (Atomic.fetch_and_add acc j));
+          Atomic.get acc)
+    in
+    check_int (Printf.sprintf "session %d" i) (999 * 1000 / 2) r
+  done
+
+let test_no_nesting () =
+  let raised = ref false in
+  let (), _ =
+    Par.Runtime.run ~config:(cfg ~domains:1 ()) (fun () ->
+        match Par.Runtime.run (fun () -> ()) with
+        | exception Invalid_argument _ -> raised := true
+        | _ -> ())
+  in
+  check "nested run rejected" true !raised
+
+let test_outside_run () =
+  match Par.Runtime.par_for ~lo:0 ~hi:1 (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "par_for outside run should raise"
+
+let test_exception_propagation () =
+  List.iter
+    (fun domains ->
+      (match
+         Par.Runtime.run ~config:(cfg ~domains ()) (fun () ->
+             Par.Runtime.par_for ~lo:0 ~hi:10_000 (fun i ->
+                 if i = 8191 then failwith "kaboom"))
+       with
+      | exception Failure m ->
+          Alcotest.(check string)
+            (Printf.sprintf "message survives at %d domains" domains)
+            "kaboom" m
+      | _ -> Alcotest.fail "exception swallowed");
+      (* and the pool is reusable afterwards *)
+      let r, _ =
+        Par.Runtime.run ~config:(cfg ~domains ()) (fun () -> 11)
+      in
+      check_int "session works after failure" 11 r)
+    [ 1; 3 ]
+
+let test_stats_accounting () =
+  let events = Atomic.make 0 in
+  let config =
+    { (cfg ~domains:2 ~heart_us:15. ()) with
+      on_event = Some (fun ~worker:_ _ -> ignore (Atomic.fetch_and_add events 1))
+    }
+  in
+  let (), st =
+    Par.Runtime.run ~config (fun () ->
+        Par.Runtime.par_for ~lo:0 ~hi:100_000 (fun i -> Sys.opaque_identity i |> ignore))
+  in
+  check "some events fired" true (Atomic.get events > 0);
+  check "promotions split into loop+branch" true
+    (st.total.promotions
+    = st.total.loop_promotions + st.total.branch_promotions);
+  check "per-worker sums to total" true
+    (Array.fold_left (fun a (w : Par.Runtime.worker_stats) -> a + w.tasks_run)
+       0 st.per_worker
+    = st.total.tasks_run);
+  check_int "domains recorded" 2 st.domains;
+  check "elapsed measured" true (st.elapsed_s > 0.)
+
+let test_knapsack_incumbent_monotone () =
+  (* the CAS-max incumbent: the parallel optimum equals the DP optimum
+     on every schedule (regression for the read-check-write race) *)
+  let rng = Sim.Prng.create ~seed:77 in
+  let inst = Workloads.Knapsack.instance ~rng ~n:20 in
+  let expect = Workloads.Knapsack.dp_optimum inst in
+  List.iter
+    (fun domains ->
+      let (r : Workloads.Knapsack.result), _ =
+        Par.Runtime.run ~config:(cfg ~domains ~heart_us:10. ()) (fun () ->
+            Workloads.Knapsack.search (module Par.Runtime.Exec) inst)
+      in
+      check_int (Printf.sprintf "optimum at %d domains" domains) expect r.best)
+    [ 1; 2; 4 ]
+
+let suite =
+  ( "par",
+    [
+      Alcotest.test_case "deque: LIFO bottom" `Quick test_deque_lifo;
+      Alcotest.test_case "deque: FIFO steals" `Quick test_deque_fifo_steal;
+      Alcotest.test_case "deque: grow conserves" `Quick test_deque_grow;
+      Alcotest.test_case "deque: multi-domain stress, 120k ops" `Quick
+        test_deque_stress;
+      Alcotest.test_case "par_for covers exactly once" `Quick
+        test_par_for_exactly_once;
+      Alcotest.test_case "fork tree joins across domains" `Quick
+        test_fork_tree;
+      Alcotest.test_case "nested par_for" `Quick test_nested_par_for;
+      Alcotest.test_case "kernels equal serial at 2-3 domains" `Quick
+        test_kernel_equality;
+      Alcotest.test_case "session reuse" `Quick test_session_reuse;
+      Alcotest.test_case "nested run rejected" `Quick test_no_nesting;
+      Alcotest.test_case "api outside run rejected" `Quick test_outside_run;
+      Alcotest.test_case "exceptions propagate and abort" `Quick
+        test_exception_propagation;
+      Alcotest.test_case "stats and events account" `Quick
+        test_stats_accounting;
+      Alcotest.test_case "knapsack incumbent is monotone" `Quick
+        test_knapsack_incumbent_monotone;
+    ] )

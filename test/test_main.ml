@@ -20,6 +20,7 @@ let () =
       Suite_faults.suite;
       Suite_workloads.suite;
       Suite_heartbeat.suite;
+      Suite_par.suite;
       Suite_fuzz.suite;
       Suite_stats.suite;
       Suite_repro.suite;
