@@ -152,7 +152,15 @@ type par_row = {
   bench : string;
   domains : int;  (* 0 = the serial baseline row *)
   seconds : float;
-  speedup : float;
+      (* kernel time: for par rows, measured INSIDE the session (from
+         the first instruction of main), so domain spawn/join setup is
+         excluded and the row measures the scheduler, not
+         Domain.spawn — the committed knapsack 0.036x was entirely
+         session setup around a 7 µs kernel *)
+  session_seconds : float;
+      (* wall-clock around the whole session, setup included (equals
+         [seconds] for serial rows) *)
+  speedup : float;  (* serial kernel seconds / kernel seconds *)
   checksum : int;
   promotions : int;
   steals : int;
@@ -160,19 +168,20 @@ type par_row = {
   beats : int;
 }
 
-(* median-of-k wall-clock; k small because the kernels are sized to
-   run for tens of milliseconds each *)
+(* median-of-k; k small because the kernels are sized to run for tens
+   of milliseconds each *)
+let median_by (proj : 'a -> float) (xs : 'a list) : 'a =
+  let sorted = List.sort (fun a b -> compare (proj a) (proj b)) xs in
+  List.nth sorted (List.length sorted / 2)
+
 let time_median ~(repeat : int) (f : unit -> 'a) : float * 'a =
-  let last = ref None in
-  let times =
+  let samples =
     List.init (max 1 repeat) (fun _ ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Mclock.now_s () in
         let v = f () in
-        last := Some v;
-        Unix.gettimeofday () -. t0)
+        (Mclock.now_s () -. t0, v))
   in
-  let sorted = List.sort compare times in
-  (List.nth sorted (List.length sorted / 2), Option.get !last)
+  median_by fst samples
 
 let json_escape (s : string) : string =
   let b = Buffer.create (String.length s) in
@@ -188,34 +197,166 @@ let json_escape (s : string) : string =
     s;
   Buffer.contents b
 
-let write_par_json ~(path : string) ~(scale : int) (rows : par_row list) :
-    unit =
-  let oc = open_out path in
-  let row_json (r : par_row) =
-    Printf.sprintf
-      "    {\"bench\": \"%s\", \"domains\": %d, \"seconds\": %.6f, \
-       \"speedup\": %.3f, \"checksum\": %d, \"promotions\": %d, \"steals\": \
-       %d, \"joins\": %d, \"beats\": %d}"
-      (json_escape r.bench) r.domains r.seconds r.speedup r.checksum
-      r.promotions r.steals r.joins r.beats
+(* ---- trajectory JSON ----------------------------------------------
+   BENCH_par.json is an accumulating trajectory: one run object per
+   `--par-bench` invocation (with `--append`), so before/after points
+   of a perf change live side by side in the committed file:
+
+     { "suite": "par_bench",
+       "trajectory": [ { "label": ..., "host_cores": N, "scale": K,
+                         "results": [ <rows> ] }, ... ] }
+
+   Appending is textual (no JSON dependency): the previous runs are
+   extracted as the raw inner text of the "trajectory" array; a legacy
+   single-run file (top-level "results") is wrapped as the first
+   trajectory entry so pre-existing data points survive the schema
+   change. *)
+
+let row_json (r : par_row) =
+  Printf.sprintf
+    "      {\"bench\": \"%s\", \"domains\": %d, \"seconds\": %.6f, \
+     \"session_seconds\": %.6f, \"speedup\": %.3f, \"checksum\": %d, \
+     \"promotions\": %d, \"steals\": %d, \"joins\": %d, \"beats\": %d}"
+    (json_escape r.bench) r.domains r.seconds r.session_seconds r.speedup
+    r.checksum r.promotions r.steals r.joins r.beats
+
+let run_json ~(label : string) ~(scale : int) ~(beat_source : string)
+    (rows : par_row list) : string =
+  Printf.sprintf
+    "    {\n\
+    \      \"label\": \"%s\",\n\
+    \      \"host_cores\": %d,\n\
+    \      \"scale\": %d,\n\
+    \      \"beat_source\": \"%s\",\n\
+    \      \"results\": [\n\
+     %s\n\
+    \      ]\n\
+    \    }"
+    (json_escape label)
+    (Domain.recommended_domain_count ())
+    scale (json_escape beat_source)
+    (String.concat ",\n" (List.map row_json rows))
+
+(* The balanced [...] following "key": in [content], as raw inner
+   text.  Sufficient for our own emitted JSON (no brackets inside
+   strings). *)
+let extract_array (content : string) (key : string) : string option =
+  let needle = Printf.sprintf "\"%s\"" key in
+  match
+    let rec find i =
+      if i + String.length needle > String.length content then None
+      else if String.sub content i (String.length needle) = needle then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some at -> (
+      match String.index_from_opt content at '[' with
+      | None -> None
+      | Some open_b ->
+          let rec scan i depth =
+            if i >= String.length content then None
+            else
+              match content.[i] with
+              | '[' -> scan (i + 1) (depth + 1)
+              | ']' ->
+                  if depth = 1 then Some i else scan (i + 1) (depth - 1)
+              | _ -> scan (i + 1) depth
+          in
+          scan open_b 0
+          |> Option.map (fun close_b ->
+                 String.sub content (open_b + 1) (close_b - open_b - 1)))
+
+(* Value of a top-level "key": N int field, for legacy conversion. *)
+let extract_int (content : string) (key : string) ~(default : int) : int =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let rec find i =
+    if i + String.length needle > String.length content then default
+    else if String.sub content i (String.length needle) = needle then begin
+      let rec skip j =
+        if j < String.length content && content.[j] = ' ' then skip (j + 1)
+        else j
+      in
+      let start = skip (i + String.length needle) in
+      let rec grab j =
+        if
+          j < String.length content
+          && (match content.[j] with '0' .. '9' | '-' -> true | _ -> false)
+        then grab (j + 1)
+        else j
+      in
+      let stop = grab start in
+      if stop > start then
+        match int_of_string_opt (String.sub content start (stop - start)) with
+        | Some n -> n
+        | None -> default
+      else default
+    end
+    else find (i + 1)
   in
+  find 0
+
+let prior_runs (path : string) : string option =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | content -> (
+      match extract_array content "trajectory" with
+      | Some inner when String.trim inner <> "" -> Some (String.trim inner)
+      | Some _ -> None
+      | None -> (
+          (* legacy single-run schema: wrap it as the first entry *)
+          match extract_array content "results" with
+          | None -> None
+          | Some results ->
+              Some
+                (Printf.sprintf
+                   "{\n\
+                   \      \"label\": \"pre-trajectory (legacy)\",\n\
+                   \      \"host_cores\": %d,\n\
+                   \      \"scale\": %d,\n\
+                   \      \"results\": [%s]\n\
+                   \    }"
+                   (extract_int content "host_cores" ~default:0)
+                   (extract_int content "scale" ~default:1)
+                   results)))
+
+let write_par_json ~(path : string) ~(label : string) ~(scale : int)
+    ~(beat_source : string) ~(append : bool) (rows : par_row list) : unit =
+  let prior = if append then prior_runs path else None in
+  let entries =
+    match prior with
+    | None -> run_json ~label ~scale ~beat_source rows
+    | Some old -> old ^ ",\n" ^ run_json ~label ~scale ~beat_source rows
+  in
+  let oc = open_out path in
   Printf.fprintf oc
     "{\n\
     \  \"suite\": \"par_bench\",\n\
-    \  \"host_cores\": %d,\n\
-    \  \"scale\": %d,\n\
-    \  \"results\": [\n\
-     %s\n\
+    \  \"trajectory\": [\n\
+    \    %s\n\
     \  ]\n\
      }\n"
-    (Domain.recommended_domain_count ())
-    scale
-    (String.concat ",\n" (List.map row_json rows));
+    (String.trim entries);
   close_out oc;
-  Printf.printf "wrote %s (%d rows)\n%!" path (List.length rows)
+  Printf.printf "wrote %s (%d rows%s)\n%!" path (List.length rows)
+    (if prior <> None then ", appended to prior trajectory" else "")
+
+let geomean (xs : float list) : float =
+  match xs with
+  | [] -> nan
+  | xs ->
+      exp
+        (List.fold_left (fun acc x -> acc +. log x) 0. xs
+        /. float_of_int (List.length xs))
 
 let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
-    ~(benches : string list option) : unit =
+    ~(benches : string list option) ~(append : bool) ~(label : string)
+    ~(source : [ `Ping_domain | `Polling ])
+    ~(assert_geomean : float option) : unit =
+  let source_name =
+    match source with `Ping_domain -> "ping" | `Polling -> "polling"
+  in
   let benches =
     match benches with
     | None -> Workloads.Real_bench.all
@@ -231,19 +372,24 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
           names
   in
   Printf.printf
-    "=== par bench: %d kernels, domains {%s}, scale %d, host cores %d ===\n%!"
+    "=== par bench: %d kernels, domains {%s}, scale %d, beat source %s, host \
+     cores %d ===\n\
+     %!"
     (List.length benches)
     (String.concat ", " (List.map string_of_int domains))
-    scale
+    scale source_name
     (Domain.recommended_domain_count ());
-  Printf.printf "%-16s %8s %10s %8s %10s %8s %8s %8s\n%!" "bench" "domains"
-    "seconds" "speedup" "promos" "steals" "joins" "beats";
+  Printf.printf "%-16s %8s %10s %10s %8s %10s %8s %8s %8s\n%!" "bench"
+    "domains" "kernel_s" "session_s" "speedup" "promos" "steals" "joins"
+    "beats";
   let rows = ref [] in
   let emit r =
     rows := r :: !rows;
-    Printf.printf "%-16s %8s %10.4f %7.2fx %10d %8d %8d %8d\n%!" r.bench
+    Printf.printf "%-16s %8s %10.4f %10.4f %7.2fx %10d %8d %8d %8d\n%!"
+      r.bench
       (if r.domains = 0 then "serial" else string_of_int r.domains)
-      r.seconds r.speedup r.promotions r.steals r.joins r.beats
+      r.seconds r.session_seconds r.speedup r.promotions r.steals r.joins
+      r.beats
   in
   List.iter
     (fun (b : Workloads.Real_bench.t) ->
@@ -256,6 +402,7 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
           bench = b.name;
           domains = 0;
           seconds = serial_s;
+          session_seconds = serial_s;
           speedup = 1.0;
           checksum = serial_sum;
           promotions = 0;
@@ -265,11 +412,24 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
         };
       List.iter
         (fun d ->
-          let cfg = { Par.Runtime.default_config with domains = d } in
-          let par_s, (par_sum, (st : Par.Runtime.stats)) =
-            time_median ~repeat:3 (fun () ->
-                Par.Runtime.run ~config:cfg (fun () ->
-                    b.run (module Par.Runtime.Exec) ~scale))
+          let cfg = { Par.Runtime.default_config with domains = d; source } in
+          (* kernel time is clocked INSIDE the session so the row
+             measures the scheduler, not Domain.spawn (the serial
+             baseline has no session to set up) *)
+          let samples =
+            List.init 3 (fun _ ->
+                let t0 = Mclock.now_s () in
+                let (par_sum, kernel_s), st =
+                  Par.Runtime.run ~config:cfg (fun () ->
+                      let k0 = Mclock.now_s () in
+                      let sum = b.run (module Par.Runtime.Exec) ~scale in
+                      (sum, Mclock.now_s () -. k0))
+                in
+                let session_s = Mclock.now_s () -. t0 in
+                (kernel_s, session_s, par_sum, st))
+          in
+          let kernel_s, session_s, par_sum, (st : Par.Runtime.stats) =
+            median_by (fun (k, _, _, _) -> k) samples
           in
           if par_sum <> serial_sum then begin
             Printf.eprintf
@@ -283,8 +443,9 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
             {
               bench = b.name;
               domains = d;
-              seconds = par_s;
-              speedup = serial_s /. par_s;
+              seconds = kernel_s;
+              session_seconds = session_s;
+              speedup = serial_s /. kernel_s;
               checksum = par_sum;
               promotions = st.total.promotions;
               steals = st.total.steals;
@@ -293,12 +454,41 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
             })
         domains)
     benches;
-  let json =
-    match json with None -> Sys.getenv_opt "BENCH_JSON" | some -> some
-  in
-  match json with
+  let rows = List.rev !rows in
+  (match json with
+  | None -> (
+      match Sys.getenv_opt "BENCH_JSON" with
+      | None -> ()
+      | Some path ->
+          write_par_json ~path ~label ~scale ~beat_source:source_name ~append
+            rows)
+  | Some path ->
+      write_par_json ~path ~label ~scale ~beat_source:source_name ~append rows);
+  match assert_geomean with
   | None -> ()
-  | Some path -> write_par_json ~path ~scale (List.rev !rows)
+  | Some floor ->
+      let one_domain =
+        List.filter_map
+          (fun r -> if r.domains = 1 then Some r.speedup else None)
+          rows
+      in
+      let g = geomean one_domain in
+      Printf.printf
+        "1-domain overhead: geomean %.3fx serial over %d kernels (floor \
+         %.2fx)\n\
+         %!"
+        g (List.length one_domain) floor;
+      if List.length one_domain = 0 then begin
+        Printf.eprintf
+          "--assert-geomean given but no 1-domain rows were measured\n%!";
+        exit 1
+      end;
+      if g < floor then begin
+        Printf.eprintf
+          "FAIL: 1-domain geomean %.3fx is below the %.2fx overhead floor\n%!"
+          g floor;
+        exit 1
+      end
 
 (* ------------------------------------------------------------------ *)
 
@@ -315,11 +505,24 @@ let parse_int_list (what : string) (s : string) : int list =
 let usage () =
   print_endline
     "usage: bench [--par-bench] [--domains 1,2,4] [--scale N] [--json PATH]\n\
-    \             [--benches a,b,c]\n\
+    \             [--benches a,b,c] [--append] [--label NAME]\n\
+    \             [--beat-source polling|ping] [--assert-geomean F]\n\
      without --par-bench: regenerate the simulated figures (unless\n\
      REPRO_QUICK=1) and run the Bechamel microbenchmark suite.\n\
      With --par-bench: run the real kernels on the multi-domain runtime\n\
-     and write BENCH_par.json (or --json PATH / $BENCH_JSON)."
+     and write BENCH_par.json (or --json PATH / $BENCH_JSON).\n\
+    \  --append            add this run to the file's trajectory instead\n\
+    \                      of overwriting (legacy single-run files are\n\
+    \                      wrapped as the first trajectory entry)\n\
+    \  --label NAME        label for this trajectory entry\n\
+    \  --beat-source S     polling (default) or ping: drive beats from\n\
+    \                      the workers' own polls on a monotonic clock,\n\
+    \                      or from the dedicated ping domain (which\n\
+    \                      costs a whole timer tick per beat when host\n\
+    \                      cores are scarce)\n\
+    \  --assert-geomean F  exit 1 unless the geomean 1-domain speedup\n\
+    \                      over the measured kernels is >= F (the\n\
+    \                      single-domain overhead floor in CI)"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -328,6 +531,10 @@ let () =
   let scale = ref 1 in
   let json = ref None in
   let benches = ref None in
+  let append = ref false in
+  let label = ref None in
+  let source = ref `Polling in
+  let assert_geomean = ref None in
   let rec parse = function
     | [] -> ()
     | "--par-bench" :: rest ->
@@ -350,6 +557,27 @@ let () =
         benches :=
           Some (String.split_on_char ',' v |> List.filter (fun s -> s <> ""));
         parse rest
+    | "--append" :: rest ->
+        append := true;
+        parse rest
+    | "--label" :: v :: rest ->
+        label := Some v;
+        parse rest
+    | "--beat-source" :: v :: rest ->
+        (match v with
+        | "polling" -> source := `Polling
+        | "ping" -> source := `Ping_domain
+        | _ ->
+            Printf.eprintf "bad --beat-source %S (want polling|ping)\n%!" v;
+            exit 2);
+        parse rest
+    | "--assert-geomean" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0. -> assert_geomean := Some f
+        | _ ->
+            Printf.eprintf "bad --assert-geomean %S\n%!" v;
+            exit 2);
+        parse rest
     | ("--help" | "-h") :: _ -> usage (); exit 0
     | arg :: _ ->
         Printf.eprintf "unknown argument %S\n%!" arg;
@@ -357,9 +585,16 @@ let () =
         exit 2
   in
   parse args;
-  if !par_bench then
+  if !par_bench then begin
+    let label =
+      match !label with
+      | Some l -> l
+      | None -> Printf.sprintf "run-%.0f" (Unix.time ())
+    in
     run_par_bench ~domains:!domains ~scale:!scale ~json:!json
-      ~benches:!benches
+      ~benches:!benches ~append:!append ~label ~source:!source
+      ~assert_geomean:!assert_geomean
+  end
   else begin
     if Sys.getenv_opt "REPRO_QUICK" = None then run_figures ();
     benchmark ()

@@ -65,6 +65,17 @@ let heart_arg =
     & info [ "heart-us" ] ~docv:"US"
         ~doc:"Heartbeat period in microseconds for $(b,--workload).")
 
+let source_arg =
+  Arg.(
+    value
+    & opt (enum [ ("ping", `Ping_domain); ("polling", `Polling) ]) `Polling
+    & info [ "beat-source" ] ~docv:"SRC"
+        ~doc:
+          "Beat source for $(b,--workload): $(b,polling) (default; workers \
+           check a monotonic clock at each poll point) or $(b,ping) (a \
+           dedicated ping domain, which steals a timer tick per beat when \
+           host cores are scarce).")
+
 let write_trace (id : string) (file : string) : int =
   match Repro.Figures.trace_spec id with
   | None ->
@@ -96,7 +107,7 @@ let write_trace (id : string) (file : string) : int =
       0)
 
 let run_workload (name : string) (domains : int) (scale : int)
-    (heart_us : float) : int =
+    (heart_us : float) (source : [ `Ping_domain | `Polling ]) : int =
   match Workloads.Real_bench.find name with
   | None ->
       Printf.eprintf "unknown workload %S (have: %s)\n" name
@@ -114,20 +125,25 @@ let run_workload (name : string) (domains : int) (scale : int)
            %!"
           b.name (b.base_items ~scale) scale domains heart_us
           (Domain.recommended_domain_count ());
-        let t0 = Unix.gettimeofday () in
+        let t0 = Mclock.now_s () in
         let serial = Workloads.Real_bench.run_serial b ~scale in
-        let serial_s = Unix.gettimeofday () -. t0 in
+        let serial_s = Mclock.now_s () -. t0 in
         let config =
-          { Par.Runtime.default_config with domains; heart_us }
+          { Par.Runtime.default_config with domains; heart_us; source }
         in
-        let par, (st : Par.Runtime.stats) =
+        (* kernel time is clocked inside the session so the speedup
+           measures the scheduler, not domain spawn/join setup *)
+        let (par, kernel_s), (st : Par.Runtime.stats) =
           Par.Runtime.run ~config (fun () ->
-              b.run (module Par.Runtime.Exec) ~scale)
+              let k0 = Mclock.now_s () in
+              let sum = b.run (module Par.Runtime.Exec) ~scale in
+              (sum, Mclock.now_s () -. k0))
         in
         Printf.printf "serial   %10.4f s  checksum %d\n" serial_s serial;
-        Printf.printf "par      %10.4f s  checksum %d  speedup %.2fx\n"
-          st.elapsed_s par
-          (serial_s /. st.elapsed_s);
+        Printf.printf
+          "par      %10.4f s  checksum %d  speedup %.2fx  (session %.4f s \
+           incl. setup)\n"
+          kernel_s par (serial_s /. kernel_s) st.elapsed_s;
         Printf.printf
           "stats    beats %d  promotions %d (%d loop, %d branch)  steals \
            %d/%d  joins %d  resumes %d  tasks %d\n"
@@ -151,9 +167,9 @@ let run_workload (name : string) (domains : int) (scale : int)
         end
       end
 
-let go id trace_file workload domains scale heart_us =
+let go id trace_file workload domains scale heart_us source =
   match (workload, id) with
-  | Some name, None -> run_workload name domains scale heart_us
+  | Some name, None -> run_workload name domains scale heart_us source
   | Some _, Some _ ->
       Printf.eprintf "give either an experiment id or --workload, not both\n";
       2
@@ -183,4 +199,4 @@ let () =
        (Cmd.v info
           Term.(
             const go $ id_arg $ trace_arg $ workload_arg $ domains_arg
-            $ scale_arg $ heart_arg)))
+            $ scale_arg $ heart_arg $ source_arg)))

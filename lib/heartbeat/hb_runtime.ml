@@ -237,7 +237,7 @@ let rec promote (s : state) : unit =
 and poll () : unit =
   let s = get_state () in
   if s.cfg.lease_beats > 0 then begin
-    let now = Unix.gettimeofday () in
+    let now = Mclock.now_s () in
     let gap_us = (now -. s.last_poll) *. 1e6 in
     let ttl_us = float_of_int s.cfg.lease_beats *. s.cfg.heart_us in
     if gap_us > ttl_us then begin
@@ -257,7 +257,9 @@ and poll () : unit =
         end
         else false
     | `Polling ->
-        let now = Unix.gettimeofday () in
+        (* monotonic: a wall-clock (NTP) step must not make beats fire
+           continuously or never *)
+        let now = Mclock.now_s () in
         if (now -. s.last_beat) *. 1e6 >= s.cfg.heart_us then begin
           s.last_beat <- now;
           true
@@ -271,7 +273,13 @@ and poll () : unit =
   end
 
 (* The promotable loop runner: iterations of [lo, hi) with the range
-   advertised on the mark list; polls every [poll_stride] iterations. *)
+   advertised on the mark list, strip-mined so the beat check
+   amortises over [poll_stride] iterations (same scheme as
+   [Par.Runtime]).  Each strip is claimed ([l.lo <- stop]) before it
+   runs: a beat at a nested promotion point inside [f] splits only the
+   unclaimed [stop, hi), so the tight loop owns [lo0, stop)
+   exclusively with no per-iteration bookkeeping, and the commit
+   happens before the strip-boundary [poll] by construction. *)
 and par_for_range (lo : int) (hi : int) (f : int -> unit) (jr : join) : unit =
   if lo < hi then begin
     let s = get_state () in
@@ -279,15 +287,14 @@ and par_for_range (lo : int) (hi : int) (f : int -> unit) (jr : join) : unit =
     let e = E_loop l in
     push_mark s e;
     let stride = max 1 s.cfg.poll_stride in
-    let k = ref 0 in
     while l.lo < l.hi do
-      f l.lo;
-      l.lo <- l.lo + 1;
-      incr k;
-      if !k >= stride then begin
-        k := 0;
-        poll ()
-      end
+      let lo0 = l.lo in
+      let stop = if l.hi - lo0 <= stride then l.hi else lo0 + stride in
+      l.lo <- stop;
+      for i = lo0 to stop - 1 do
+        f i
+      done;
+      poll ()
     done;
     pop_mark s e
   end
@@ -350,7 +357,7 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
       queue = Queue.create ();
       current_marks = ref [];
       beat_flag = false;
-      last_beat = Unix.gettimeofday ();
+      last_beat = Mclock.now_s ();
       ticker_stop = false;
       st_beats = 0;
       st_promotions = 0;
@@ -358,7 +365,7 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
       st_branch_promotions = 0;
       st_joins = 0;
       st_max_queue = 0;
-      last_poll = Unix.gettimeofday ();
+      last_poll = Mclock.now_s ();
       st_stalls = 0;
     }
   in

@@ -1,0 +1,15 @@
+(** Monotonic time for the heartbeat runtimes.
+
+    [Unix.gettimeofday] is wall-clock time: an NTP step moves it
+    arbitrarily in either direction, which turns a clock-polled beat
+    source into one that fires continuously (forward step) or never
+    (backward step) until the clock catches up.  Every scheduler
+    deadline in this repository — beat cadence, lease watchdogs,
+    kernel timing — therefore reads [CLOCK_MONOTONIC] through this
+    module instead. *)
+
+external now_ns : unit -> int = "tpal_mclock_now_ns" [@@noalloc]
+(** Nanoseconds since an unspecified fixed origin; never decreases. *)
+
+let now_s () : float = float_of_int (now_ns ()) *. 1e-9
+(** Seconds on the same clock, for callers that report floats. *)

@@ -1,0 +1,19 @@
+/* Monotonic clock for the heartbeat runtimes.
+ *
+ * The beat sources and lease watchdogs must never observe time moving
+ * backwards (or jumping forward) when NTP steps the wall clock:
+ * CLOCK_MONOTONIC is immune to both.  Returned as a tagged OCaml int
+ * of nanoseconds since an unspecified epoch — 62 bits of nanoseconds
+ * is ~146 years of uptime, so the subtraction callers perform cannot
+ * overflow in practice.
+ */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value tpal_mclock_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

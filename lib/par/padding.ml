@@ -1,0 +1,44 @@
+(** Cache-line padding for hot shared heap objects.
+
+    OCaml's allocator packs small blocks densely: two [Atomic.t]s (or
+    two adjacent worker records) allocated together usually share a
+    64-byte cache line, so a thief CASing one deque's [top] invalidates
+    the line holding its neighbour's — classic false sharing, and one
+    of the measured single-domain overheads in BENCH_par.json.
+
+    [copy_as_padded] re-allocates a block into one whose size is
+    rounded up past a whole cache-line multiple (128 bytes — adjacent
+    lines, because the hardware prefetcher pulls line pairs), so the
+    hot fields at its front are, with overwhelming likelihood, the
+    only actively-written words on their line.  The padding fields are
+    immediate ints, invisible to both the GC and the block's users:
+    every [Atomic], record and array primitive addresses fields by
+    index from the front, so the padded copy is observationally
+    identical to the original.  (OCaml 5.2's [Atomic.make_contended]
+    does the same thing in the runtime; this repository pins 5.1.)
+
+    Pad an object {e before} it is shared — the copy, not the
+    original, is the canonical object. *)
+
+let line_words = 16
+(* 128 bytes on a 64-bit host: one line pair, covering the adjacent-
+   line prefetcher. *)
+
+let copy_as_padded (x : 'a) : 'a =
+  let o = Obj.repr x in
+  if (not (Obj.is_block o)) || Obj.tag o >= Obj.no_scan_tag then x
+  else begin
+    let n = Obj.size o in
+    let padded = ((n / line_words) + 1) * line_words in
+    let b = Obj.new_block (Obj.tag o) padded in
+    for i = 0 to n - 1 do
+      Obj.set_field b i (Obj.field o i)
+    done;
+    for i = n to padded - 1 do
+      Obj.set_field b i (Obj.repr 0)
+    done;
+    Obj.obj b
+  end
+
+let atomic (v : 'a) : 'a Atomic.t = copy_as_padded (Atomic.make v)
+(** A freshly allocated atomic alone on its cache-line pair. *)

@@ -82,10 +82,14 @@ type task = { run : unit -> unit; marks : entry list ref }
 type worker = {
   id : int;
   deque : task Ws_deque.t;
-  beat : bool Atomic.t;  (** raised by the ping domain every ♥ µs *)
+  beat : bool Atomic.t;
+      (** raised by the ping domain every ♥ µs; cache-line-padded so
+          the ping write invalidates only this worker's line *)
   mutable rng : int;  (** xorshift state for victim selection *)
   mutable current_marks : entry list ref;
-  mutable last_beat : float;  (** [`Polling] source only *)
+  mutable last_beat_ns : int;
+      (** [`Polling] source only: monotonic ({!Mclock}) stamp of the
+          previous beat, armed when this worker's loop starts *)
   (* stats: plain fields, owner-domain only; aggregated after join *)
   mutable st_beats : int;
   mutable st_promotions : int;
@@ -133,6 +137,8 @@ let default_config =
 
 type pool = {
   cfg : config;
+  heart_ns : int;  (** [cfg.heart_us] in integer nanoseconds, for the
+                       [`Polling] fast path *)
   workers : worker array;
   stop : bool Atomic.t;  (** main completed, or a task raised *)
   ping_stop : bool Atomic.t;
@@ -188,7 +194,9 @@ let fresh_join () = { pending = Atomic.make 1; waiter = Atomic.make No_waiter }
 let push_task (ctx : ctx) (t : task) : unit =
   let w = ctx.worker in
   Ws_deque.push_bottom w.deque t;
-  let len = Ws_deque.length w.deque in
+  (* owner-side length bound: no reads of the thief-contended [top]
+     line on the push hot path *)
+  let len = Ws_deque.owner_length w.deque in
   if len > w.st_max_deque then w.st_max_deque <- len
 
 (* A promoted child finished.  While the parent holds its stake,
@@ -291,8 +299,11 @@ let rec promote (ctx : ctx) : unit =
 (* [poll]: the promotion-ready program point — observe a pending beat
    and promote.  Fetches the context fresh: the computation may have
    migrated since the previous poll. *)
-and poll () : unit =
-  let ctx = cur_ctx () in
+and poll () : unit = poll_ctx (cur_ctx ())
+
+(* [poll_ctx]: the same, for call sites that already hold a context
+   known to be fresh (no user code ran since it was fetched). *)
+and poll_ctx (ctx : ctx) : unit =
   let w = ctx.worker in
   let due =
     match ctx.pool.cfg.source with
@@ -303,9 +314,11 @@ and poll () : unit =
         end
         else false
     | `Polling ->
-        let now = Unix.gettimeofday () in
-        if (now -. w.last_beat) *. 1e6 >= ctx.pool.cfg.heart_us then begin
-          w.last_beat <- now;
+        (* monotonic: an NTP step of the wall clock must not make
+           beats fire continuously (forward) or never (backward) *)
+        let now = Mclock.now_ns () in
+        if now - w.last_beat_ns >= ctx.pool.heart_ns then begin
+          w.last_beat_ns <- now;
           true
         end
         else false
@@ -317,26 +330,36 @@ and poll () : unit =
   end
 
 (* The promotable loop runner: iterations of [lo, hi) with the range
-   advertised on the mark list; polls every [poll_stride] iterations.
-   Promoted children re-enter this runner with the shared join record,
-   so their remaining iterations promote recursively.  [f] may suspend
-   and migrate the computation, hence the fresh context at every
-   scheduler touch-point. *)
+   advertised on the mark list, strip-mined so the beat check
+   amortises over [poll_stride] iterations.  Each strip is {e claimed}
+   ([l.lo <- stop]) before it runs: a beat landing inside [f] — at a
+   nested promotion point, possibly after the computation suspended
+   and migrated to another domain — splits only the unclaimed
+   [stop, hi), so the tight loop below owns [lo0, stop) exclusively
+   and needs no per-iteration bookkeeping to keep the advertised range
+   live.  [l.hi] can only shrink to values > [stop] while the strip
+   runs (a promotion splits at [mid > l.lo = stop]), so a claimed
+   iteration is never handed out twice, and committing happens before
+   the strip-boundary [poll] by construction.  Promoted children
+   re-enter this runner with the shared join record, so their
+   remaining iterations promote recursively. *)
 and par_for_range (lo : int) (hi : int) (f : int -> unit) (jr : join) : unit =
   if lo < hi then begin
+    let ctx = cur_ctx () in
     let l = { lo; hi; f; ljr = jr } in
     let e = E_loop l in
-    push_mark (cur_ctx ()) e;
-    let stride = max 1 (cur_ctx ()).pool.cfg.poll_stride in
-    let k = ref 0 in
+    push_mark ctx e;
+    let stride = max 1 ctx.pool.cfg.poll_stride in
     while l.lo < l.hi do
-      f l.lo;
-      l.lo <- l.lo + 1;
-      incr k;
-      if !k >= stride then begin
-        k := 0;
-        poll ()
-      end
+      let lo0 = l.lo in
+      let stop = if l.hi - lo0 <= stride then l.hi else lo0 + stride in
+      l.lo <- stop;
+      for i = lo0 to stop - 1 do
+        f i
+      done;
+      (* the strip body may have suspended and migrated the
+         computation, so the poll re-fetches the context *)
+      poll ()
     done;
     pop_mark (cur_ctx ()) e
   end
@@ -456,6 +479,18 @@ let run_task (ctx : ctx) (t : task) : unit =
      Atomic.set ctx.pool.stop true);
   fire ctx Task_finish
 
+(* [steal_victim ~r ~self ~n k]: the k-th victim of one randomized
+   sweep — start at a random offset among the other [n - 1] workers
+   and walk them cyclically.  [r] is any non-negative rng draw,
+   including values near [max_int]: it is reduced mod [n - 1] BEFORE
+   the sweep offset is added, so the sum can never overflow into a
+   negative [mod] (the pre-fix [1 + ((r + k) mod (n - 1))] wrapped
+   negative for large [r], yielding self-steals and negative victim
+   indices).  Exposed for the overflow regression test. *)
+let steal_victim ~(r : int) ~(self : int) ~(n : int) (k : int) : int =
+  let d = 1 + (((r mod (n - 1)) + k) mod (n - 1)) in
+  (self + d) mod n
+
 (* One randomized sweep over the other workers' deque tops. *)
 let try_steal (ctx : ctx) : task option =
   let w = ctx.worker in
@@ -463,10 +498,9 @@ let try_steal (ctx : ctx) : task option =
   let n = Array.length workers in
   let r = rand w in
   let found = ref None in
-  let off = ref 0 in
-  while Option.is_none !found && !off < n - 1 do
-    let d = 1 + ((r + !off) mod (n - 1)) in
-    let victim = (w.id + d) mod n in
+  let k = ref 0 in
+  while Option.is_none !found && !k < n - 1 do
+    let victim = steal_victim ~r ~self:w.id ~n !k in
     w.st_steal_attempts <- w.st_steal_attempts + 1;
     (match Ws_deque.steal_top workers.(victim).deque with
     | Some t ->
@@ -474,9 +508,31 @@ let try_steal (ctx : ctx) : task option =
         fire ctx (Steal { victim });
         found := Some t
     | None -> ());
-    incr off
+    incr k
   done;
   !found
+
+(* Idle backoff: a worker whose sweeps come up empty first spins
+   ([cpu_relax], cheap and latency-optimal while work is likely), then
+   sleeps with exponentially escalating naps capped at [max_nap_s] —
+   so idle thieves stop hammering victims' deque lines (the mechanism
+   behind the 2–4-domain anti-scaling in the single-core
+   BENCH_par.json) while still noticing freshly pushed work within a
+   bounded delay of one nap.  Any claimed task resets the ladder. *)
+let spin_limit = 32
+
+let max_nap_s = 200e-6
+let nap_base_s = 1e-6
+
+(* The nap for the [failures]-th consecutive empty sweep: zero (pure
+   spin) through [spin_limit], then [nap_base_s] doubling per failure,
+   capped at [max_nap_s] — so the worst-case delay between work
+   appearing and a fully backed-off thief's next sweep is one capped
+   nap, not an unbounded exponential.  Pure, for the policy tests. *)
+let nap_s ~(failures : int) : float =
+  let past_spin = failures - spin_limit in
+  if past_spin <= 0 then 0.
+  else Float.min max_nap_s (nap_base_s *. float_of_int (1 lsl min past_spin 20))
 
 (* A worker only exits with its own deque empty, and only the owner
    pushes to a deque — so no task is ever stranded in an exited
@@ -484,21 +540,37 @@ let try_steal (ctx : ctx) : task option =
 let worker_loop (ctx : ctx) : unit =
   let pool = ctx.pool in
   let n = Array.length pool.workers in
+  let failures = ref 0 in
+  let idle () =
+    incr failures;
+    let nap = nap_s ~failures:!failures in
+    if nap <= 0. then Domain.cpu_relax () else Unix.sleepf nap
+  in
   let running = ref true in
   while !running do
     match Ws_deque.pop_bottom ctx.worker.deque with
-    | Some t -> run_task ctx t
+    | Some t ->
+        failures := 0;
+        run_task ctx t
     | None -> (
         if Atomic.get pool.stop then running := false
-        else if n = 1 then Domain.cpu_relax ()
+        else if n = 1 then idle ()
         else
           match try_steal ctx with
-          | Some t -> run_task ctx t
-          | None -> Domain.cpu_relax ())
+          | Some t ->
+              failures := 0;
+              run_task ctx t
+          | None -> idle ())
   done
 
 let run_worker (pool : pool) (id : int) : unit =
-  let ctx = { pool; worker = pool.workers.(id) } in
+  let w = pool.workers.(id) in
+  let ctx = { pool; worker = w } in
+  (* arm the [`Polling] beat when THIS worker's loop starts, on its
+     own monotonic clock — not at pool construction on the spawning
+     domain, which front-loads a spurious first beat by however long
+     the domain spawns took *)
+  w.last_beat_ns <- Mclock.now_ns ();
   Domain.DLS.set ctx_key (Some ctx);
   Fun.protect
     ~finally:(fun () -> Domain.DLS.set ctx_key None)
@@ -513,14 +585,18 @@ let ping_loop (pool : pool) : unit =
 
 (* ------------------------------------------------------------------ *)
 
+(* The worker record itself is padded: its stat fields are written by
+   the owner on hot paths, and [Array.init] would otherwise allocate
+   adjacent workers' records onto shared cache lines. *)
 let make_worker ~(id : int) : worker =
+  Padding.copy_as_padded
   {
     id;
     deque = Ws_deque.create ();
-    beat = Atomic.make false;
+    beat = Padding.atomic false;
     rng = 0x9E3779B1 + (id * 0x85EBCA77);
     current_marks = ref [];
-    last_beat = Unix.gettimeofday ();
+    last_beat_ns = Mclock.now_ns ();
     st_beats = 0;
     st_promotions = 0;
     st_loop_promotions = 0;
@@ -597,6 +673,7 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
       let pool =
         {
           cfg = config;
+          heart_ns = int_of_float (Float.max 0. config.heart_us *. 1e3);
           workers = Array.init n (fun id -> make_worker ~id);
           stop = Atomic.make false;
           ping_stop = Atomic.make false;

@@ -29,22 +29,44 @@
     Growth is owner-side only: the buffer is copied into one twice the
     size and republished atomically; thieves holding the old buffer
     read indices in [top, bottom), which the owner never overwrites
-    in-place. *)
+    in-place.
+
+    Two single-domain-overhead measures on top of the classic layout:
+
+    - [top], [bottom] and the buffer pointer each live alone on a
+      cache-line pair ({!Padding}), so thieves CASing [top] stop
+      invalidating the owner's [bottom] line and vice versa;
+    - the owner keeps plain (non-atomic) caches of [top] and the
+      buffer.  [top] only moves away from the owner, so a stale cache
+      is a {e conservative} bound: the push fast path re-reads the
+      real [top] only when the cached bound says the buffer might be
+      full — the hot path is one load of the owner's own [bottom]
+      line, one cell publish and one [bottom] advance, never touching
+      the thief-contended [top] line. *)
 
 type 'a t = {
   top : int Atomic.t;  (** steal end; monotonically increasing *)
   bottom : int Atomic.t;  (** owner end *)
   tab : 'a option Atomic.t array Atomic.t;  (** circular buffer *)
+  mutable owner_top : int;
+      (** owner-private lower bound on [top]; refreshed on pops and on
+          the push slow path *)
+  mutable owner_tab : 'a option Atomic.t array;
+      (** owner-private alias of [tab] (the owner is its only writer) *)
 }
 
 let min_capacity = 16
 
 let create () : 'a t =
-  {
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
-    tab = Atomic.make (Array.init min_capacity (fun _ -> Atomic.make None));
-  }
+  let tab = Array.init min_capacity (fun _ -> Atomic.make None) in
+  Padding.copy_as_padded
+    {
+      top = Padding.atomic 0;
+      bottom = Padding.atomic 0;
+      tab = Padding.atomic tab;
+      owner_top = 0;
+      owner_tab = tab;
+    }
 
 (** Snapshot length — exact for the owner between its own operations,
     a safe approximation for any other observer. *)
@@ -53,26 +75,38 @@ let length (d : 'a t) : int =
 
 let is_empty (d : 'a t) : bool = length d = 0
 
+(** Owner-only O(1) length bound: the owner's own [bottom] against the
+    cached [top] — an upper bound on the true length (exact whenever
+    the cache is fresh) that never reads the thief-contended [top]
+    line.  This is what the runtime's [max_deque] stat samples. *)
+let owner_length (d : 'a t) : int =
+  max 0 (Atomic.get d.bottom - d.owner_top)
+
 (* Owner-only: double the buffer, copying live cells [t, b). *)
 let grow (d : 'a t) (t : int) (b : int) : unit =
-  let old = Atomic.get d.tab in
+  let old = d.owner_tab in
   let n = Array.length old in
   let n' = 2 * n in
   let tab = Array.init n' (fun _ -> Atomic.make None) in
   for i = t to b - 1 do
     Atomic.set tab.(i land (n' - 1)) (Atomic.get old.(i land (n - 1)))
   done;
-  Atomic.set d.tab tab
+  Atomic.set d.tab tab;
+  d.owner_tab <- tab
 
-(** Owner push at the bottom. *)
+(** Owner push at the bottom.  Fast path: no read of [top] or of the
+    atomic buffer pointer — the cached [top] bound is conservative, so
+    the real [top] is consulted only when the cache says the buffer
+    might be full. *)
 let push_bottom (d : 'a t) (x : 'a) : unit =
   let b = Atomic.get d.bottom in
-  let t = Atomic.get d.top in
-  let tab = Atomic.get d.tab in
+  let tab = d.owner_tab in
   let tab =
-    if b - t >= Array.length tab then begin
-      grow d t b;
-      Atomic.get d.tab
+    if b - d.owner_top >= Array.length tab then begin
+      (* maybe full: refresh the bound, then grow only if truly full *)
+      d.owner_top <- Atomic.get d.top;
+      if b - d.owner_top >= Array.length tab then grow d d.owner_top b;
+      d.owner_tab
     end
     else tab
   in
@@ -85,13 +119,14 @@ let pop_bottom (d : 'a t) : 'a option =
   let b = Atomic.get d.bottom - 1 in
   Atomic.set d.bottom b;
   let t = Atomic.get d.top in
+  d.owner_top <- t;
   if b < t then begin
     (* empty: restore the invariant bottom = top *)
     Atomic.set d.bottom t;
     None
   end
   else begin
-    let tab = Atomic.get d.tab in
+    let tab = d.owner_tab in
     let cell = tab.(b land (Array.length tab - 1)) in
     let v = Atomic.get cell in
     if b > t then begin
@@ -102,6 +137,7 @@ let pop_bottom (d : 'a t) : 'a option =
       (* last element: win it from the thieves or lose it to one *)
       let won = Atomic.compare_and_set d.top t (t + 1) in
       Atomic.set d.bottom (t + 1);
+      d.owner_top <- t + 1;
       if won then begin
         Atomic.set cell None;
         v

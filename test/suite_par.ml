@@ -159,11 +159,278 @@ let test_deque_stress () =
     (fun i v -> if i <> v then Alcotest.failf "element %d missing (saw %d)" i v)
     all
 
-(* ------------------------------------------------------------------ *)
-(* Runtime properties. *)
-
 let cfg ?(domains = 3) ?(heart_us = 25.) () =
   { Par.Runtime.default_config with domains; heart_us }
+
+(* ------------------------------------------------------------------ *)
+(* Ws_deque growth racing live thieves: the owner repeatedly pushes
+   bursts far past the current capacity (forcing [grow] — initial
+   capacity is 16, so a 700-element burst grows several times) while
+   thief domains steal concurrently, so steals are in flight across
+   the old-table/new-table hand-over.  Checks conservation and
+   per-thief FIFO, same as the general stress test, but the schedule
+   is shaped to keep every grow under contention. *)
+
+let test_deque_grow_under_steal () =
+  let d = Par.Ws_deque.create () in
+  let bursts = 40 in
+  let burst_len = 700 in
+  let total = bursts * burst_len in
+  let n_thieves = 2 in
+  let stop = Atomic.make false in
+  let stolen = Array.init n_thieves (fun _ -> ref []) in
+  let thieves =
+    Array.init n_thieves (fun t ->
+        Domain.spawn (fun () ->
+            let mine = stolen.(t) in
+            while not (Atomic.get stop) do
+              match Par.Ws_deque.steal_top d with
+              | Some v -> mine := v :: !mine
+              | None -> Domain.cpu_relax ()
+            done;
+            let rec sweep () =
+              match Par.Ws_deque.steal_top d with
+              | Some v ->
+                  mine := v :: !mine;
+                  sweep ()
+              | None -> ()
+            in
+            sweep ()))
+  in
+  let popped = ref [] in
+  let next = ref 0 in
+  for _ = 1 to bursts do
+    (* each burst crosses several grow boundaries while thieves run *)
+    for _ = 1 to burst_len do
+      Par.Ws_deque.push_bottom d !next;
+      incr next
+    done;
+    (* a few owner pops to exercise the shrunken-window paths *)
+    for _ = 1 to 5 do
+      match Par.Ws_deque.pop_bottom d with
+      | Some v -> popped := v :: !popped
+      | None -> ()
+    done
+  done;
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  let rec drain () =
+    match Par.Ws_deque.pop_bottom d with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Array.iteri
+    (fun t mine ->
+      let rec mono = function
+        | a :: (b :: _ as rest) ->
+            if a >= b then
+              Alcotest.failf "thief %d saw %d before %d (not FIFO)" t a b;
+            mono rest
+        | _ -> ()
+      in
+      mono (List.rev !mine))
+    stolen;
+  let all =
+    List.sort compare
+      (!popped @ Array.fold_left (fun acc r -> !r @ acc) [] stolen)
+  in
+  check_int "conservation across grows" total (List.length all);
+  List.iteri
+    (fun i v -> if i <> v then Alcotest.failf "element %d missing (saw %d)" i v)
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Victim selection must be total, never self, and in range for ANY
+   rng draw — including draws near [max_int], where the pre-fix
+   arithmetic ([1 + ((r + k) mod (n - 1))]) overflowed [r + k]
+   negative and produced negative or self victim indices. *)
+
+let test_steal_victim_no_overflow () =
+  List.iter
+    (fun r ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun self ->
+              let seen = Array.make n false in
+              for k = 0 to n - 2 do
+                let v = Par.Runtime.steal_victim ~r ~self ~n k in
+                if v < 0 || v >= n then
+                  Alcotest.failf
+                    "r=%d n=%d self=%d k=%d: victim %d out of range" r n self
+                    k v;
+                if v = self then
+                  Alcotest.failf "r=%d n=%d self=%d k=%d: self-steal" r n self
+                    k;
+                if seen.(v) then
+                  Alcotest.failf
+                    "r=%d n=%d self=%d k=%d: victim %d repeated in one sweep"
+                    r n self k v;
+                seen.(v) <- true
+              done;
+              (* a full sweep covers every other worker exactly once *)
+              Array.iteri
+                (fun i hit ->
+                  if i <> self && not hit then
+                    Alcotest.failf "r=%d n=%d self=%d: worker %d never swept"
+                      r n self i)
+                seen)
+            [ 0; n - 1 ])
+        [ 2; 3; 4; 8 ])
+    [ 0; 1; 12345; max_int - 1; max_int ]
+
+(* ------------------------------------------------------------------ *)
+(* The monotonic clock behind the [`Polling] beat source. *)
+
+let test_mclock_monotone () =
+  let last = ref (Mclock.now_ns ()) in
+  for _ = 1 to 200_000 do
+    let now = Mclock.now_ns () in
+    if now < !last then
+      Alcotest.failf "clock went backwards: %d after %d" now !last;
+    last := now
+  done;
+  let t0 = Mclock.now_ns () in
+  Unix.sleepf 0.005;
+  let dt = Mclock.now_ns () - t0 in
+  (* a 5 ms sleep must register as real elapsed time (generous floor:
+     sleepf never returns early by more than scheduler jitter) *)
+  check "sleep advances the clock" true (dt >= 2_000_000)
+
+(* [`Polling] beat cadence: a tiny heart period fires beats during a
+   polling loop; an unreachable one never does.  (The pre-fix
+   gettimeofday source also passes the first half — the regression it
+   guards is the init-time fix: [last_beat] armed when the worker
+   loop starts, not at pool construction.) *)
+let test_polling_cadence () =
+  let spin_polling ms =
+    (* ~ms of work hitting a poll point each iteration, with no latent
+       parallelism advertised (beat cadence in isolation) *)
+    let t_end = Mclock.now_s () +. (float_of_int ms /. 1000.) in
+    while Mclock.now_s () < t_end do
+      Par.Runtime.poll ()
+    done
+  in
+  let config heart_us =
+    { (cfg ~domains:1 ~heart_us ()) with source = `Polling }
+  in
+  let (), st =
+    Par.Runtime.run ~config:(config 100.) (fun () -> spin_polling 20)
+  in
+  check "tiny heart period fires beats" true (st.total.beats > 0);
+  let (), st =
+    Par.Runtime.run ~config:(config 1e12) (fun () -> spin_polling 5)
+  in
+  check_int "unreachable heart period never fires" 0 st.total.beats
+
+(* ------------------------------------------------------------------ *)
+(* Strip-mining under forced promotion: with [heart_us = 0.] every
+   strip-boundary poll is due, so the advertised range is split at
+   every opportunity — maximum pressure on the claim-up-front
+   invariant (a promotion must only ever hand out iterations the
+   running strip has not claimed). *)
+
+let test_strip_boundaries_exactly_once () =
+  List.iter
+    (fun domains ->
+      let n = 10_000 in
+      let hits = Array.make n 0 in
+      let config =
+        { (cfg ~domains ~heart_us:0. ()) with
+          source = `Polling;
+          poll_stride = 8;
+        }
+      in
+      let (), st =
+        Par.Runtime.run ~config (fun () ->
+            Par.Runtime.par_for ~lo:0 ~hi:n (fun i ->
+                hits.(i) <- hits.(i) + 1))
+      in
+      check
+        (Printf.sprintf "forced promotion actually promotes at %d domains"
+           domains)
+        true
+        (st.total.promotions > 0);
+      Array.iteri
+        (fun i h ->
+          if h <> 1 then
+            Alcotest.failf "domains=%d: index %d ran %d times" domains i h)
+        hits)
+    [ 1; 2; 4 ];
+  (* nested loops under the same forcing *)
+  let n = 60 in
+  let grid = Array.make (n * n) 0 in
+  let config =
+    { (cfg ~domains:3 ~heart_us:0. ()) with
+      source = `Polling;
+      poll_stride = 8;
+    }
+  in
+  let (), _ =
+    Par.Runtime.run ~config (fun () ->
+        Par.Runtime.par_for ~lo:0 ~hi:n (fun r ->
+            Par.Runtime.par_for ~lo:0 ~hi:n (fun c ->
+                grid.((r * n) + c) <- grid.((r * n) + c) + 1)))
+  in
+  Array.iteri
+    (fun i h -> if h <> 1 then Alcotest.failf "cell %d ran %d times" i h)
+    grid
+
+(* ------------------------------------------------------------------ *)
+(* Idle backoff policy: pure-function bounds — no nap while spinning,
+   naps monotone nondecreasing, capped at [max_nap_s] — so a fully
+   backed-off thief re-sweeps within one capped nap of work appearing;
+   plus an end-to-end check that a session with a long serial phase
+   (which drives every other worker to the nap cap) still promotes
+   and completes. *)
+
+let test_backoff_bounded () =
+  for f = 1 to Par.Runtime.spin_limit do
+    check (Printf.sprintf "failure %d spins, no nap" f) true
+      (Par.Runtime.nap_s ~failures:f = 0.)
+  done;
+  let prev = ref 0. in
+  for f = Par.Runtime.spin_limit + 1 to Par.Runtime.spin_limit + 64 do
+    let nap = Par.Runtime.nap_s ~failures:f in
+    check (Printf.sprintf "failure %d naps" f) true (nap > 0.);
+    check
+      (Printf.sprintf "failure %d nondecreasing" f)
+      true (nap >= !prev);
+    check
+      (Printf.sprintf "failure %d capped" f)
+      true
+      (nap <= Par.Runtime.max_nap_s);
+    prev := nap
+  done;
+  check "ladder reaches the cap" true (!prev = Par.Runtime.max_nap_s);
+  (* very large failure counts must not overflow the shift *)
+  check "huge failure count still capped" true
+    (Par.Runtime.nap_s ~failures:max_int = Par.Runtime.max_nap_s);
+  (* end-to-end: ~30 ms of serial work sends the 3 idle workers far
+     past the spin limit, then a promotable loop must still get
+     promoted and finish correctly *)
+  let n = 20_000 in
+  let hits = Array.make n 0 in
+  let (), st =
+    Par.Runtime.run ~config:(cfg ~domains:4 ~heart_us:25. ()) (fun () ->
+        let t_end = Mclock.now_s () +. 0.03 in
+        while Mclock.now_s () < t_end do
+          Sys.opaque_identity () |> ignore
+        done;
+        Par.Runtime.par_for ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1))
+  in
+  Array.iteri
+    (fun i h ->
+      if h <> 1 then Alcotest.failf "index %d ran %d times" i h)
+    hits;
+  check "work still promoted after the idle phase" true
+    (st.total.promotions > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime properties. *)
 
 let test_par_for_exactly_once () =
   List.iter
@@ -333,6 +600,15 @@ let suite =
       Alcotest.test_case "deque: grow conserves" `Quick test_deque_grow;
       Alcotest.test_case "deque: multi-domain stress, 120k ops" `Quick
         test_deque_stress;
+      Alcotest.test_case "deque: grow under live steals" `Quick
+        test_deque_grow_under_steal;
+      Alcotest.test_case "steal victim: no overflow at max_int rng" `Quick
+        test_steal_victim_no_overflow;
+      Alcotest.test_case "mclock is monotonic" `Quick test_mclock_monotone;
+      Alcotest.test_case "polling beat cadence" `Quick test_polling_cadence;
+      Alcotest.test_case "strip boundaries exactly once under forced beats"
+        `Quick test_strip_boundaries_exactly_once;
+      Alcotest.test_case "idle backoff is bounded" `Quick test_backoff_bounded;
       Alcotest.test_case "par_for covers exactly once" `Quick
         test_par_for_exactly_once;
       Alcotest.test_case "fork tree joins across domains" `Quick
