@@ -491,6 +491,105 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
       end
 
 (* ------------------------------------------------------------------ *)
+(* The serving pipeline: seeded open-loop load against the multi-tenant
+   execution pool, recording the latency/goodput trajectory as JSON
+   (BENCH_serve.json; same accumulating shape as BENCH_par.json, so
+   [prior_runs] reuses the textual appender). *)
+
+let serve_run_json ~(label : string) (r : Serve.Load.report) : string =
+  let spec = r.spec in
+  Printf.sprintf
+    "    {\n\
+    \      \"label\": \"%s\",\n\
+    \      \"host_cores\": %d,\n\
+    \      \"requests\": %d,\n\
+    \      \"tenants\": %d,\n\
+    \      \"rate_rps\": %.0f,\n\
+    \      \"seed\": %d,\n\
+    \      \"slo_ms\": %.3f,\n\
+    \      \"results\": [\n\
+    \        {\"offered\": %d, \"admitted\": %d, \"rejected_full\": %d, \
+     \"rejected_shed\": %d, \"completed\": %d, \"failed\": %d, \"lost\": %d, \
+     \"duplicated\": %d, \"mismatched\": %d, \"met\": %d, \"missed\": %d, \
+     \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f, \"goodput_rps\": \
+     %.1f, \"reject_rate\": %.4f, \"elapsed_s\": %.3f}\n\
+    \      ]\n\
+    \    }"
+    (json_escape label)
+    (Domain.recommended_domain_count ())
+    spec.requests spec.tenants spec.rate_rps spec.seed (1e3 *. spec.slo_s)
+    r.offered r.admitted r.rejected_full r.rejected_shed r.completed r.failed
+    r.lost r.duplicated r.mismatched r.met r.missed r.p50_ms r.p99_ms
+    r.mean_ms r.goodput_rps r.reject_rate r.elapsed_s
+
+let write_serve_json ~(path : string) ~(label : string) ~(append : bool)
+    (r : Serve.Load.report) : unit =
+  let prior = if append then prior_runs path else None in
+  let entries =
+    match prior with
+    | None -> serve_run_json ~label r
+    | Some old -> old ^ ",\n" ^ serve_run_json ~label r
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"suite\": \"serve_bench\",\n\
+    \  \"trajectory\": [\n\
+    \    %s\n\
+    \  ]\n\
+     }\n"
+    (String.trim entries);
+  close_out oc;
+  Printf.printf "wrote %s%s\n%!" path
+    (if prior <> None then " (appended to prior trajectory)" else "")
+
+let run_serve_bench ~(requests : int) ~(tenants : int) ~(rate : float)
+    ~(seed : int) ~(domains : int) ~(cap : int) ~(slo_ms : float)
+    ~(json : string option) ~(append : bool) ~(label : string) : unit =
+  Printf.printf
+    "=== serve bench: %d requests, %d tenants, %.0f req/s offered, %d \
+     domain(s), cap %d, SLO %.1f ms, seed %d ===\n\
+     %!"
+    requests tenants rate domains cap slo_ms seed;
+  let config =
+    {
+      Serve.Pool.default_config with
+      runtime =
+        {
+          Par.Runtime.default_config with
+          domains;
+          heart_us = 30.;
+          source = `Polling;
+        };
+      sched = { Serve.Sched.default_config with cap };
+      default_slo_s = slo_ms /. 1e3;
+    }
+  in
+  let spec =
+    {
+      Serve.Load.default_spec with
+      requests;
+      tenants;
+      rate_rps = rate;
+      seed;
+      slo_s = slo_ms /. 1e3;
+    }
+  in
+  let pool = Serve.Pool.create ~config () in
+  let report = Serve.Load.run pool spec in
+  ignore (Serve.Pool.close pool);
+  Format.printf "%a@." Serve.Load.pp_report report;
+  (match json with
+  | None -> ()
+  | Some path -> write_serve_json ~path ~label ~append report);
+  (* the exactly-once gate: a lost, duplicated or corrupted request is
+     a correctness failure regardless of the latency numbers *)
+  if report.lost > 0 || report.duplicated > 0 || report.mismatched > 0 then begin
+    Printf.eprintf
+      "FAIL: audit (lost %d, duplicated %d, mismatched %d)\n%!" report.lost
+      report.duplicated report.mismatched;
+    exit 1
+  end
 
 let parse_int_list (what : string) (s : string) : int list =
   String.split_on_char ',' s
@@ -511,6 +610,12 @@ let usage () =
      REPRO_QUICK=1) and run the Bechamel microbenchmark suite.\n\
      With --par-bench: run the real kernels on the multi-domain runtime\n\
      and write BENCH_par.json (or --json PATH / $BENCH_JSON).\n\
+     With --serve-bench: drive a seeded open-loop load (Poisson arrivals,\n\
+     Zipf tenants, mixed kernel sizes) through the multi-tenant execution\n\
+     server, audit exactly-once execution, and write the latency/goodput\n\
+     trajectory (--json PATH; e.g. BENCH_serve.json).  Extra flags:\n\
+    \  --requests N --tenants N --rate RPS --seed N --cap N --slo-ms F\n\
+    \  (--domains takes its first element for the pool's session)\n\
     \  --append            add this run to the file's trajectory instead\n\
     \                      of overwriting (legacy single-run files are\n\
     \                      wrapped as the first trajectory entry)\n\
@@ -527,6 +632,7 @@ let usage () =
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let par_bench = ref false in
+  let serve_bench = ref false in
   let domains = ref [ 1; 2; 4 ] in
   let scale = ref 1 in
   let json = ref None in
@@ -535,10 +641,45 @@ let () =
   let label = ref None in
   let source = ref `Polling in
   let assert_geomean = ref None in
+  let requests = ref 10_000 in
+  let tenants = ref 8 in
+  let rate = ref 20_000. in
+  let seed = ref 0x5E12E in
+  let cap = ref 512 in
+  let slo_ms = ref 50. in
+  let int_flag what v r rest parse =
+    (match int_of_string_opt v with
+    | Some n when n >= 0 -> r := n
+    | _ ->
+        Printf.eprintf "bad %s %S\n%!" what v;
+        exit 2);
+    parse rest
+  in
   let rec parse = function
     | [] -> ()
     | "--par-bench" :: rest ->
         par_bench := true;
+        parse rest
+    | "--serve-bench" :: rest ->
+        serve_bench := true;
+        parse rest
+    | "--requests" :: v :: rest -> int_flag "--requests" v requests rest parse
+    | "--tenants" :: v :: rest -> int_flag "--tenants" v tenants rest parse
+    | "--seed" :: v :: rest -> int_flag "--seed" v seed rest parse
+    | "--cap" :: v :: rest -> int_flag "--cap" v cap rest parse
+    | "--rate" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0. -> rate := f
+        | _ ->
+            Printf.eprintf "bad --rate %S\n%!" v;
+            exit 2);
+        parse rest
+    | "--slo-ms" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f > 0. -> slo_ms := f
+        | _ ->
+            Printf.eprintf "bad --slo-ms %S\n%!" v;
+            exit 2);
         parse rest
     | "--domains" :: v :: rest ->
         domains := parse_int_list "--domains" v;
@@ -585,7 +726,18 @@ let () =
         exit 2
   in
   parse args;
-  if !par_bench then begin
+  if !serve_bench then begin
+    let label =
+      match !label with
+      | Some l -> l
+      | None -> Printf.sprintf "run-%.0f" (Unix.time ())
+    in
+    run_serve_bench ~requests:!requests ~tenants:!tenants ~rate:!rate
+      ~seed:!seed
+      ~domains:(match !domains with d :: _ -> d | [] -> 1)
+      ~cap:!cap ~slo_ms:!slo_ms ~json:!json ~append:!append ~label
+  end
+  else if !par_bench then begin
     let label =
       match !label with
       | Some l -> l

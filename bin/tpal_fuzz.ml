@@ -29,8 +29,8 @@ let parse_cores (s : string) : int list =
       | _ -> Fmt.failwith "bad core count %S (expected e.g. 1,4,15)" c)
     (String.split_on_char ',' s)
 
-let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~par ~minimize ~out
-    ~progress =
+let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~par ~serve ~minimize
+    ~out ~progress =
   match
     { Fuzz.Diff.cores = parse_cores cores; mechs = parse_mechs mech; faults;
       chaos; hb; par = (if par = "" then [] else parse_cores par) }
@@ -39,11 +39,21 @@ let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~par ~minimize ~out
       Fmt.epr "tpal_fuzz: %s@." msg;
       2
   | cfg ->
+  (* the serving-layer oracle: the same program submitted through the
+     multi-tenant pool (admission -> DRR -> EDF -> warm session) must
+     match the sequential evaluator bit for bit *)
+  let serve_domains = if serve then [ 1; 2 ] else [] in
+  let serve_check p ~outputs =
+    if serve_domains = [] then []
+    else Serve.Serve_exec.check ~domains:serve_domains p ~outputs
+  in
   let divergent = ref 0 in
   for i = 0 to count - 1 do
     let s = seed + i in
     let g = Fuzz.Gen.generate ~seed:s in
-    let ds = Fuzz.Diff.check_gen ~cfg g in
+    let ds =
+      Fuzz.Diff.check_gen ~cfg g @ serve_check g.prog ~outputs:g.outputs
+    in
     if ds <> [] then begin
       incr divergent;
       Fmt.pr "@[<v>== seed %d: %d divergence(s) ==@,%a@]@." s (List.length ds)
@@ -52,15 +62,21 @@ let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~par ~minimize ~out
         ds;
       if minimize then begin
         let oracle = (List.hd ds).oracle in
+        let has_prefix p o =
+          String.length o >= String.length p && String.sub o 0 (String.length p) = p
+        in
         let still_fails p =
-          List.exists
-            (fun (d : Fuzz.Diff.divergence) -> d.oracle = oracle)
-            (Fuzz.Diff.check ~cfg p ~outputs:g.outputs)
+          let ds =
+            if has_prefix "serve" oracle then
+              serve_check p ~outputs:g.outputs
+            else Fuzz.Diff.check ~cfg p ~outputs:g.outputs
+          in
+          List.exists (fun (d : Fuzz.Diff.divergence) -> d.oracle = oracle) ds
         in
         let small = Fuzz.Shrink.minimize ~still_fails g.prog in
         let prefix =
-          if String.length oracle >= 5 && String.sub oracle 0 5 = "chaos"
-          then "chaos_"
+          if has_prefix "chaos" oracle then "chaos_"
+          else if has_prefix "serve" oracle then "serve_"
           else ""
         in
         let path =
@@ -117,6 +133,12 @@ let par =
 let no_par =
   Arg.(value & flag & info [ "no-par" ] ~doc:"Skip the multi-domain runtime executor.")
 
+let serve =
+  Arg.(value & flag & info [ "serve" ]
+    ~doc:"Also submit each program through the multi-tenant execution \
+          server (admission, DRR, EDF, warm session) and require \
+          bit-identical results.")
+
 let minimize =
   Arg.(value & flag & info [ "minimize" ] ~doc:"Shrink divergent programs and save reproducers.")
 
@@ -131,13 +153,13 @@ let cmd =
     (Cmd.info "tpal_fuzz" ~doc)
     Term.(
       const
-        (fun seed count cores mech no_faults chaos no_hb par no_par minimize
-             out quiet ->
+        (fun seed count cores mech no_faults chaos no_hb par no_par serve
+             minimize out quiet ->
           run ~seed ~count ~cores ~mech ~faults:(not no_faults) ~chaos
             ~hb:(not no_hb)
             ~par:(if no_par then "" else par)
-            ~minimize ~out ~progress:(not quiet))
+            ~serve ~minimize ~out ~progress:(not quiet))
       $ seed $ count $ cores $ mech $ no_faults $ chaos $ no_hb $ par $ no_par
-      $ minimize $ out $ quiet)
+      $ serve $ minimize $ out $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,253 @@
+(* Heartbeat-as-a-service driver: boot one warm multi-tenant execution
+   pool and drive it, either with the seeded open-loop synthetic load
+   (the default; same generator as `bench --serve-bench`) or with
+   explicit requests — a registry kernel or a .tpal program.
+
+     tpal_serve --requests 10000 --tenants 4 --rate 20000
+     tpal_serve --kernel plus_reduce --scale 2 --domains 4
+     tpal_serve --tpal examples/asm/fib.tpal
+
+   Exits non-zero when the exactly-once audit fails (lost, duplicated
+   or mismatched requests) or an explicit request errors. *)
+
+let pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms ~lease_s :
+    Serve.Pool.config =
+  {
+    Serve.Pool.default_config with
+    runtime =
+      {
+        Par.Runtime.default_config with
+        domains;
+        heart_us;
+        source = `Polling;
+      };
+    sched =
+      {
+        Serve.Sched.cap;
+        quantum;
+        panic_slack = panic_ms /. 1e3;
+      };
+    default_slo_s = slo_ms /. 1e3;
+    lease_s;
+  }
+
+let run_load pool ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac =
+  let spec =
+    {
+      Serve.Load.default_spec with
+      requests;
+      tenants;
+      rate_rps = rate;
+      seed;
+      slo_s = slo_ms /. 1e3;
+      tight_frac;
+    }
+  in
+  let report = Serve.Load.run pool spec in
+  Fmt.pr "%a@." Serve.Load.pp_report report;
+  if report.lost > 0 || report.duplicated > 0 || report.mismatched > 0 then begin
+    Fmt.epr
+      "tpal_serve: audit FAILED (lost %d, duplicated %d, mismatched %d)@."
+      report.lost report.duplicated report.mismatched;
+    1
+  end
+  else 0
+
+let run_kernel pool ~kernel ~scale =
+  match Workloads.Real_bench.find kernel with
+  | None ->
+      Fmt.epr "tpal_serve: unknown kernel %S (known: %s)@." kernel
+        (String.concat ", "
+           (List.map
+              (fun (b : Workloads.Real_bench.t) -> b.name)
+              Workloads.Real_bench.all));
+      2
+  | Some bench -> (
+      let expected = Workloads.Real_bench.run_serial bench ~scale in
+      match
+        Serve.Pool.submit pool ~tenant:"cli"
+          (Serve.Pool.Kernel { bench; scale })
+      with
+      | Error _ ->
+          Fmt.epr "tpal_serve: submit rejected@.";
+          1
+      | Ok ticket -> (
+          match Serve.Pool.await pool ticket with
+          | Ok { outcome = Serve.Pool.Checksum c; sojourn_s; met_deadline } ->
+              Fmt.pr
+                "%s scale %d: checksum %d (%s serial), %.3f ms, deadline %s@."
+                kernel scale c
+                (if c = expected then "matches" else "MISMATCHES")
+                (1e3 *. sojourn_s)
+                (if met_deadline then "met" else "missed");
+              if c = expected then 0 else 1
+          | Ok _ -> assert false
+          | Error _ ->
+              Fmt.epr "tpal_serve: kernel request errored@.";
+              1))
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* seed registers by prepending moves to the entry block — requests
+   carry whole programs, so arguments travel inside the program *)
+let seed_program (prog : Tpal.Ast.program) (seeds : (string * int) list) :
+    Tpal.Ast.program =
+  if seeds = [] then prog
+  else
+    {
+      prog with
+      blocks =
+        List.map
+          (fun (label, (b : Tpal.Ast.block)) ->
+            if label <> prog.entry then (label, b)
+            else
+              ( label,
+                {
+                  b with
+                  body =
+                    List.map
+                      (fun (r, n) -> Tpal.Ast.Mov (r, Tpal.Ast.Int n))
+                      seeds
+                    @ b.body;
+                } ))
+          prog.blocks;
+    }
+
+let run_tpal pool ~path ~seeds =
+  match Tpal.Parser.parse_result (read_file path) with
+  | Error msg ->
+      Fmt.epr "tpal_serve: %s@." msg;
+      2
+  | Ok prog -> (
+      let prog = seed_program prog seeds in
+      match
+        Serve.Pool.submit pool ~tenant:"cli"
+          (Serve.Pool.Tpal { prog; options = Tpal.Eval.default_options })
+      with
+      | Error _ ->
+          Fmt.epr "tpal_serve: submit rejected@.";
+          1
+      | Ok ticket -> (
+          match Serve.Pool.await pool ticket with
+          | Ok { outcome = Serve.Pool.Tpal_result (Ok task); sojourn_s; _ } ->
+              Fmt.pr "@[<v>%s: finished in %.3f ms@,%a@]@." path
+                (1e3 *. sojourn_s) Tpal.Regfile.pp task.regs;
+              0
+          | Ok { outcome = Serve.Pool.Tpal_result (Error e); _ } ->
+              Fmt.epr "tpal_serve: machine stuck: %a@." Tpal.Machine_error.pp
+                e;
+              1
+          | Ok _ -> assert false
+          | Error _ ->
+              Fmt.epr "tpal_serve: request errored@.";
+              1))
+
+let run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains ~heart_us
+    ~cap ~quantum ~panic_ms ~lease_s ~kernel ~scale ~tpal ~seeds =
+  let pool =
+    Serve.Pool.create
+      ~config:
+        (pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms
+           ~lease_s)
+      ()
+  in
+  let code =
+    match (kernel, tpal) with
+    | Some k, _ -> run_kernel pool ~kernel:k ~scale
+    | None, Some path -> run_tpal pool ~path ~seeds
+    | None, None ->
+        run_load pool ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac
+  in
+  let st = Serve.Pool.close pool in
+  Fmt.pr
+    "pool: submitted %d, served %d (met %d, missed %d), shed %d, rejected \
+     %d, cancelled %d, failures %d, stalls %d@."
+    st.submitted st.served st.met st.missed st.shed st.sched.rejected
+    st.cancelled st.failures st.stalls_detected;
+  code
+
+open Cmdliner
+
+let requests =
+  Arg.(value & opt int 10_000 & info [ "requests" ] ~docv:"N" ~doc:"Synthetic-load request count.")
+
+let tenants =
+  Arg.(value & opt int 8 & info [ "tenants" ] ~docv:"N" ~doc:"Tenant count (Zipf-skewed offered load).")
+
+let rate =
+  Arg.(value & opt float 20_000. & info [ "rate" ] ~docv:"RPS" ~doc:"Poisson arrival rate; 0 submits as fast as possible.")
+
+let seed =
+  Arg.(value & opt int 0x5E12E & info [ "seed" ] ~docv:"N" ~doc:"Load-generator seed.")
+
+let slo_ms =
+  Arg.(value & opt float 50. & info [ "slo-ms" ] ~docv:"MS" ~doc:"Default request deadline.")
+
+let tight_frac =
+  Arg.(value & opt float 0.1 & info [ "tight-frac" ] ~docv:"F" ~doc:"Fraction of requests with 10x tighter deadlines.")
+
+let domains =
+  Arg.(value & opt int (max 1 (Domain.recommended_domain_count () - 1))
+    & info [ "domains" ] ~docv:"D" ~doc:"Worker domains in the warm session.")
+
+let heart_us =
+  Arg.(value & opt float 30. & info [ "heart-us" ] ~docv:"US" ~doc:"Heartbeat period.")
+
+let cap =
+  Arg.(value & opt int 512 & info [ "cap" ] ~docv:"N" ~doc:"Admission cap (queued requests across tenants).")
+
+let quantum =
+  Arg.(value & opt int 1 & info [ "quantum" ] ~docv:"N" ~doc:"DRR deficit grant per round, in size units.")
+
+let panic_ms =
+  Arg.(value & opt float 1. & info [ "panic-ms" ] ~docv:"MS" ~doc:"EDF panic slack: requests this close to deadline bypass round-robin order.")
+
+let lease_s =
+  Arg.(value & opt float 10. & info [ "lease-s" ] ~docv:"S" ~doc:"Wedged-request lease before the pool degrades; 0 disables the watchdog.")
+
+let kernel =
+  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc:"Submit one registry kernel instead of the synthetic load.")
+
+let scale =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Kernel scale factor.")
+
+let tpal =
+  Arg.(value & opt (some string) None & info [ "tpal" ] ~docv:"FILE" ~doc:"Submit one .tpal program instead of the synthetic load.")
+
+let seed_conv : (string * int) Arg.conv =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ r; v ] -> (
+        match int_of_string_opt v with
+        | Some n -> Ok (r, n)
+        | None -> Error (`Msg ("invalid integer in seed " ^ s)))
+    | _ -> Error (`Msg ("expected reg=int, got " ^ s))
+  in
+  let print ppf (r, n) = Format.fprintf ppf "%s=%d" r n in
+  Arg.conv (parse, print)
+
+let seeds =
+  Arg.(value & opt_all seed_conv []
+    & info [ "r" ] ~docv:"REG=INT"
+        ~doc:"Initial register binding for --tpal (repeatable).")
+
+let cmd =
+  let doc = "a multi-tenant TPAL execution server over one warm heartbeat session" in
+  Cmd.v
+    (Cmd.info "tpal_serve" ~doc)
+    Term.(
+      const
+        (fun requests tenants rate seed slo_ms tight_frac domains heart_us cap
+             quantum panic_ms lease_s kernel scale tpal seeds ->
+          run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains
+            ~heart_us ~cap ~quantum ~panic_ms ~lease_s ~kernel ~scale ~tpal
+            ~seeds)
+      $ requests $ tenants $ rate $ seed $ slo_ms $ tight_frac $ domains
+      $ heart_us $ cap $ quantum $ panic_ms $ lease_s $ kernel $ scale $ tpal
+      $ seeds)
+
+let () = exit (Cmd.eval' cmd)

@@ -143,6 +143,14 @@ type pool = {
   stop : bool Atomic.t;  (** main completed, or a task raised *)
   ping_stop : bool Atomic.t;
   error : exn option Atomic.t;  (** first exception, wins the race *)
+  urgency : int Atomic.t;
+      (** deadline-aware promotion hint: the effective beat period is
+          the configured ♥ shifted right by this many bits, so a
+          serving layer can promote more aggressively for work that is
+          near its SLO without re-creating the session.  0 = the
+          configured cadence; each step halves the period.  Session-
+          wide by design: one request runs at a time on a warm pool,
+          and beats are pool-global anyway. *)
 }
 
 type ctx = { pool : pool; worker : worker }
@@ -182,6 +190,22 @@ let cur_ctx () : ctx =
   | Some c -> c
   | None ->
       invalid_arg "Par.Runtime: par_for/fork2 used outside Par.Runtime.run"
+
+(* Urgency shifts are capped so [heart_ns asr max_urgency] is always a
+   defined shift on 63-bit ints; 62 drives any period to 0, i.e. a
+   beat at every poll. *)
+let max_urgency = 62
+
+(** [set_urgency u] installs the session's promotion-urgency hint
+    (clamped to [0, 62]): the effective beat period becomes the
+    configured ♥ divided by 2^u, for both beat sources.  Must be
+    called from inside a {!run} session. *)
+let set_urgency (u : int) : unit =
+  let ctx = cur_ctx () in
+  Atomic.set ctx.pool.urgency (max 0 (min max_urgency u))
+
+(** The session's current urgency hint (0 when never set). *)
+let urgency () : int = Atomic.get (cur_ctx ()).pool.urgency
 
 let fire (ctx : ctx) (e : event) : unit =
   match ctx.pool.cfg.on_event with
@@ -317,7 +341,8 @@ and poll_ctx (ctx : ctx) : unit =
         (* monotonic: an NTP step of the wall clock must not make
            beats fire continuously (forward) or never (backward) *)
         let now = Mclock.now_ns () in
-        if now - w.last_beat_ns >= ctx.pool.heart_ns then begin
+        let heart_ns = ctx.pool.heart_ns asr Atomic.get ctx.pool.urgency in
+        if now - w.last_beat_ns >= heart_ns then begin
           w.last_beat_ns <- now;
           true
         end
@@ -579,7 +604,11 @@ let run_worker (pool : pool) (id : int) : unit =
 let ping_loop (pool : pool) : unit =
   let period = Float.max 1e-6 (pool.cfg.heart_us *. 1e-6) in
   while not (Atomic.get pool.ping_stop) do
-    Unix.sleepf period;
+    (* the urgency hint halves the ping period per step; re-read each
+       beat so a serving layer can change it mid-session (capped at
+       2^20 to keep the sleep argument sane) *)
+    let u = min 20 (Atomic.get pool.urgency) in
+    Unix.sleepf (Float.max 1e-6 (period /. float_of_int (1 lsl u)));
     Array.iter (fun w -> Atomic.set w.beat true) pool.workers
   done
 
@@ -678,6 +707,7 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
           stop = Atomic.make false;
           ping_stop = Atomic.make false;
           error = Atomic.make None;
+          urgency = Padding.atomic 0;
         }
       in
       let result = ref None in

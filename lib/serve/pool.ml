@@ -1,0 +1,461 @@
+(** Heartbeat-as-a-service: a multi-tenant execution pool that owns
+    {e one warm} {!Par.Runtime} session and serves many requests
+    through it — the ROADMAP's serving layer.
+
+    The session's main task is a dispatch loop: it blocks on a
+    condition variable until the {!Sched} core hands it a request
+    (bounded admission → deficit-round-robin across tenants → EDF
+    within a tenant → panic override for imminent deadlines), installs
+    the request's deadline-derived {!Par.Runtime.set_urgency} hint so
+    near-SLO work promotes its latent parallelism more eagerly, and
+    executes the request body with the session's own
+    [par_for]/[fork2] executor.  Worker domains are spawned once at
+    {!create} and stay warm across requests — session reuse is the
+    whole point: the committed BENCH_par.json history shows session
+    setup dwarfing small kernels.
+
+    Requests execute {e one at a time}; each request is internally
+    parallel across every domain of the pool (space-sharing between
+    requests would dilute the heartbeat's outermost-first discipline
+    and is future work).  Concurrency lives at the boundary: any
+    number of client threads submit and await concurrently.
+
+    Failure containment mirrors the PR 3 lease/watchdog machinery: a
+    watchdog thread leases each in-flight request [lease_s] seconds;
+    a request that overruns marks the pool {e degraded}
+    ([stalls_detected] increments, new submissions are shed with a
+    typed rejection while the wedged request holds the session) and
+    the flag clears when the request finally completes.  Closing the
+    pool resolves every still-queued request with the typed
+    {!error.Pool_closed} — never by racing domain shutdown against a
+    half-executed queue. *)
+
+type work =
+  | Kernel of { bench : Workloads.Real_bench.t; scale : int }
+      (** a registry kernel; outcome is its checksum *)
+  | Tpal of { prog : Tpal.Ast.program; options : Tpal.Eval.options }
+      (** a TPAL program through the {!Fuzz.Tpal_drive} interpreter,
+          forking on this pool's scheduler *)
+  | Thunk of ((module Workloads.Exec.S) -> int)
+      (** any checksum-returning computation against the session's
+          executor (the synthetic-load and test entry point) *)
+
+type outcome =
+  | Checksum of int
+  | Tpal_result of (Tpal.Task.t, Tpal.Machine_error.t) result
+      (** [Error] = the machine got stuck; a program-level fault, not
+          a pool failure *)
+
+type reject = [ `Queue_full | `Shedding ]
+
+type error =
+  | Rejected of reject
+      (** admission backpressure ([`Queue_full]) or degraded-mode load
+          shedding ([`Shedding]) at submit time *)
+  | Pool_closed
+      (** the pool was closed while this request was still queued (or
+          the submit raced [close]) *)
+  | Timed_out  (** [await ~timeout_s] expired; the request itself may
+                   still complete later *)
+  | Failed of exn  (** the request body (or the session) raised *)
+
+type completion = {
+  outcome : outcome;
+  sojourn_s : float;  (** admission → completion, on the pool's clock *)
+  met_deadline : bool;
+}
+
+type ticket = int
+
+type config = {
+  runtime : Par.Runtime.config;  (** the warm session: domain count,
+                                     beat source, ♥ *)
+  sched : Sched.config;  (** admission cap, DRR quantum, panic slack *)
+  default_slo_s : float;  (** deadline for submits that give none *)
+  lease_s : float;  (** wedged-request lease; ≤ 0 disables the
+                        watchdog *)
+  shed_when_degraded : bool;
+      (** reject new work while a wedged request holds the session *)
+}
+
+let default_config =
+  {
+    runtime = { Par.Runtime.default_config with source = `Polling };
+    sched = Sched.default_config;
+    default_slo_s = 1.0;
+    lease_s = 10.;
+    shed_when_degraded = true;
+  }
+
+type t = {
+  cfg : config;
+  m : Mutex.t;
+  cv : Condition.t;
+      (** one condition for all transitions (submission, completion,
+          close, boot): every wake is a [broadcast] — a [signal] could
+          wake an awaiter when the dispatch loop is the thread that
+          must run *)
+  sched : work Sched.t;
+  results : (ticket, (completion, error) result) Hashtbl.t;
+  mutable next_id : int;
+  mutable submitted : int;  (** all submit attempts on an open pool *)
+  mutable shed : int;
+  mutable failures : int;
+  mutable cancelled : int;  (** tickets resolved [Pool_closed] *)
+  mutable running : (ticket * float) option;  (** in-flight id, start *)
+  mutable flagged : ticket option;  (** in-flight request past its lease *)
+  mutable stalls : int;
+  mutable degraded : bool;
+  mutable close_requested : bool;
+  mutable shutdown_done : bool;
+  mutable up : bool;  (** the session's dispatch loop has started *)
+  mutable failed : exn option;  (** the session itself died *)
+  mutable rt_stats : Par.Runtime.stats option;  (** set at teardown *)
+  mutable domain : unit Domain.t option;
+  mutable watchdog : Thread.t option;
+  watchdog_stop : bool Atomic.t;
+}
+
+type stats = {
+  submitted : int;
+  shed : int;
+  served : int;
+  met : int;
+  missed : int;
+  failures : int;
+  cancelled : int;
+  queued : int;
+  stalls_detected : int;
+  degraded : bool;
+  sched : Sched.stats;
+  runtime : Par.Runtime.stats option;  (** available after [close] *)
+}
+
+let stats_locked (t : t) : stats =
+  let sc = Sched.stats t.sched in
+  {
+    submitted = t.submitted;
+    shed = t.shed;
+    served = sc.served;
+    met = sc.met;
+    missed = sc.missed;
+    failures = t.failures;
+    cancelled = t.cancelled;
+    queued = sc.queued;
+    stalls_detected = t.stalls;
+    degraded = t.degraded;
+    sched = sc;
+    runtime = t.rt_stats;
+  }
+
+let stats (t : t) : stats =
+  Mutex.lock t.m;
+  let s = stats_locked t in
+  Mutex.unlock t.m;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Request execution, inside the warm session. *)
+
+let exec (w : work) : outcome =
+  match w with
+  | Kernel { bench; scale } ->
+      Checksum (bench.run (module Par.Runtime.Exec) ~scale)
+  | Thunk f -> Checksum (f (module Par.Runtime.Exec))
+  | Tpal { prog; options } ->
+      Tpal_result
+        (match Fuzz.Par_exec.Drive.interpret ~options prog with
+        | task -> Ok task
+        | exception Fuzz.Tpal_drive.Stuck e -> Error e)
+
+(* The session's main task.  Every Sched call happens under the mutex;
+   the request body runs outside it (it is the long part, and awaiting
+   clients must make progress on [results] meanwhile). *)
+let serve_main (t : t) : unit =
+  Mutex.lock t.m;
+  t.up <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m;
+  let rec loop () =
+    Mutex.lock t.m;
+    let next =
+      let rec get () =
+        if t.close_requested then None
+        else
+          match Sched.next t.sched ~now:(Mclock.now_s ()) with
+          | Some r -> Some r
+          | None ->
+              Condition.wait t.cv t.m;
+              get ()
+      in
+      get ()
+    in
+    match next with
+    | None ->
+        (* close path: the typed Pool_closed teardown.  Everything
+           still queued resolves here, under the mutex, BEFORE the
+           session's main task returns — so domain shutdown never
+           races a half-drained queue. *)
+        let dropped = Sched.drain t.sched in
+        List.iter
+          (fun (r : work Sched.req) ->
+            Hashtbl.replace t.results r.id (Error Pool_closed);
+            t.cancelled <- t.cancelled + 1)
+          dropped;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.m
+    | Some r ->
+        t.running <- Some (r.id, Mclock.now_s ());
+        Mutex.unlock t.m;
+        (* the deadline-aware promotion hint: near-SLO requests get a
+           shorter effective beat period for their whole execution *)
+        Par.Runtime.set_urgency (Sched.promotion_hint ~now:(Mclock.now_s ()) r);
+        let res = try Ok (exec r.payload) with e -> Error e in
+        Par.Runtime.set_urgency 0;
+        let fin = Mclock.now_s () in
+        Mutex.lock t.m;
+        t.running <- None;
+        if t.flagged = Some r.id then begin
+          (* the wedged request finally finished: degradation clears,
+             the stall stays on the books *)
+          t.flagged <- None;
+          t.degraded <- false
+        end;
+        let resolved =
+          match res with
+          | Ok outcome ->
+              let verdict = Sched.complete t.sched ~now:fin r in
+              Ok
+                {
+                  outcome;
+                  sojourn_s = fin -. r.enqueued;
+                  met_deadline = (verdict = `Met);
+                }
+          | Error e ->
+              t.failures <- t.failures + 1;
+              Error (Failed e)
+        in
+        Hashtbl.replace t.results r.id resolved;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.m;
+        loop ()
+  in
+  loop ()
+
+let watchdog_loop (t : t) : unit =
+  (* short ticks so close never waits long for the join, regardless of
+     the lease length *)
+  let tick = Float.min 0.05 (Float.max 0.001 (t.cfg.lease_s /. 4.)) in
+  while not (Atomic.get t.watchdog_stop) do
+    Thread.delay tick;
+    Mutex.lock t.m;
+    (match t.running with
+    | Some (id, started)
+      when t.flagged <> Some id
+           && Mclock.now_s () -. started > t.cfg.lease_s ->
+        t.stalls <- t.stalls + 1;
+        t.flagged <- Some id;
+        t.degraded <- true
+    | _ -> ());
+    Mutex.unlock t.m
+  done
+
+(* ------------------------------------------------------------------ *)
+
+(** [create ?config ()] spawns the warm session (one domain running
+    the dispatch loop; the session itself spawns [domains − 1] worker
+    domains) and the lease watchdog, and waits until the dispatch loop
+    is live.  Raises whatever the session boot raised (e.g. the
+    one-session-per-process guard of {!Par.Runtime.run}). *)
+let create ?(config = default_config) () : t =
+  let t =
+    {
+      cfg = config;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      sched = Sched.create ~config:config.sched ();
+      results = Hashtbl.create 64;
+      next_id = 0;
+      submitted = 0;
+      shed = 0;
+      failures = 0;
+      cancelled = 0;
+      running = None;
+      flagged = None;
+      stalls = 0;
+      degraded = false;
+      close_requested = false;
+      shutdown_done = false;
+      up = false;
+      failed = None;
+      rt_stats = None;
+      domain = None;
+      watchdog = None;
+      watchdog_stop = Atomic.make false;
+    }
+  in
+  let d =
+    Domain.spawn (fun () ->
+        match Par.Runtime.run ~config:t.cfg.runtime (fun () -> serve_main t) with
+        | (), st ->
+            Mutex.lock t.m;
+            t.rt_stats <- Some st;
+            Condition.broadcast t.cv;
+            Mutex.unlock t.m
+        | exception e ->
+            (* the session died under us (boot failure, or a request
+               raising from a promoted task): resolve everything
+               queued so no awaiter hangs, and surface the exception *)
+            Mutex.lock t.m;
+            t.failed <- Some e;
+            t.up <- true;
+            let dropped = Sched.drain t.sched in
+            List.iter
+              (fun (r : work Sched.req) ->
+                Hashtbl.replace t.results r.id (Error (Failed e)))
+              dropped;
+            Condition.broadcast t.cv;
+            Mutex.unlock t.m)
+  in
+  t.domain <- Some d;
+  Mutex.lock t.m;
+  while (not t.up) && t.failed = None do
+    Condition.wait t.cv t.m
+  done;
+  let boot_failure = t.failed in
+  Mutex.unlock t.m;
+  (match boot_failure with
+  | Some e ->
+      Domain.join d;
+      raise e
+  | None -> ());
+  if config.lease_s > 0. then
+    t.watchdog <- Some (Thread.create watchdog_loop t);
+  t
+
+(** [submit t ~tenant ?deadline_s ?size w] queues [w] and returns its
+    ticket, or a typed rejection: [Rejected `Queue_full] at the
+    admission cap, [Rejected `Shedding] while degraded,
+    [Pool_closed] after (or racing) [close].  [deadline_s] is relative
+    to now (default [default_slo_s]); [size] is the DRR service-size
+    estimate (default 1). *)
+let submit (t : t) ~(tenant : string) ?deadline_s ?(size = 1) (w : work) :
+    (ticket, error) result =
+  Mutex.lock t.m;
+  let r =
+    if t.close_requested then Error Pool_closed
+    else begin
+      t.submitted <- t.submitted + 1;
+      match t.failed with
+      | Some e -> Error (Failed e)
+      | None ->
+          if t.degraded && t.cfg.shed_when_degraded then begin
+            t.shed <- t.shed + 1;
+            Error (Rejected `Shedding)
+          end
+          else begin
+            let now = Mclock.now_s () in
+            let id = t.next_id in
+            let req =
+              {
+                Sched.id;
+                tenant;
+                deadline =
+                  now +. Option.value deadline_s ~default:t.cfg.default_slo_s;
+                size;
+                enqueued = now;
+                payload = w;
+              }
+            in
+            match Sched.admit t.sched req with
+            | Error `Queue_full -> Error (Rejected `Queue_full)
+            | Ok () ->
+                t.next_id <- id + 1;
+                Condition.broadcast t.cv;
+                Ok id
+          end
+    end
+  in
+  Mutex.unlock t.m;
+  r
+
+(** [await ?timeout_s t ticket] blocks until the ticket resolves.
+    With a timeout it polls (stdlib [Condition] has no timed wait);
+    [Timed_out] leaves the request in place — it may still resolve
+    later.  Resolved tickets stay readable (idempotent await). *)
+let await ?timeout_s (t : t) (ticket : ticket) : (completion, error) result =
+  let deadline = Option.map (fun s -> Mclock.now_s () +. s) timeout_s in
+  Mutex.lock t.m;
+  let rec wait () =
+    match Hashtbl.find_opt t.results ticket with
+    | Some r ->
+        Mutex.unlock t.m;
+        r
+    | None -> (
+        match t.failed with
+        | Some e ->
+            Mutex.unlock t.m;
+            Error (Failed e)
+        | None -> (
+            match deadline with
+            | None ->
+                Condition.wait t.cv t.m;
+                wait ()
+            | Some d ->
+                if Mclock.now_s () > d then begin
+                  Mutex.unlock t.m;
+                  Error Timed_out
+                end
+                else begin
+                  Mutex.unlock t.m;
+                  Thread.delay 0.001;
+                  Mutex.lock t.m;
+                  wait ()
+                end))
+  in
+  wait ()
+
+(** [try_result t ticket] is a non-blocking probe. *)
+let try_result (t : t) (ticket : ticket) : (completion, error) result option =
+  Mutex.lock t.m;
+  let r = Hashtbl.find_opt t.results ticket in
+  Mutex.unlock t.m;
+  r
+
+(** The in-flight request's ticket, if any (test probe). *)
+let running (t : t) : ticket option =
+  Mutex.lock t.m;
+  let r = Option.map fst t.running in
+  Mutex.unlock t.m;
+  r
+
+(** [close t] stops admission, lets the in-flight request (if any)
+    finish, resolves every still-queued ticket with [Pool_closed],
+    tears the session down, and returns the final statistics
+    (including the runtime's, when the session exited cleanly).
+    Idempotent; concurrent callers wait for the first to finish. *)
+let close (t : t) : stats =
+  Mutex.lock t.m;
+  let first = not t.close_requested in
+  if first then begin
+    t.close_requested <- true;
+    Condition.broadcast t.cv
+  end;
+  Mutex.unlock t.m;
+  if first then begin
+    Atomic.set t.watchdog_stop true;
+    Option.iter Thread.join t.watchdog;
+    Option.iter Domain.join t.domain;
+    Mutex.lock t.m;
+    t.shutdown_done <- true;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+  end
+  else begin
+    Mutex.lock t.m;
+    while not t.shutdown_done do
+      Condition.wait t.cv t.m
+    done;
+    Mutex.unlock t.m
+  end;
+  stats t

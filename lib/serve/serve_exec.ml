@@ -1,0 +1,94 @@
+(** The serving layer's differential-fuzz oracle: a TPAL program
+    submitted {e through the pool} (admission → DRR → EDF dispatch →
+    warm-session execution with the promotion hint installed) must
+    produce a register file bit-identical to the sequential
+    evaluator's — the same contract the battery's [hb-*] and [par-*]
+    oracles enforce for the direct executors, extended across the
+    whole serving path.  Driven by [tpal_fuzz --serve] and replayed in
+    tier-1 by {!Suite_serve}. *)
+
+open Tpal
+
+let pool_config ~(domains : int) ~(heart_us : float) : Pool.config =
+  {
+    Pool.default_config with
+    runtime =
+      {
+        Par.Runtime.default_config with
+        domains;
+        heart_us;
+        source = `Polling;
+        poll_stride = 1;
+      };
+    (* fuzz programs are tiny; a generous lease keeps the watchdog
+       thread out of the measurement entirely *)
+    lease_s = 0.;
+  }
+
+(** [run ?options ?domains ?heart_us p] boots a fresh pool, executes
+    [p] through it, closes the pool, and returns the final task (or
+    the machine error) plus the pool statistics. *)
+let run ?(options = Eval.default_options) ?(domains = 1) ?(heart_us = 50.)
+    (p : Ast.program) :
+    (Task.t, Machine_error.t) result * Pool.stats =
+  let pool = Pool.create ~config:(pool_config ~domains ~heart_us) () in
+  let finish r =
+    let st = Pool.close pool in
+    (r, st)
+  in
+  match Pool.submit pool ~tenant:"fuzz" (Pool.Tpal { prog = p; options }) with
+  | Error e ->
+      ignore (Pool.close pool);
+      failwith
+        (Fmt.str "Serve_exec: submit rejected on an empty pool (%s)"
+           (match e with
+           | Pool.Rejected `Queue_full -> "queue full"
+           | Pool.Rejected `Shedding -> "shedding"
+           | Pool.Pool_closed -> "pool closed"
+           | Pool.Timed_out -> "timed out"
+           | Pool.Failed e -> Printexc.to_string e))
+  | Ok ticket -> (
+      match Pool.await pool ticket with
+      | Ok { outcome = Pool.Tpal_result r; _ } -> finish r
+      | Ok { outcome = Pool.Checksum _; _ } ->
+          ignore (Pool.close pool);
+          assert false (* a Tpal submission always yields Tpal_result *)
+      | Error (Pool.Failed e) ->
+          ignore (Pool.close pool);
+          raise e
+      | Error _ ->
+          ignore (Pool.close pool);
+          failwith "Serve_exec: single request on a fresh pool unresolved")
+
+(** [check ?domains ?options prog ~outputs] compares the through-pool
+    execution against the sequential evaluator on [outputs], returning
+    {!Fuzz.Diff.divergence}s ([serve-stuck] / [serve-outputs]), one
+    domain count at a time. *)
+let check ?(domains = [ 1; 2 ]) ?(options = Fuzz.Diff.with_heart 17)
+    (prog : Ast.program) ~(outputs : Ast.reg list) : Fuzz.Diff.divergence list
+    =
+  match Eval.run ~options:{ options with heart = None } prog with
+  | Error e ->
+      [ { Fuzz.Diff.oracle = "serve-ref";
+          detail = Fmt.str "reference run stuck: %a" Machine_error.pp e } ]
+  | Ok { stop = Eval.Blocked j; _ } ->
+      [ { Fuzz.Diff.oracle = "serve-ref";
+          detail = Fmt.str "reference run blocked on j%d" j } ]
+  | Ok refr ->
+      let expected =
+        List.map (fun r -> (r, Regfile.find_opt r refr.task.regs)) outputs
+      in
+      List.concat_map
+        (fun d ->
+          match run ~options ~domains:d prog with
+          | Error e, _ ->
+              [ { Fuzz.Diff.oracle = "serve-stuck";
+                  detail = Fmt.str "domains=%d: %a" d Machine_error.pp e } ]
+          | Ok task, _ ->
+              Fuzz.Diff.compare_outputs ~oracle:"serve-outputs"
+                ~what:(Fmt.str "served, domains=%d" d)
+                expected
+                (List.map
+                   (fun r -> (r, Regfile.find_opt r task.regs))
+                   outputs))
+        domains

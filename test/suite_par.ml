@@ -577,6 +577,40 @@ let test_stats_accounting () =
   check_int "domains recorded" 2 st.domains;
   check "elapsed measured" true (st.elapsed_s > 0.)
 
+(* The urgency hook (the serving layer's deadline-aware promotion
+   hint): with an astronomically long heart period no beat ever fires
+   naturally, so promotions stay at zero; raising the urgency shifts
+   the effective period down until every poll beats.  Also pins the
+   clamp and the outside-session rejection. *)
+let test_urgency_promotes () =
+  let config =
+    { (cfg ~domains:1 ~heart_us:1e12 ()) with
+      source = `Polling;
+      poll_stride = 1;
+    }
+  in
+  let work () =
+    let a = Array.make 4096 0 in
+    Par.Runtime.par_for ~lo:0 ~hi:4096 (fun i -> a.(i) <- i)
+  in
+  let (), st0 = Par.Runtime.run ~config (fun () -> work ()) in
+  check_int "no promotions at base cadence" 0 st0.total.promotions;
+  let (), st1 =
+    Par.Runtime.run ~config (fun () ->
+        Par.Runtime.set_urgency 9999;
+        check_int "urgency clamped" Par.Runtime.max_urgency
+          (Par.Runtime.urgency ());
+        Par.Runtime.set_urgency (-3);
+        check_int "urgency floored" 0 (Par.Runtime.urgency ());
+        Par.Runtime.set_urgency Par.Runtime.max_urgency;
+        work ();
+        Par.Runtime.set_urgency 0)
+  in
+  check "max urgency forces promotions" true (st1.total.promotions > 0);
+  match Par.Runtime.set_urgency 1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "set_urgency outside run should raise"
+
 let test_knapsack_incumbent_monotone () =
   (* the CAS-max incumbent: the parallel optimum equals the DP optimum
      on every schedule (regression for the read-check-write race) *)
@@ -623,6 +657,8 @@ let suite =
         test_exception_propagation;
       Alcotest.test_case "stats and events account" `Quick
         test_stats_accounting;
+      Alcotest.test_case "urgency hint forces promotions" `Quick
+        test_urgency_promotes;
       Alcotest.test_case "knapsack incumbent is monotone" `Quick
         test_knapsack_incumbent_monotone;
     ] )

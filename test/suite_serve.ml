@@ -1,0 +1,555 @@
+(* The serving layer (lib/serve): the deterministic scheduling core on
+   a virtual clock — admission backpressure, DRR fairness, EDF
+   ordering, deadline accounting, promotion hints — plus the
+   concurrent pool itself: warm-session execution, exactly-once under
+   concurrent submission, the typed Pool_closed teardown, and the
+   lease-watchdog degradation path.
+
+   Every Sched test drives explicit [now] literals (no wall clock, no
+   domains), so the policy checks are bit-reproducible on a 1-core CI
+   host; the pool tests use a single-domain polling session plus
+   control gates (atomics the test flips), never sleeps-as-
+   synchronisation.  Awaits carry timeouts so a scheduler regression
+   fails the test rather than hanging CI. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* a request with only the fields the policy looks at *)
+let req ?(size = 1) ?(enq = 0.) ~id ~tenant ~deadline () : unit Serve.Sched.req
+    =
+  { Serve.Sched.id; tenant; deadline; size; enqueued = enq; payload = () }
+
+let sched ?(cap = 512) ?(quantum = 1) ?(panic = 0.) () : unit Serve.Sched.t =
+  Serve.Sched.create
+    ~config:{ Serve.Sched.cap; quantum; panic_slack = panic }
+    ()
+
+let admit_ok s r =
+  match Serve.Sched.admit s r with
+  | Ok () -> ()
+  | Error `Queue_full -> Alcotest.fail "unexpected Queue_full"
+
+let next_id s ~now =
+  match Serve.Sched.next s ~now with
+  | Some r -> r.Serve.Sched.id
+  | None -> Alcotest.fail "next on non-empty scheduler returned None"
+
+(* ------------------------------------------------------------------ *)
+(* Admission control: cap reached -> reject; drain -> re-admit. *)
+
+let test_admission_cap () =
+  let s = sched ~cap:4 () in
+  for i = 1 to 4 do
+    admit_ok s (req ~id:i ~tenant:"a" ~deadline:1e9 ())
+  done;
+  check "cap reached rejects" true
+    (Serve.Sched.admit s (req ~id:5 ~tenant:"a" ~deadline:1e9 ())
+    = Error `Queue_full);
+  (* a different tenant shares the same global cap *)
+  check "cap is global across tenants" true
+    (Serve.Sched.admit s (req ~id:6 ~tenant:"b" ~deadline:1e9 ())
+    = Error `Queue_full);
+  (* drain one -> admission re-opens *)
+  let _ = next_id s ~now:0. in
+  admit_ok s (req ~id:7 ~tenant:"a" ~deadline:1e9 ());
+  check_int "queued at cap again" 4 (Serve.Sched.length s);
+  let st = Serve.Sched.stats s in
+  check_int "admitted" 5 st.admitted;
+  check_int "rejected" 2 st.rejected
+
+(* ------------------------------------------------------------------ *)
+(* DRR fairness: 10:1 offered load, ~1:1 served share while both
+   tenants stay backlogged.  Fails if the dequeue is FIFO (tenant a
+   would take the first 100 slots) or tenant-blind. *)
+
+let test_drr_fairness () =
+  let s = sched () in
+  let id = ref 0 in
+  let admit tenant =
+    incr id;
+    admit_ok s (req ~id:!id ~tenant ~deadline:1e9 ())
+  in
+  for _ = 1 to 100 do
+    admit "a"
+  done;
+  for _ = 1 to 10 do
+    admit "b"
+  done;
+  (* serve 20 while both are backlogged: DRR alternates, so b gets
+     ~10 of the first 20 despite offering 10x less *)
+  let served_a = ref 0 and served_b = ref 0 in
+  for _ = 1 to 20 do
+    let r =
+      match Serve.Sched.next s ~now:0. with
+      | Some r -> r
+      | None -> Alcotest.fail "ran dry"
+    in
+    if r.Serve.Sched.tenant = "a" then incr served_a else incr served_b
+  done;
+  check
+    (Printf.sprintf "served share within tolerance (a=%d b=%d)" !served_a
+       !served_b)
+    true
+    (abs (!served_a - !served_b) <= 2);
+  check "b not starved" true (!served_b >= 8);
+  (* once b drains, a gets full service *)
+  let remaining = ref 0 in
+  let rec drain () =
+    match Serve.Sched.next s ~now:0. with
+    | Some _ ->
+        incr remaining;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "nothing lost" 110 (20 + !remaining)
+
+(* Size-weighted DRR: with equal offered requests but 4x sizes, the
+   small-request tenant is served ~4x as often (byte-fairness, not
+   request-fairness). *)
+let test_drr_size_weighting () =
+  let s = sched ~quantum:1 () in
+  let id = ref 0 in
+  let admit tenant size =
+    incr id;
+    admit_ok s (req ~size ~id:!id ~tenant ~deadline:1e9 ())
+  in
+  for _ = 1 to 40 do
+    admit "big" 4;
+    admit "small" 1
+  done;
+  let served_big = ref 0 and served_small = ref 0 in
+  for _ = 1 to 25 do
+    let r =
+      match Serve.Sched.next s ~now:0. with
+      | Some r -> r
+      | None -> Alcotest.fail "ran dry"
+    in
+    if r.Serve.Sched.tenant = "big" then incr served_big else incr served_small
+  done;
+  check
+    (Printf.sprintf "size-units balanced (big=%d small=%d)" !served_big
+       !served_small)
+    true
+    (!served_small >= 3 * !served_big)
+
+(* ------------------------------------------------------------------ *)
+(* EDF: a tight-deadline request overtakes FIFO order within its
+   tenant.  Fails if the per-tenant queue is FIFO. *)
+
+let test_edf_order () =
+  let s = sched () in
+  admit_ok s (req ~id:1 ~tenant:"a" ~deadline:10. ());
+  admit_ok s (req ~id:2 ~tenant:"a" ~deadline:1. ());
+  admit_ok s (req ~id:3 ~tenant:"a" ~deadline:5. ());
+  check_int "earliest deadline first" 2 (next_id s ~now:0.);
+  check_int "then the middle one" 3 (next_id s ~now:0.);
+  check_int "FIFO-earliest last" 1 (next_id s ~now:0.);
+  (* deadline ties break FIFO by id *)
+  admit_ok s (req ~id:4 ~tenant:"a" ~deadline:7. ());
+  admit_ok s (req ~id:5 ~tenant:"a" ~deadline:7. ());
+  check_int "tie breaks FIFO" 4 (next_id s ~now:0.);
+  check_int "tie breaks FIFO (2)" 5 (next_id s ~now:0.)
+
+(* Panic override: an imminent deadline bypasses the round-robin turn
+   (its tenant still pays deficit), then normal DRR resumes. *)
+let test_edf_panic_override () =
+  let s = sched ~panic:0.5 () in
+  for i = 1 to 5 do
+    admit_ok s (req ~id:i ~tenant:"a" ~deadline:1e9 ())
+  done;
+  admit_ok s (req ~id:10 ~tenant:"b" ~deadline:2.0 ());
+  (* b joined the ring last, but its head is within panic slack of
+     now=1.6 (slack 0.4 <= 0.5) *)
+  check_int "imminent deadline overrides DRR" 10 (next_id s ~now:1.6);
+  check "then back to a" true (next_id s ~now:1.6 < 10)
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-miss accounting. *)
+
+let test_deadline_accounting () =
+  let s = sched () in
+  let r1 = req ~id:1 ~tenant:"a" ~deadline:10. () in
+  let r2 = req ~id:2 ~tenant:"a" ~deadline:10. () in
+  admit_ok s r1;
+  admit_ok s r2;
+  let _ = next_id s ~now:0. and _ = next_id s ~now:0. in
+  check "on time" true (Serve.Sched.complete s ~now:9.9 r1 = `Met);
+  check "late" true (Serve.Sched.complete s ~now:10.1 r2 = `Missed);
+  let st = Serve.Sched.stats s in
+  check_int "met" 1 st.met;
+  check_int "missed" 1 st.missed;
+  check_int "served" 2 st.served
+
+(* ------------------------------------------------------------------ *)
+(* Promotion hint: 0 with plentiful slack, rising as the remaining
+   budget fraction halves, capped at 6, monotone in elapsed time. *)
+
+let test_promotion_hint () =
+  let r = req ~id:1 ~tenant:"a" ~enq:0. ~deadline:100. () in
+  let hint now = Serve.Sched.promotion_hint ~now r in
+  check_int "fresh request" 0 (hint 0.);
+  check_int "3/4 budget left" 0 (hint 25.);
+  check_int "half budget left" 1 (hint 50.);
+  check_int "1/10 budget left" 3 (hint 90.);
+  check_int "overdue" 6 (hint 101.);
+  let prev = ref (-1) in
+  for t = 0 to 120 do
+    let h = hint (float_of_int t) in
+    check (Printf.sprintf "monotone at t=%d" t) true (h >= !prev);
+    check (Printf.sprintf "clamped at t=%d" t) true (h >= 0 && h <= 6);
+    prev := h
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The pool: warm single-domain session, submit/await round trips. *)
+
+let pool_config ?(cap = 512) ?(lease_s = 0.) ?(domains = 1) () :
+    Serve.Pool.config =
+  {
+    Serve.Pool.default_config with
+    runtime =
+      {
+        Par.Runtime.default_config with
+        domains;
+        heart_us = 100.;
+        source = `Polling;
+      };
+    sched = { Serve.Sched.default_config with cap };
+    lease_s;
+  }
+
+let test_pool_basic () =
+  let pool = Serve.Pool.create ~config:(pool_config ()) () in
+  let tickets =
+    List.init 20 (fun i ->
+        let work =
+          Serve.Pool.Thunk
+            (fun (module E : Workloads.Exec.S) ->
+              let acc = Array.make 64 0 in
+              E.par_for ~lo:0 ~hi:64 (fun j -> acc.(j) <- (i * 64) + j);
+              Array.fold_left ( + ) 0 acc)
+        in
+        match Serve.Pool.submit pool ~tenant:(Printf.sprintf "t%d" (i mod 3))
+                work
+        with
+        | Ok t -> (i, t)
+        | Error _ -> Alcotest.failf "submit %d rejected" i)
+  in
+  List.iter
+    (fun (i, t) ->
+      match Serve.Pool.await ~timeout_s:30. pool t with
+      | Ok { outcome = Serve.Pool.Checksum c; _ } ->
+          let expected = (64 * 64 * i) + (63 * 64 / 2) in
+          check_int (Printf.sprintf "checksum %d" i) expected c
+      | Ok _ -> Alcotest.fail "unexpected outcome kind"
+      | Error _ -> Alcotest.failf "request %d errored" i)
+    tickets;
+  let st = Serve.Pool.close pool in
+  check_int "all served" 20 st.served;
+  check_int "none queued" 0 st.queued;
+  check_int "deadline classification total" 20 (st.met + st.missed);
+  check "runtime stats surfaced at close" true (st.runtime <> None)
+
+(* A registry kernel through the pool equals its serial checksum. *)
+let test_pool_kernel () =
+  let b =
+    match Workloads.Real_bench.find "plus_reduce" with
+    | Some b -> b
+    | None -> Alcotest.fail "plus_reduce missing from the registry"
+  in
+  let expected = Workloads.Real_bench.run_serial b ~scale:1 in
+  let pool = Serve.Pool.create ~config:(pool_config ()) () in
+  let t =
+    match
+      Serve.Pool.submit pool ~tenant:"k"
+        (Serve.Pool.Kernel { bench = b; scale = 1 })
+    with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "kernel submit rejected"
+  in
+  (match Serve.Pool.await ~timeout_s:60. pool t with
+  | Ok { outcome = Serve.Pool.Checksum c; _ } ->
+      check_int "kernel checksum matches serial" expected c
+  | Ok _ -> Alcotest.fail "unexpected outcome kind"
+  | Error _ -> Alcotest.fail "kernel request errored");
+  ignore (Serve.Pool.close pool)
+
+(* The Serve_exec oracle in tier-1: seeded TPAL programs through the
+   whole serving path are bit-identical to the sequential evaluator. *)
+let test_serve_exec_oracle () =
+  for seed = 1 to 5 do
+    let g = Fuzz.Gen.generate ~seed in
+    match Serve.Serve_exec.check ~domains:[ 1; 2 ] g.prog ~outputs:g.outputs
+    with
+    | [] -> ()
+    | ds ->
+        Alcotest.failf "seed %d: %s" seed
+          (String.concat "; "
+             (List.map
+                (fun (d : Fuzz.Diff.divergence) ->
+                  "[" ^ d.oracle ^ "] " ^ d.detail)
+                ds))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure at the pool boundary: fill the queue behind a gated
+   request, observe the typed rejection, drain, re-admit. *)
+
+let spin_until ?(timeout_s = 30.) (what : string) (p : unit -> bool) : unit =
+  let t0 = Mclock.now_s () in
+  let rec go () =
+    if p () then ()
+    else if Mclock.now_s () -. t0 > timeout_s then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Unix.sleepf 0.001;
+      go ()
+    end
+  in
+  go ()
+
+let gated () =
+  let gate = Atomic.make false in
+  let started = Atomic.make false in
+  let work =
+    Serve.Pool.Thunk
+      (fun (module E : Workloads.Exec.S) ->
+        Atomic.set started true;
+        while not (Atomic.get gate) do
+          Unix.sleepf 0.001
+        done;
+        42)
+  in
+  (gate, started, work)
+
+let quick_thunk v = Serve.Pool.Thunk (fun _ -> v)
+
+let test_pool_backpressure () =
+  let pool = Serve.Pool.create ~config:(pool_config ~cap:2 ()) () in
+  let gate, started, work = gated () in
+  let t1 =
+    match Serve.Pool.submit pool ~tenant:"a" work with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "gated submit rejected"
+  in
+  (* wait until the gated request is IN FLIGHT (out of the queue), so
+     the cap below is exercised deterministically *)
+  spin_until "gated request to start" (fun () -> Atomic.get started);
+  let t2 = Serve.Pool.submit pool ~tenant:"a" (quick_thunk 2) in
+  let t3 = Serve.Pool.submit pool ~tenant:"b" (quick_thunk 3) in
+  check "queue holds cap requests" true
+    (match (t2, t3) with Ok _, Ok _ -> true | _ -> false);
+  (match Serve.Pool.submit pool ~tenant:"a" (quick_thunk 4) with
+  | Error (Serve.Pool.Rejected `Queue_full) -> ()
+  | Ok _ -> Alcotest.fail "cap+1 submit was admitted"
+  | Error _ -> Alcotest.fail "cap+1 submit failed with the wrong error");
+  Atomic.set gate true;
+  (match Serve.Pool.await ~timeout_s:30. pool t1 with
+  | Ok { outcome = Serve.Pool.Checksum 42; _ } -> ()
+  | _ -> Alcotest.fail "gated request did not complete");
+  List.iter
+    (fun t ->
+      match t with
+      | Ok t -> (
+          match Serve.Pool.await ~timeout_s:30. pool t with
+          | Ok _ -> ()
+          | Error _ -> Alcotest.fail "queued request errored")
+      | Error _ -> ())
+    [ t2; t3 ];
+  (* drained: admission re-opens *)
+  (match Serve.Pool.submit pool ~tenant:"a" (quick_thunk 5) with
+  | Ok t -> (
+      match Serve.Pool.await ~timeout_s:30. pool t with
+      | Ok { outcome = Serve.Pool.Checksum 5; _ } -> ()
+      | _ -> Alcotest.fail "re-admitted request did not complete")
+  | Error _ -> Alcotest.fail "re-admission after drain rejected");
+  let st = Serve.Pool.close pool in
+  check_int "one backpressure rejection" 1 st.sched.rejected
+
+(* ------------------------------------------------------------------ *)
+(* The Pool_closed regression: closing with requests still queued
+   resolves them with the typed error — the in-flight one finishes,
+   nothing hangs, nothing races domain teardown. *)
+
+let test_pool_closed_typed () =
+  let pool = Serve.Pool.create ~config:(pool_config ()) () in
+  let gate, started, work = gated () in
+  let t1 =
+    match Serve.Pool.submit pool ~tenant:"a" work with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "gated submit rejected"
+  in
+  spin_until "gated request to start" (fun () -> Atomic.get started);
+  let t2 =
+    match Serve.Pool.submit pool ~tenant:"a" (quick_thunk 2) with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "queued submit rejected"
+  in
+  let t3 =
+    match Serve.Pool.submit pool ~tenant:"b" (quick_thunk 3) with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "queued submit rejected"
+  in
+  (* release the gate shortly after close starts waiting on the
+     in-flight request *)
+  let releaser =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.05;
+        Atomic.set gate true)
+      ()
+  in
+  let st = Serve.Pool.close pool in
+  Thread.join releaser;
+  (* the in-flight request finished; the queued ones were resolved
+     with the typed error, not executed, not leaked *)
+  (match Serve.Pool.await pool t1 with
+  | Ok { outcome = Serve.Pool.Checksum 42; _ } -> ()
+  | _ -> Alcotest.fail "in-flight request did not finish across close");
+  List.iter
+    (fun t ->
+      match Serve.Pool.await pool t with
+      | Error Serve.Pool.Pool_closed -> ()
+      | Ok _ -> Alcotest.fail "queued request executed after close"
+      | Error _ -> Alcotest.fail "queued request got the wrong error")
+    [ t2; t3 ];
+  check_int "cancelled count" 2 st.cancelled;
+  check_int "served count" 1 st.served;
+  (* submissions after close get the typed error too *)
+  match Serve.Pool.submit pool ~tenant:"a" (quick_thunk 9) with
+  | Error Serve.Pool.Pool_closed -> ()
+  | _ -> Alcotest.fail "submit after close was not Pool_closed"
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent-submit stress: N submitter threads x M requests against
+   one pool; every request executes exactly once (per-request
+   counters), all checksums verify, and the pool quiesces with empty
+   queues.  Awaits are bounded so a scheduler regression fails here
+   instead of hanging CI. *)
+
+let test_concurrent_stress () =
+  let n_threads = 4 and per_thread = 100 in
+  let total = n_threads * per_thread in
+  let pool = Serve.Pool.create ~config:(pool_config ~cap:(2 * total) ()) () in
+  let exec_counts = Array.init total (fun _ -> Atomic.make 0) in
+  let tickets = Array.make total None in
+  let submitters =
+    Array.init n_threads (fun tid ->
+        Thread.create
+          (fun () ->
+            for j = 0 to per_thread - 1 do
+              let idx = (tid * per_thread) + j in
+              let counter = exec_counts.(idx) in
+              let work =
+                Serve.Pool.Thunk
+                  (fun _ ->
+                    Atomic.incr counter;
+                    idx)
+              in
+              match
+                Serve.Pool.submit pool
+                  ~tenant:(Printf.sprintf "t%d" tid)
+                  work
+              with
+              | Ok t -> tickets.(idx) <- Some t
+              | Error _ -> () (* cap is 2x total: must not happen *)
+            done)
+          ())
+  in
+  Array.iter Thread.join submitters;
+  Array.iteri
+    (fun idx ticket ->
+      match ticket with
+      | None -> Alcotest.failf "request %d was rejected under the cap" idx
+      | Some t -> (
+          match Serve.Pool.await ~timeout_s:60. pool t with
+          | Ok { outcome = Serve.Pool.Checksum c; _ } ->
+              check_int (Printf.sprintf "checksum %d" idx) idx c
+          | Ok _ -> Alcotest.fail "unexpected outcome kind"
+          | Error Serve.Pool.Timed_out ->
+              Alcotest.failf "request %d stuck: scheduler regression" idx
+          | Error _ -> Alcotest.failf "request %d errored" idx))
+    tickets;
+  Array.iteri
+    (fun idx c ->
+      check_int
+        (Printf.sprintf "request %d executed exactly once" idx)
+        1 (Atomic.get c))
+    exec_counts;
+  let st = Serve.Pool.close pool in
+  check_int "all served" total st.served;
+  check_int "quiesced: empty queues" 0 st.queued;
+  check_int "no cancellations" 0 st.cancelled;
+  check_int "no failures" 0 st.failures
+
+(* ------------------------------------------------------------------ *)
+(* The lease watchdog: a wedged request degrades the pool (typed
+   shedding), the stall is counted, and completion clears the
+   degradation. *)
+
+let test_watchdog_degradation () =
+  let pool =
+    Serve.Pool.create ~config:(pool_config ~lease_s:0.05 ()) ()
+  in
+  let gate, started, work = gated () in
+  let t1 =
+    match Serve.Pool.submit pool ~tenant:"a" work with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "gated submit rejected"
+  in
+  spin_until "gated request to start" (fun () -> Atomic.get started);
+  spin_until "watchdog to flag the stall" (fun () ->
+      (Serve.Pool.stats pool).stalls_detected >= 1);
+  check "pool degraded while wedged" true (Serve.Pool.stats pool).degraded;
+  (match Serve.Pool.submit pool ~tenant:"b" (quick_thunk 1) with
+  | Error (Serve.Pool.Rejected `Shedding) -> ()
+  | Ok _ -> Alcotest.fail "degraded pool admitted new work"
+  | Error _ -> Alcotest.fail "degraded pool rejected with the wrong error");
+  Atomic.set gate true;
+  (match Serve.Pool.await ~timeout_s:30. pool t1 with
+  | Ok { outcome = Serve.Pool.Checksum 42; _ } -> ()
+  | _ -> Alcotest.fail "wedged request did not recover");
+  spin_until "degradation to clear" (fun () ->
+      not (Serve.Pool.stats pool).degraded);
+  (match Serve.Pool.submit pool ~tenant:"b" (quick_thunk 2) with
+  | Ok t -> (
+      match Serve.Pool.await ~timeout_s:30. pool t with
+      | Ok { outcome = Serve.Pool.Checksum 2; _ } -> ()
+      | _ -> Alcotest.fail "post-recovery request did not complete")
+  | Error _ -> Alcotest.fail "recovered pool still shedding");
+  let st = Serve.Pool.close pool in
+  check "stall stayed on the books" true (st.stalls_detected >= 1);
+  check "not degraded at close" false st.degraded
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "admission: cap, reject, re-admit" `Quick
+        test_admission_cap;
+      Alcotest.test_case "DRR fairness at 10:1 offered load" `Quick
+        test_drr_fairness;
+      Alcotest.test_case "DRR size weighting" `Quick test_drr_size_weighting;
+      Alcotest.test_case "EDF overtakes FIFO order" `Quick test_edf_order;
+      Alcotest.test_case "EDF panic override across tenants" `Quick
+        test_edf_panic_override;
+      Alcotest.test_case "deadline-miss accounting" `Quick
+        test_deadline_accounting;
+      Alcotest.test_case "promotion hint: monotone, clamped" `Quick
+        test_promotion_hint;
+      Alcotest.test_case "pool: warm session round trips" `Quick
+        test_pool_basic;
+      Alcotest.test_case "pool: registry kernel checksum" `Quick
+        test_pool_kernel;
+      Alcotest.test_case "pool: Serve_exec TPAL oracle, 5 seeds" `Quick
+        test_serve_exec_oracle;
+      Alcotest.test_case "pool: backpressure + re-admission" `Quick
+        test_pool_backpressure;
+      Alcotest.test_case "pool: typed Pool_closed teardown" `Quick
+        test_pool_closed_typed;
+      Alcotest.test_case "pool: concurrent-submit exactly-once stress" `Quick
+        test_concurrent_stress;
+      Alcotest.test_case "pool: lease watchdog degradation" `Quick
+        test_watchdog_degradation;
+    ] )

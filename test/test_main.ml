@@ -22,6 +22,7 @@ let () =
       Suite_heartbeat.suite;
       Suite_par.suite;
       Suite_fuzz.suite;
+      Suite_serve.suite;
       Suite_stats.suite;
       Suite_repro.suite;
     ]
