@@ -164,8 +164,11 @@ type par_row = {
   checksum : int;
   promotions : int;
   steals : int;
+  steal_attempts : int;
   joins : int;
   beats : int;
+  max_deque : int;
+  idle_ms : float;  (* total worker idle-backoff sleep *)
 }
 
 (* median-of-k; k small because the kernels are sized to run for tens
@@ -216,9 +219,11 @@ let row_json (r : par_row) =
   Printf.sprintf
     "      {\"bench\": \"%s\", \"domains\": %d, \"seconds\": %.6f, \
      \"session_seconds\": %.6f, \"speedup\": %.3f, \"checksum\": %d, \
-     \"promotions\": %d, \"steals\": %d, \"joins\": %d, \"beats\": %d}"
+     \"promotions\": %d, \"steals\": %d, \"steal_attempts\": %d, \"joins\": \
+     %d, \"beats\": %d, \"max_deque\": %d, \"idle_ms\": %.3f}"
     (json_escape r.bench) r.domains r.seconds r.session_seconds r.speedup
-    r.checksum r.promotions r.steals r.joins r.beats
+    r.checksum r.promotions r.steals r.steal_attempts r.joins r.beats
+    r.max_deque r.idle_ms
 
 let run_json ~(label : string) ~(scale : int) ~(beat_source : string)
     (rows : par_row list) : string =
@@ -353,7 +358,7 @@ let geomean (xs : float list) : float =
 let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
     ~(benches : string list option) ~(append : bool) ~(label : string)
     ~(source : [ `Ping_domain | `Polling ])
-    ~(assert_geomean : float option) : unit =
+    ~(assert_geomean : float option) ~(trace : string option) : unit =
   let source_name =
     match source with `Ping_domain -> "ping" | `Polling -> "polling"
   in
@@ -383,6 +388,7 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
     "domains" "kernel_s" "session_s" "speedup" "promos" "steals" "joins"
     "beats";
   let rows = ref [] in
+  let traces = ref [] in
   let emit r =
     rows := r :: !rows;
     Printf.printf "%-16s %8s %10.4f %10.4f %7.2fx %10d %8d %8d %8d\n%!"
@@ -407,8 +413,11 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
           checksum = serial_sum;
           promotions = 0;
           steals = 0;
+          steal_attempts = 0;
           joins = 0;
           beats = 0;
+          max_deque = 0;
+          idle_ms = 0.;
         };
       List.iter
         (fun d ->
@@ -449,11 +458,54 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
               checksum = par_sum;
               promotions = st.total.promotions;
               steals = st.total.steals;
+              steal_attempts = st.total.steal_attempts;
               joins = st.total.joins;
               beats = st.total.beats;
+              max_deque = st.total.max_deque;
+              idle_ms = float_of_int st.total.idle_ns /. 1e6;
             })
-        domains)
+        domains;
+      (* one extra run per kernel with the ring tracers attached, at
+         the widest domain count, outside the timed battery so tracing
+         cannot perturb the recorded rows *)
+      match trace with
+      | None -> ()
+      | Some _ ->
+          let d = List.fold_left max 1 domains in
+          let tr = Obs.Trace.create () in
+          let cfg =
+            {
+              Par.Runtime.default_config with
+              domains = d;
+              source;
+              tracer = Some tr;
+            }
+          in
+          let sum, _ =
+            Par.Runtime.run ~config:cfg (fun () ->
+                b.run (module Par.Runtime.Exec) ~scale)
+          in
+          if sum <> serial_sum then begin
+            Printf.eprintf "FATAL: %s traced run diverged from serial\n%!"
+              b.name;
+            exit 1
+          end;
+          traces := (b.name, tr) :: !traces)
     benches;
+  (match trace with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Obs.Export.many_to_chrome_string (List.rev !traces));
+      close_out oc;
+      Printf.printf "wrote %s (%d processes, %d events, %d dropped)\n%!" file
+        (List.length !traces)
+        (List.fold_left
+           (fun acc (_, tr) -> acc + Obs.Trace.total_written tr)
+           0 !traces)
+        (List.fold_left
+           (fun acc (_, tr) -> acc + Obs.Trace.total_dropped tr)
+           0 !traces));
   let rows = List.rev !rows in
   (match json with
   | None -> (
@@ -498,6 +550,14 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
 
 let serve_run_json ~(label : string) (r : Serve.Load.report) : string =
   let spec = r.spec in
+  let latency_per_tenant =
+    String.concat ", "
+      (List.map
+         (fun (tenant, s) ->
+           Printf.sprintf "\"%s\": %s" (json_escape tenant)
+             (Obs.Hist.summary_json s))
+         r.latency_per_tenant)
+  in
   Printf.sprintf
     "    {\n\
     \      \"label\": \"%s\",\n\
@@ -511,16 +571,19 @@ let serve_run_json ~(label : string) (r : Serve.Load.report) : string =
     \        {\"offered\": %d, \"admitted\": %d, \"rejected_full\": %d, \
      \"rejected_shed\": %d, \"completed\": %d, \"failed\": %d, \"lost\": %d, \
      \"duplicated\": %d, \"mismatched\": %d, \"met\": %d, \"missed\": %d, \
-     \"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f, \"goodput_rps\": \
-     %.1f, \"reject_rate\": %.4f, \"elapsed_s\": %.3f}\n\
+     \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": \
+     %.4f, \"goodput_rps\": %.1f, \"reject_rate\": %.4f, \"elapsed_s\": \
+     %.3f, \"pool_latency\": %s, \"latency_per_tenant\": {%s}}\n\
     \      ]\n\
     \    }"
     (json_escape label)
     (Domain.recommended_domain_count ())
     spec.requests spec.tenants spec.rate_rps spec.seed (1e3 *. spec.slo_s)
     r.offered r.admitted r.rejected_full r.rejected_shed r.completed r.failed
-    r.lost r.duplicated r.mismatched r.met r.missed r.p50_ms r.p99_ms
-    r.mean_ms r.goodput_rps r.reject_rate r.elapsed_s
+    r.lost r.duplicated r.mismatched r.met r.missed r.p50_ms r.p95_ms
+    r.p99_ms r.mean_ms r.goodput_rps r.reject_rate r.elapsed_s
+    (Obs.Hist.summary_json r.pool_latency)
+    latency_per_tenant
 
 let write_serve_json ~(path : string) ~(label : string) ~(append : bool)
     (r : Serve.Load.report) : unit =
@@ -606,6 +669,7 @@ let usage () =
     "usage: bench [--par-bench] [--domains 1,2,4] [--scale N] [--json PATH]\n\
     \             [--benches a,b,c] [--append] [--label NAME]\n\
     \             [--beat-source polling|ping] [--assert-geomean F]\n\
+    \             [--trace FILE]\n\
      without --par-bench: regenerate the simulated figures (unless\n\
      REPRO_QUICK=1) and run the Bechamel microbenchmark suite.\n\
      With --par-bench: run the real kernels on the multi-domain runtime\n\
@@ -627,7 +691,12 @@ let usage () =
     \                      cores are scarce)\n\
     \  --assert-geomean F  exit 1 unless the geomean 1-domain speedup\n\
     \                      over the measured kernels is >= F (the\n\
-    \                      single-domain overhead floor in CI)"
+    \                      single-domain overhead floor in CI)\n\
+    \  --trace FILE        with --par-bench: re-run each kernel once at\n\
+    \                      the widest domain count with the per-domain\n\
+    \                      ring tracers attached (outside the timed\n\
+    \                      battery) and write one Perfetto-loadable\n\
+    \                      Chrome trace, one process per kernel"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -641,6 +710,7 @@ let () =
   let label = ref None in
   let source = ref `Polling in
   let assert_geomean = ref None in
+  let trace = ref None in
   let requests = ref 10_000 in
   let tenants = ref 8 in
   let rate = ref 20_000. in
@@ -694,6 +764,9 @@ let () =
     | "--json" :: v :: rest ->
         json := Some v;
         parse rest
+    | "--trace" :: v :: rest ->
+        trace := Some v;
+        parse rest
     | "--benches" :: v :: rest ->
         benches :=
           Some (String.split_on_char ',' v |> List.filter (fun s -> s <> ""));
@@ -745,7 +818,7 @@ let () =
     in
     run_par_bench ~domains:!domains ~scale:!scale ~json:!json
       ~benches:!benches ~append:!append ~label ~source:!source
-      ~assert_geomean:!assert_geomean
+      ~assert_geomean:!assert_geomean ~trace:!trace
   end
   else begin
     if Sys.getenv_opt "REPRO_QUICK" = None then run_figures ();

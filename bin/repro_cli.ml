@@ -15,7 +15,11 @@
    real kernel from Workloads.Real_bench on `--domains N` OCaml 5
    domains under Par.Runtime, verify its checksum against the serial
    executor, and print wall-clock plus the scheduler counters
-   (beats, promotions, steals, joins). *)
+   (beats, promotions, steals, joins).  --trace FILE attaches the
+   per-domain ring-buffer tracers and writes the real run as the same
+   Chrome trace-event JSON as the simulator's; --stats prints the full
+   per-worker metrics table (idle time, steal-failure rate, callback
+   errors, ring drop accounting). *)
 
 open Cmdliner
 
@@ -33,9 +37,19 @@ let trace_arg =
     value & opt (some string) None
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
-          "Also record a per-core cycle trace of the experiment's \
-           representative configuration and write it to $(docv) in Chrome \
-           trace-event JSON (Perfetto-loadable).")
+          "Write a Chrome trace-event JSON (Perfetto-loadable) to $(docv): \
+           for an experiment id, the simulator's per-core cycle trace of \
+           the representative configuration; for $(b,--workload), the real \
+           runtime's per-domain ring-buffer trace.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "With $(b,--workload), print the full metrics snapshot and the \
+           per-worker breakdown (idle ns, steal-failure rate, callback \
+           errors) instead of the one-line totals.")
 
 let workload_arg =
   Arg.(
@@ -107,7 +121,8 @@ let write_trace (id : string) (file : string) : int =
       0)
 
 let run_workload (name : string) (domains : int) (scale : int)
-    (heart_us : float) (source : [ `Ping_domain | `Polling ]) : int =
+    (heart_us : float) (source : [ `Ping_domain | `Polling ])
+    (trace_file : string option) (stats : bool) : int =
   match Workloads.Real_bench.find name with
   | None ->
       Printf.eprintf "unknown workload %S (have: %s)\n" name
@@ -128,8 +143,13 @@ let run_workload (name : string) (domains : int) (scale : int)
         let t0 = Mclock.now_s () in
         let serial = Workloads.Real_bench.run_serial b ~scale in
         let serial_s = Mclock.now_s () -. t0 in
+        let tracer =
+          match trace_file with
+          | None -> None
+          | Some _ -> Some (Obs.Trace.create ())
+        in
         let config =
-          { Par.Runtime.default_config with domains; heart_us; source }
+          { Par.Runtime.default_config with domains; heart_us; source; tracer }
         in
         (* kernel time is clocked inside the session so the speedup
            measures the scheduler, not domain spawn/join setup *)
@@ -150,12 +170,43 @@ let run_workload (name : string) (domains : int) (scale : int)
           st.total.beats st.total.promotions st.total.loop_promotions
           st.total.branch_promotions st.total.steals st.total.steal_attempts
           st.total.joins st.total.resumes st.total.tasks_run;
-        Array.iteri
-          (fun i (w : Par.Runtime.worker_stats) ->
-            Printf.printf
-              "  worker %d: tasks %d  promotions %d  steals %d  max deque %d\n"
-              i w.tasks_run w.promotions w.steals w.max_deque)
-          st.per_worker;
+        if stats then begin
+          Format.printf "%a@." Obs.Metrics.pp
+            (Par.Runtime.metrics ?tracer st);
+          Array.iteri
+            (fun i (w : Par.Runtime.worker_stats) ->
+              Printf.printf
+                "  worker %d: tasks %d  promotions %d  steals %d/%d  joins \
+                 %d  max deque %d  idle %.3f ms  callback errors %d\n"
+                i w.tasks_run w.promotions w.steals w.steal_attempts w.joins
+                w.max_deque
+                (float_of_int w.idle_ns /. 1e6)
+                w.callback_errors)
+            st.per_worker
+        end
+        else
+          Array.iteri
+            (fun i (w : Par.Runtime.worker_stats) ->
+              Printf.printf
+                "  worker %d: tasks %d  promotions %d  steals %d  max deque \
+                 %d\n"
+                i w.tasks_run w.promotions w.steals w.max_deque)
+            st.per_worker;
+        (match (trace_file, tracer) with
+        | Some file, Some tr -> (
+            match open_out file with
+            | exception Sys_error msg ->
+                Printf.eprintf "cannot write trace: %s\n" msg
+            | oc ->
+                output_string oc (Obs.Export.to_chrome_string tr);
+                close_out oc;
+                Printf.printf
+                  "wrote %s (%d events, %d dropped) — load it at \
+                   https://ui.perfetto.dev\n"
+                  file
+                  (Obs.Trace.total_written tr)
+                  (Obs.Trace.total_dropped tr))
+        | _ -> ());
         if par <> serial then begin
           Printf.eprintf
             "FATAL: parallel checksum %d diverges from serial %d\n" par serial;
@@ -167,9 +218,10 @@ let run_workload (name : string) (domains : int) (scale : int)
         end
       end
 
-let go id trace_file workload domains scale heart_us source =
+let go id trace_file workload domains scale heart_us source stats =
   match (workload, id) with
-  | Some name, None -> run_workload name domains scale heart_us source
+  | Some name, None ->
+      run_workload name domains scale heart_us source trace_file stats
   | Some _, Some _ ->
       Printf.eprintf "give either an experiment id or --workload, not both\n";
       2
@@ -199,4 +251,4 @@ let () =
        (Cmd.v info
           Term.(
             const go $ id_arg $ trace_arg $ workload_arg $ domains_arg
-            $ scale_arg $ heart_arg $ source_arg)))
+            $ scale_arg $ heart_arg $ source_arg $ stats_arg)))

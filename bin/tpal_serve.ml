@@ -10,16 +10,20 @@
    Exits non-zero when the exactly-once audit fails (lost, duplicated
    or mismatched requests) or an explicit request errors. *)
 
-let pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms ~lease_s :
-    Serve.Pool.config =
+let pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms ~lease_s
+    ~tracer : Serve.Pool.config =
   {
     Serve.Pool.default_config with
+    (* one tracer for both layers: the server's admission/dispatch track
+       interleaves with the worker-domain tracks in the same trace *)
+    tracer;
     runtime =
       {
         Par.Runtime.default_config with
         domains;
         heart_us;
         source = `Polling;
+        tracer;
       };
     sched =
       {
@@ -147,12 +151,16 @@ let run_tpal pool ~path ~seeds =
               1))
 
 let run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains ~heart_us
-    ~cap ~quantum ~panic_ms ~lease_s ~kernel ~scale ~tpal ~seeds =
+    ~cap ~quantum ~panic_ms ~lease_s ~kernel ~scale ~tpal ~seeds ~metrics
+    ~trace =
+  let tracer =
+    match trace with None -> None | Some _ -> Some (Obs.Trace.create ())
+  in
   let pool =
     Serve.Pool.create
       ~config:
         (pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms
-           ~lease_s)
+           ~lease_s ~tracer)
       ()
   in
   let code =
@@ -168,6 +176,29 @@ let run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains ~heart_us
      %d, cancelled %d, failures %d, stalls %d@."
     st.submitted st.served st.met st.missed st.shed st.sched.rejected
     st.cancelled st.failures st.stalls_detected;
+  if metrics then begin
+    (match st.runtime with
+    | Some rt -> Fmt.pr "%a@." Obs.Metrics.pp (Par.Runtime.metrics ?tracer rt)
+    | None -> ());
+    Fmt.pr "latency (all tenants): %a@." Obs.Hist.pp_summary st.latency;
+    List.iter
+      (fun (tenant, s) ->
+        Fmt.pr "latency %-8s %a@." tenant Obs.Hist.pp_summary s)
+      st.latency_per_tenant
+  end;
+  (match (trace, tracer) with
+  | Some file, Some tr -> (
+      match open_out file with
+      | exception Sys_error msg -> Fmt.epr "cannot write trace: %s@." msg
+      | oc ->
+          output_string oc (Obs.Export.to_chrome_string ~process:"tpal-serve" tr);
+          close_out oc;
+          Fmt.pr "wrote %s (%d events, %d dropped) — load it at \
+                  https://ui.perfetto.dev@."
+            file
+            (Obs.Trace.total_written tr)
+            (Obs.Trace.total_dropped tr))
+  | _ -> ());
   code
 
 open Cmdliner
@@ -235,6 +266,20 @@ let seeds =
     & info [ "r" ] ~docv:"REG=INT"
         ~doc:"Initial register binding for --tpal (repeatable).")
 
+let metrics =
+  Arg.(value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the runtime metrics snapshot and per-tenant latency \
+              percentiles (p50/p95/p99) at shutdown.")
+
+let trace =
+  Arg.(value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record the server's admission/dispatch decisions and the \
+              worker domains' scheduler events into per-domain ring buffers \
+              and write them to $(docv) as Chrome trace-event JSON \
+              (Perfetto-loadable).")
+
 let cmd =
   let doc = "a multi-tenant TPAL execution server over one warm heartbeat session" in
   Cmd.v
@@ -242,12 +287,12 @@ let cmd =
     Term.(
       const
         (fun requests tenants rate seed slo_ms tight_frac domains heart_us cap
-             quantum panic_ms lease_s kernel scale tpal seeds ->
+             quantum panic_ms lease_s kernel scale tpal seeds metrics trace ->
           run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains
             ~heart_us ~cap ~quantum ~panic_ms ~lease_s ~kernel ~scale ~tpal
-            ~seeds)
+            ~seeds ~metrics ~trace)
       $ requests $ tenants $ rate $ seed $ slo_ms $ tight_frac $ domains
       $ heart_us $ cap $ quantum $ panic_ms $ lease_s $ kernel $ scale $ tpal
-      $ seeds)
+      $ seeds $ metrics $ trace)
 
 let () = exit (Cmd.eval' cmd)

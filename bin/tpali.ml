@@ -1,9 +1,13 @@
 (* tpali — the TPAL assembly interpreter.
 
    Subcommands:
-     run    parse, check and evaluate a .tpal file
-     check  static well-formedness only
-     trace  evaluate with a step-by-step trace
+     run      parse, check and evaluate a .tpal file
+     check    static well-formedness only
+     trace    evaluate with a step-by-step trace
+     profile  what-if span profile: rank source regions by the
+              whole-program speedup predicted were each N x more
+              parallel (Coz/TASKPROF-style causal attribution over
+              the cost semantics)
 
    Register seeding: [-r a=7 -r b=6]; result extraction: [--result c];
    heartbeat: [--heart N] (cycles; 0 disables). *)
@@ -206,9 +210,76 @@ let trace_cmd =
       const go $ file_arg $ seeds_arg $ heart_arg $ fuel_arg $ watch_arg
       $ limit_arg $ json_arg)
 
+let profile_cmd =
+  let factor_arg =
+    Arg.(
+      value & opt float 8.
+      & info [ "factor" ] ~docv:"F"
+          ~doc:
+            "What-if factor: predict the speedup were each region $(docv) \
+             times more parallel (its span divided by $(docv)).")
+  in
+  let procs_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "procs" ] ~docv:"P"
+          ~doc:
+            "Predict wall-clock with Brent's bound W/$(docv) + S instead of \
+             the span alone (0 = unbounded processors).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Show only the $(docv) highest-span regions (0 = all).")
+  in
+  let go file seeds heart fuel factor procs top =
+    match parse_program file with
+    | Error (`Msg e) ->
+        Fmt.epr "%s@." e;
+        1
+    | Ok p -> (
+        match Tpal.Check.errors p with
+        | _ :: _ as errs ->
+            List.iter (fun d -> Fmt.epr "%a@." Tpal.Check.pp_diagnostic d) errs;
+            1
+        | [] -> (
+            let bindings =
+              List.map (fun (r, n) -> (r, Tpal.Value.Vint n)) seeds
+            in
+            match
+              Obs.Profile.of_eval ~options:(options ~heart ~fuel) ~bindings p
+            with
+            | Error e ->
+                Fmt.epr "machine error: %a@." Tpal.Machine_error.pp e;
+                1
+            | Ok (prof, fin) ->
+                print_string (Obs.Profile.report ~procs ~factor ~top prof);
+                print_newline ();
+                Fmt.pr
+                  "stopped: %s | instructions=%d promotions=%d forks=%d \
+                   joins=%d@."
+                  (match fin.stop with
+                  | Tpal.Eval.Halted -> "halt"
+                  | Tpal.Eval.Blocked j -> Printf.sprintf "blocked on j%d" j)
+                  fin.stats.instructions fin.stats.promotions fin.stats.forks
+                  fin.stats.join_continues;
+                0))
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile a TPAL program: attribute work and span to source regions \
+          and rank them by predicted whole-program speedup were each more \
+          parallel.")
+    Term.(
+      const go $ file_arg $ seeds_arg $ heart_arg $ fuel_arg $ factor_arg
+      $ procs_arg $ top_arg)
+
 let () =
   let info =
     Cmd.info "tpali" ~version:"1.0"
       ~doc:"Interpreter for TPAL, the Task Parallel Assembly Language."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; check_cmd; trace_cmd ]))
+  exit
+    (Cmd.eval' (Cmd.group info [ run_cmd; check_cmd; trace_cmd; profile_cmd ]))

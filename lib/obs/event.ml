@@ -1,0 +1,110 @@
+(** The unified trace vocabulary of the production side: everything a
+    {!Par.Runtime} worker or the {!Serve.Pool} dispatcher can drop into
+    a {!Ring}, with a fixed integer codec so a ring slot is four plain
+    ints ([code; t_ns; a; b]).
+
+    Runtime events mirror {!Par.Runtime.event} (plus the promotion
+    kind and the steal outcome folded in); serve events cover the
+    admission / DRR–EDF dispatch / completion / degradation decisions
+    of {!Serve.Pool}.  Region and tenant identifiers are
+    {!Labels}-interned ints — resolve them through the owning
+    {!Trace.t}. *)
+
+type t =
+  | Beat  (** a heartbeat observed at a promotion-ready poll *)
+  | Promote of { kind : [ `Loop | `Branch ] }
+  | Steal of { ok : bool; victim : int }
+      (** one steal probe; failed probes are recorded only for the
+          first sweep of an idle drought (see {!Par.Runtime.event}) *)
+  | Join_suspend
+  | Join_resume
+  | Task_start of { region : int }
+  | Task_finish of { region : int }
+  | Nap of { ns : int }  (** an idle-backoff sleep that just ended *)
+  | Callback_error  (** a user [on_event] callback raised *)
+  | Admit of { tenant : int }
+  | Reject of { shed : bool }
+      (** admission refused: queue bound ([shed = false]) or
+          degradation shedding ([shed = true]) *)
+  | Dispatch of { tenant : int; urgency : int }
+      (** the DRR/EDF scheduler picked this tenant's head request;
+          [urgency] is the deadline-driven promotion hint installed *)
+  | Complete of {
+      tenant : int;
+      outcome : [ `Met | `Missed | `Failed | `Cancelled ];
+      sojourn_ns : int;
+    }
+  | Degraded of { on : bool }  (** watchdog entered / left degradation *)
+
+let bool_bit b = if b then 1 else 0
+
+let outcome_code = function
+  | `Met -> 0
+  | `Missed -> 1
+  | `Failed -> 2
+  | `Cancelled -> 3
+
+(** [encode e] is [(code, a, b)] — the non-timestamp words of a ring
+    slot. *)
+let encode : t -> int * int * int = function
+  | Beat -> (1, 0, 0)
+  | Promote { kind = `Loop } -> (2, 0, 0)
+  | Promote { kind = `Branch } -> (2, 1, 0)
+  | Steal { ok; victim } -> (3, bool_bit ok, victim)
+  | Join_suspend -> (4, 0, 0)
+  | Join_resume -> (5, 0, 0)
+  | Task_start { region } -> (6, region, 0)
+  | Task_finish { region } -> (7, region, 0)
+  | Nap { ns } -> (8, ns, 0)
+  | Callback_error -> (9, 0, 0)
+  | Admit { tenant } -> (10, tenant, 0)
+  | Reject { shed } -> (11, bool_bit shed, 0)
+  | Dispatch { tenant; urgency } -> (12, tenant, urgency)
+  | Complete { tenant; outcome; sojourn_ns } ->
+      (13, (tenant lsl 2) lor outcome_code outcome, sojourn_ns)
+  | Degraded { on } -> (14, bool_bit on, 0)
+
+let decode ~(code : int) ~(a : int) ~(b : int) : t option =
+  match code with
+  | 1 -> Some Beat
+  | 2 -> Some (Promote { kind = (if a = 0 then `Loop else `Branch) })
+  | 3 -> Some (Steal { ok = a = 1; victim = b })
+  | 4 -> Some Join_suspend
+  | 5 -> Some Join_resume
+  | 6 -> Some (Task_start { region = a })
+  | 7 -> Some (Task_finish { region = a })
+  | 8 -> Some (Nap { ns = a })
+  | 9 -> Some Callback_error
+  | 10 -> Some (Admit { tenant = a })
+  | 11 -> Some (Reject { shed = a = 1 })
+  | 12 -> Some (Dispatch { tenant = a; urgency = b })
+  | 13 ->
+      let outcome =
+        match a land 3 with
+        | 0 -> `Met
+        | 1 -> `Missed
+        | 2 -> `Failed
+        | _ -> `Cancelled
+      in
+      Some (Complete { tenant = a asr 2; outcome; sojourn_ns = b })
+  | 14 -> Some (Degraded { on = a = 1 })
+  | _ -> None
+
+let name : t -> string = function
+  | Beat -> "beat"
+  | Promote _ -> "promote"
+  | Steal { ok = true; _ } -> "steal"
+  | Steal { ok = false; _ } -> "steal-attempt"
+  | Join_suspend -> "join-block"
+  | Join_resume -> "join-resume"
+  | Task_start _ -> "task-start"
+  | Task_finish _ -> "task-finish"
+  | Nap _ -> "nap"
+  | Callback_error -> "callback-error"
+  | Admit _ -> "admit"
+  | Reject { shed = false } -> "reject"
+  | Reject { shed = true } -> "shed"
+  | Dispatch _ -> "dispatch"
+  | Complete _ -> "complete"
+  | Degraded { on = true } -> "degraded"
+  | Degraded { on = false } -> "recovered"

@@ -1,0 +1,43 @@
+(** Mutex-protected string interning: region names and tenant names
+    become small ints so ring slots and hot-path comparisons never
+    touch a string.  Interning is the slow path (a hashtable hit under
+    a mutex, once per [with_region]/[submit] call, not per event);
+    [name] is for exporters and reports after the fact. *)
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, int) Hashtbl.t;
+  mutable arr : string array;
+  mutable n : int;
+}
+
+let create () : t =
+  { m = Mutex.create (); tbl = Hashtbl.create 64; arr = Array.make 16 ""; n = 0 }
+
+let locked (t : t) (f : unit -> 'a) : 'a =
+  Mutex.lock t.m;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.m)
+
+let intern (t : t) (s : string) : int =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl s with
+      | Some id -> id
+      | None ->
+          let id = t.n in
+          if id = Array.length t.arr then begin
+            let bigger = Array.make (2 * id) "" in
+            Array.blit t.arr 0 bigger 0 id;
+            t.arr <- bigger
+          end;
+          t.arr.(id) <- s;
+          Hashtbl.add t.tbl s id;
+          t.n <- id + 1;
+          id)
+
+(** The interned string, or ["?<id>"] for an unknown id (e.g. region 0
+    of an untraced run). *)
+let name (t : t) (id : int) : string =
+  locked t (fun () ->
+      if id >= 0 && id < t.n then t.arr.(id) else Printf.sprintf "?%d" id)
+
+let count (t : t) : int = locked t (fun () -> t.n)

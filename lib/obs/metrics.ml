@@ -1,0 +1,100 @@
+(** A production-metrics snapshot: worker counters and ring accounting
+    folded into one record with the derived rates operators actually
+    watch (steal-failure rate, promotions per beat, idle share).
+
+    The record is plain data — {!Par.Runtime.metrics} fills it from a
+    session's stats, the serve pool from its own counters — so this
+    module stays dependency-free below [par]/[serve]. *)
+
+type t = {
+  domains : int;
+  elapsed_s : float;
+  beats : int;
+  promotions : int;
+  loop_promotions : int;
+  branch_promotions : int;
+  joins : int;
+  resumes : int;
+  steals : int;
+  steal_attempts : int;
+  tasks : int;
+  max_deque : int;
+  idle_ns : int;  (** total nanoseconds workers slept in idle backoff *)
+  callback_errors : int;  (** user [on_event] callbacks that raised *)
+  traced : int;  (** events emitted into rings (0 when tracing is off) *)
+  dropped : int;  (** ring events lost to drop-oldest overflow *)
+}
+
+let zero =
+  {
+    domains = 0;
+    elapsed_s = 0.;
+    beats = 0;
+    promotions = 0;
+    loop_promotions = 0;
+    branch_promotions = 0;
+    joins = 0;
+    resumes = 0;
+    steals = 0;
+    steal_attempts = 0;
+    tasks = 0;
+    max_deque = 0;
+    idle_ns = 0;
+    callback_errors = 0;
+    traced = 0;
+    dropped = 0;
+  }
+
+(** Fraction of steal probes that came up empty. *)
+let steal_failure_rate (m : t) : float =
+  if m.steal_attempts = 0 then 0.
+  else 1. -. (float_of_int m.steals /. float_of_int m.steal_attempts)
+
+let promotions_per_beat (m : t) : float =
+  if m.beats = 0 then 0.
+  else float_of_int m.promotions /. float_of_int m.beats
+
+(** Idle-sleep share of total worker-seconds. *)
+let idle_frac (m : t) : float =
+  if m.elapsed_s <= 0. || m.domains = 0 then 0.
+  else
+    float_of_int m.idle_ns /. 1e9
+    /. (m.elapsed_s *. float_of_int m.domains)
+
+let pp ppf (m : t) =
+  Fmt.pf ppf
+    "@[<v>domains            %d@,elapsed            %.6f s@,\
+     beats              %d@,promotions         %d (%d loop, %d branch; \
+     %.2f/beat)@,joins/resumes      %d/%d@,steals             %d/%d attempts \
+     (%.1f%% failed)@,tasks              %d@,max deque depth    %d@,\
+     idle sleep         %.3f ms (%.1f%% of worker-time)@,callback errors    \
+     %d@,traced events      %d (%d dropped)@]"
+    m.domains m.elapsed_s m.beats m.promotions m.loop_promotions
+    m.branch_promotions (promotions_per_beat m) m.joins m.resumes m.steals
+    m.steal_attempts
+    (100. *. steal_failure_rate m)
+    m.tasks m.max_deque
+    (float_of_int m.idle_ns /. 1e6)
+    (100. *. idle_frac m)
+    m.callback_errors m.traced m.dropped
+
+let num (x : float) : string =
+  if Float.is_nan x || Float.abs x = infinity then "0"
+  else Printf.sprintf "%.4f" x
+
+(** The snapshot as JSON object fields (no enclosing braces, so
+    callers can splice extra fields alongside). *)
+let to_json_fields (m : t) : string =
+  Printf.sprintf
+    "\"domains\": %d, \"elapsed_s\": %s, \"beats\": %d, \"promotions\": %d, \
+     \"steals\": %d, \"steal_attempts\": %d, \"steal_failure_rate\": %s, \
+     \"promotions_per_beat\": %s, \"joins\": %d, \"resumes\": %d, \
+     \"tasks\": %d, \"max_deque\": %d, \"idle_ns\": %d, \
+     \"callback_errors\": %d, \"traced\": %d, \"dropped\": %d"
+    m.domains (num m.elapsed_s) m.beats m.promotions m.steals m.steal_attempts
+    (num (steal_failure_rate m))
+    (num (promotions_per_beat m))
+    m.joins m.resumes m.tasks m.max_deque m.idle_ns m.callback_errors m.traced
+    m.dropped
+
+let to_json (m : t) : string = "{" ^ to_json_fields m ^ "}"

@@ -1,0 +1,71 @@
+(** Fixed-capacity, drop-oldest event ring — the per-domain trace sink
+    that is safe to leave on in production.
+
+    One ring has exactly one writer: the domain that owns it (a
+    {!Par.Runtime} worker, or the serving layer under its pool mutex).
+    [emit] is a handful of int stores into a preallocated flat array —
+    no allocation, no locks, no atomics — so the instrumented hot paths
+    pay a few nanoseconds whether or not anybody ever reads the trace.
+
+    Overflow never blocks and never grows: the ring wraps and the
+    oldest slots are overwritten.  [written] counts every emission, so
+    [dropped = written - capacity] (clamped at 0) is exact drop
+    accounting even though the dropped slots themselves are gone.
+
+    Readers are expected to run after the writer quiesced (after
+    {!Par.Runtime.run} joined its domains, or under the serve pool's
+    mutex).  Racy reads while the writer is live are permitted by the
+    OCaml memory model (no tearing of immediate ints) and yield an
+    approximate snapshot — good enough for live metrics, not for span
+    pairing.
+
+    The record itself is {!Padding.copy_as_padded}-padded: [written]
+    is written on the owner's hot path, and adjacent rings allocated
+    together must not share its cache line. *)
+
+(* Slot layout: [code; t_ns; a; b] — see {!Event.encode}. *)
+let slot_words = 4
+
+type t = {
+  data : int array;
+  cap : int;  (** slot capacity, a power of two *)
+  mask : int;
+  mutable written : int;  (** total emissions ever, monotone *)
+}
+
+let rec pow2_at_least (n : int) (c : int) = if c >= n then c else pow2_at_least n (c * 2)
+
+(** [create ~capacity ()] — capacity is rounded up to a power of two,
+    with a floor of 16 slots. *)
+let create ?(capacity = 32768) () : t =
+  let cap = pow2_at_least (max 16 capacity) 16 in
+  Padding.copy_as_padded
+    { data = Array.make (cap * slot_words) 0; cap; mask = cap - 1; written = 0 }
+
+let emit (t : t) ~(code : int) ~(at_ns : int) ~(a : int) ~(b : int) : unit =
+  let i = (t.written land t.mask) * slot_words in
+  let d = t.data in
+  Array.unsafe_set d i code;
+  Array.unsafe_set d (i + 1) at_ns;
+  Array.unsafe_set d (i + 2) a;
+  Array.unsafe_set d (i + 3) b;
+  t.written <- t.written + 1
+
+let capacity (t : t) : int = t.cap
+let written (t : t) : int = t.written
+
+(** Events still resident (≤ capacity). *)
+let length (t : t) : int = min t.written t.cap
+
+(** Events lost to drop-oldest overwriting. *)
+let dropped (t : t) : int = max 0 (t.written - t.cap)
+
+(** [iter t ~f]: the resident events, oldest retained first. *)
+let iter (t : t) ~(f : code:int -> at_ns:int -> a:int -> b:int -> unit) : unit
+    =
+  let first = max 0 (t.written - t.cap) in
+  for k = first to t.written - 1 do
+    let i = (k land t.mask) * slot_words in
+    f ~code:t.data.(i) ~at_ns:t.data.(i + 1) ~a:t.data.(i + 2)
+      ~b:t.data.(i + 3)
+  done

@@ -1,0 +1,71 @@
+(** A trace session: shared label interning, a common monotonic time
+    origin, and one {!Ring} per producer ("track" — a worker domain,
+    or the serving layer).
+
+    Construction and track registration take a mutex (they happen a
+    handful of times, at pool construction); {!emit} is the production
+    hot path and touches only the caller-owned ring plus
+    {!Mclock.now_ns} — no locks, no allocation. *)
+
+type t = {
+  labels : Labels.t;
+  t0_ns : int;  (** monotonic origin; event stamps are relative *)
+  capacity : int;  (** per-track ring capacity (slots) *)
+  m : Mutex.t;
+  mutable tracks : (string * Ring.t) list;  (** reverse registration order *)
+}
+
+(** [create ()] — [capacity] is the per-track ring size in events
+    (default 32768 ≈ 1 MiB per track). *)
+let create ?(capacity = 32768) () : t =
+  {
+    labels = Labels.create ();
+    t0_ns = Mclock.now_ns ();
+    capacity;
+    m = Mutex.create ();
+    tracks = [];
+  }
+
+(** [track t name] registers a new producer and returns its ring.
+    Call once per producer, at setup time; the returned ring must only
+    ever be written by that producer. *)
+let track (t : t) (name : string) : Ring.t =
+  let r = Ring.create ~capacity:t.capacity () in
+  Mutex.lock t.m;
+  t.tracks <- (name, r) :: t.tracks;
+  Mutex.unlock t.m;
+  r
+
+(** Registered tracks, in registration order. *)
+let tracks (t : t) : (string * Ring.t) list =
+  Mutex.lock t.m;
+  let l = List.rev t.tracks in
+  Mutex.unlock t.m;
+  l
+
+let intern (t : t) (s : string) : int = Labels.intern t.labels s
+let label (t : t) (id : int) : string = Labels.name t.labels id
+
+(** [emit t ring e]: stamp [e] with the session-relative monotonic
+    time and push it onto [ring].  Owner-only, like {!Ring.emit}. *)
+let emit (t : t) (ring : Ring.t) (e : Event.t) : unit =
+  let code, a, b = Event.encode e in
+  Ring.emit ring ~code ~at_ns:(Mclock.now_ns () - t.t0_ns) ~a ~b
+
+(** Decoded resident events per track, oldest first. *)
+let events (t : t) : (string * (int * Event.t) list) list =
+  List.map
+    (fun (name, ring) ->
+      let acc = ref [] in
+      Ring.iter ring ~f:(fun ~code ~at_ns ~a ~b ->
+          match Event.decode ~code ~a ~b with
+          | Some e -> acc := (at_ns, e) :: !acc
+          | None -> ());
+      (name, List.rev !acc))
+    (tracks t)
+
+let total_written (t : t) : int =
+  List.fold_left (fun n (_, r) -> n + Ring.written r) 0 (tracks t)
+
+let total_dropped (t : t) : int =
+  List.fold_left (fun n (_, r) -> n + Ring.dropped r) 0 (tracks t)

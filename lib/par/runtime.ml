@@ -61,6 +61,7 @@ and waiter =
       marks : entry list ref;
           (** the suspended computation's mark list, re-installed on
               the resuming worker *)
+      region : int;  (** the suspended computation's trace region *)
     }
   | Resumed
 
@@ -77,7 +78,13 @@ and loop_state = {
     whichever domain is running the computation. *)
 and entry = E_branch of branch_state | E_loop of loop_state
 
-type task = { run : unit -> unit; marks : entry list ref }
+type task = {
+  run : unit -> unit;
+  marks : entry list ref;
+  region : int;
+      (** {!Obs.Labels}-interned source-region label inherited from the
+          forking computation; 0 when tracing is off *)
+}
 
 type worker = {
   id : int;
@@ -90,6 +97,12 @@ type worker = {
   mutable last_beat_ns : int;
       (** [`Polling] source only: monotonic ({!Mclock}) stamp of the
           previous beat, armed when this worker's loop starts *)
+  ring : Obs.Ring.t option;
+      (** this worker's trace ring (present iff the session has a
+          tracer); owner-written only, like every field below *)
+  mutable region : int;
+      (** interned label of the source region currently running here —
+          stamped on promoted tasks and Task_start/finish events *)
   (* stats: plain fields, owner-domain only; aggregated after join *)
   mutable st_beats : int;
   mutable st_promotions : int;
@@ -101,6 +114,8 @@ type worker = {
   mutable st_steal_attempts : int;
   mutable st_tasks : int;
   mutable st_max_deque : int;
+  mutable st_idle_ns : int;
+  mutable st_callback_errors : int;
 }
 
 (** Observability hook events, fired from the worker's own code path
@@ -113,8 +128,14 @@ type event =
   | Join_suspend
   | Join_resume  (** last child re-enqueued the suspended parent *)
   | Steal of { victim : int }
+  | Steal_fail of { victim : int }
+      (** an empty steal probe.  Only the {e first} sweep of an idle
+          drought is reported (per-probe reporting during backoff spin
+          would swamp both callbacks and rings with megahertz noise);
+          the {!Nap} events cover the rest of the drought. *)
   | Task_start
   | Task_finish
+  | Nap of { ns : int }  (** an idle-backoff sleep of [ns] just ended *)
 
 type config = {
   domains : int;  (** worker domains; 1 = serial with promotion *)
@@ -124,6 +145,10 @@ type config = {
           worker polling the clock directly *)
   poll_stride : int;  (** loop iterations between polls *)
   on_event : (worker:int -> event -> unit) option;
+  tracer : Obs.Trace.t option;
+      (** when set, every worker gets a per-domain {!Obs.Ring} track
+          in this trace and feeds it the full event stream — export
+          with {!Obs.Export}, digest with {!metrics} *)
 }
 
 let default_config =
@@ -133,12 +158,14 @@ let default_config =
     source = `Ping_domain;
     poll_stride = 32;
     on_event = None;
+    tracer = None;
   }
 
 type pool = {
   cfg : config;
   heart_ns : int;  (** [cfg.heart_us] in integer nanoseconds, for the
                        [`Polling] fast path *)
+  t0_ns : int;  (** monotonic session start, for {!live_stats} *)
   workers : worker array;
   stop : bool Atomic.t;  (** main completed, or a task raised *)
   ping_stop : bool Atomic.t;
@@ -170,6 +197,8 @@ type worker_stats = {
   steal_attempts : int;
   tasks_run : int;
   max_deque : int;
+  idle_ns : int;  (** nanoseconds slept in idle backoff (naps only) *)
+  callback_errors : int;  (** [on_event] callbacks that raised *)
 }
 
 type stats = {
@@ -207,10 +236,38 @@ let set_urgency (u : int) : unit =
 (** The session's current urgency hint (0 when never set). *)
 let urgency () : int = Atomic.get (cur_ctx ()).pool.urgency
 
+(* Runtime events in the unified {!Obs.Event} vocabulary; task events
+   pick up the worker's current region label. *)
+let to_obs (w : worker) : event -> Obs.Event.t = function
+  | Beat -> Obs.Event.Beat
+  | Promoted kind -> Obs.Event.Promote { kind }
+  | Join_suspend -> Obs.Event.Join_suspend
+  | Join_resume -> Obs.Event.Join_resume
+  | Steal { victim } -> Obs.Event.Steal { ok = true; victim }
+  | Steal_fail { victim } -> Obs.Event.Steal { ok = false; victim }
+  | Task_start -> Obs.Event.Task_start { region = w.region }
+  | Task_finish -> Obs.Event.Task_finish { region = w.region }
+  | Nap { ns } -> Obs.Event.Nap { ns }
+
+(* Feed the worker's ring (if tracing), then the user callback.  A
+   raising callback must not kill the worker domain mid-session — the
+   pool would deadlock on the lost worker — so exceptions are swallowed
+   into the [callback_errors] counter and surfaced via stats/metrics
+   instead of tearing the pool down. *)
 let fire (ctx : ctx) (e : event) : unit =
+  let w = ctx.worker in
+  (match (w.ring, ctx.pool.cfg.tracer) with
+  | Some ring, Some tr -> Obs.Trace.emit tr ring (to_obs w e)
+  | _ -> ());
   match ctx.pool.cfg.on_event with
   | None -> ()
-  | Some f -> f ~worker:ctx.worker.id e
+  | Some f -> (
+      try f ~worker:w.id e
+      with _ ->
+        w.st_callback_errors <- w.st_callback_errors + 1;
+        match (w.ring, ctx.pool.cfg.tracer) with
+        | Some ring, Some tr -> Obs.Trace.emit tr ring Obs.Event.Callback_error
+        | _ -> ())
 
 (* pending starts at 1: the parent's stake (see the header comment) *)
 let fresh_join () = { pending = Atomic.make 1; waiter = Atomic.make No_waiter }
@@ -232,10 +289,11 @@ let finish (ctx : ctx) (jr : join) : unit =
   let n = Atomic.fetch_and_add jr.pending (-1) in
   if n = 1 then
     match Atomic.exchange jr.waiter Resumed with
-    | Waiting { k; marks } ->
+    | Waiting { k; marks; region } ->
         ctx.worker.st_resumes <- ctx.worker.st_resumes + 1;
         fire ctx Join_resume;
-        push_task ctx { run = (fun () -> Effect.Deep.continue k ()); marks }
+        push_task ctx
+          { run = (fun () -> Effect.Deep.continue k ()); marks; region }
     | No_waiter ->
         (* the parent is between releasing its stake and its CAS; its
            CAS will fail against [Resumed] and continue inline *)
@@ -303,7 +361,8 @@ let rec promote (ctx : ctx) : unit =
             (fun () ->
               thunk ();
               finish (cur_ctx ()) jr);
-          marks = ref [] }
+          marks = ref [];
+          region = w.region }
   | Some (E_loop l) ->
       let mid = l.lo + ((l.hi - l.lo + 1) / 2) in
       let child_lo = mid and child_hi = l.hi in
@@ -318,7 +377,8 @@ let rec promote (ctx : ctx) : unit =
             (fun () ->
               par_for_range child_lo child_hi f jr;
               finish (cur_ctx ()) jr);
-          marks = ref [] }
+          marks = ref [];
+          region = w.region }
 
 (* [poll]: the promotion-ready program point — observe a pending beat
    and promote.  Fetches the context fresh: the computation may have
@@ -433,6 +493,25 @@ let fork2 (a : unit -> unit) (b : unit -> unit) : unit =
       b ()
   | None -> join_on jr
 
+(** [with_region name f]: label the work done by [f] (and any tasks it
+    forks) as source region [name] in the session's trace — the unit
+    the what-if profiler ({!Obs.Profile.of_trace}) attributes work and
+    span to.  Free when the session has no tracer.  The label is
+    restored when [f] returns, on whichever worker the computation
+    migrated to. *)
+let with_region (name : string) (f : unit -> 'a) : 'a =
+  let ctx = cur_ctx () in
+  match ctx.pool.cfg.tracer with
+  | None -> f ()
+  | Some tr ->
+      let id = Obs.Trace.intern tr name in
+      let prev = ctx.worker.region in
+      ctx.worker.region <- id;
+      Fun.protect f ~finally:(fun () ->
+          (* the computation may have migrated: restore on the worker
+             currently running it *)
+          (cur_ctx ()).worker.region <- prev)
+
 (** The executor surface {!Workloads.Exec.S}-shaped kernels run
     against — pass [(module Par.Runtime.Exec)] inside a {!run}
     session. *)
@@ -474,6 +553,7 @@ let handler : (unit, unit) Effect.Deep.handler =
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 let ctx = cur_ctx () in
                 let marks = ctx.worker.current_marks in
+                let region = ctx.worker.region in
                 (* release the parent's stake; from here a child can
                    drain [pending] to 0 and touch [waiter] *)
                 let n = Atomic.fetch_and_add jr.pending (-1) in
@@ -483,7 +563,7 @@ let handler : (unit, unit) Effect.Deep.handler =
                   Effect.Deep.continue k ()
                 else if
                   Atomic.compare_and_set jr.waiter No_waiter
-                    (Waiting { k; marks })
+                    (Waiting { k; marks; region })
                 then () (* parked; the last child re-enqueues us *)
                 else
                   (* the last child exchanged [Resumed] between our
@@ -495,6 +575,7 @@ let handler : (unit, unit) Effect.Deep.handler =
 let run_task (ctx : ctx) (t : task) : unit =
   let w = ctx.worker in
   w.current_marks <- t.marks;
+  w.region <- t.region;
   w.st_tasks <- w.st_tasks + 1;
   fire ctx Task_start;
   (try Effect.Deep.match_with t.run () handler
@@ -516,8 +597,12 @@ let steal_victim ~(r : int) ~(self : int) ~(n : int) (k : int) : int =
   let d = 1 + (((r mod (n - 1)) + k) mod (n - 1)) in
   (self + d) mod n
 
-(* One randomized sweep over the other workers' deque tops. *)
-let try_steal (ctx : ctx) : task option =
+(* One randomized sweep over the other workers' deque tops.
+   [log_fails] controls whether empty probes are reported as
+   {!Steal_fail} events — the worker loop sets it only on the first
+   sweep of a drought, so backoff spinning does not flood the
+   observers (the counters are always exact regardless). *)
+let try_steal ?(log_fails = false) (ctx : ctx) : task option =
   let w = ctx.worker in
   let workers = ctx.pool.workers in
   let n = Array.length workers in
@@ -532,7 +617,7 @@ let try_steal (ctx : ctx) : task option =
         w.st_steals <- w.st_steals + 1;
         fire ctx (Steal { victim });
         found := Some t
-    | None -> ());
+    | None -> if log_fails then fire ctx (Steal_fail { victim }));
     incr k
   done;
   !found
@@ -569,7 +654,13 @@ let worker_loop (ctx : ctx) : unit =
   let idle () =
     incr failures;
     let nap = nap_s ~failures:!failures in
-    if nap <= 0. then Domain.cpu_relax () else Unix.sleepf nap
+    if nap <= 0. then Domain.cpu_relax ()
+    else begin
+      let ns = int_of_float (nap *. 1e9) in
+      Unix.sleepf nap;
+      ctx.worker.st_idle_ns <- ctx.worker.st_idle_ns + ns;
+      fire ctx (Nap { ns })
+    end
   in
   let running = ref true in
   while !running do
@@ -581,7 +672,7 @@ let worker_loop (ctx : ctx) : unit =
         if Atomic.get pool.stop then running := false
         else if n = 1 then idle ()
         else
-          match try_steal ctx with
+          match try_steal ~log_fails:(!failures = 0) ctx with
           | Some t ->
               failures := 0;
               run_task ctx t
@@ -617,15 +708,20 @@ let ping_loop (pool : pool) : unit =
 (* The worker record itself is padded: its stat fields are written by
    the owner on hot paths, and [Array.init] would otherwise allocate
    adjacent workers' records onto shared cache lines. *)
-let make_worker ~(id : int) : worker =
-  Padding.copy_as_padded
+let make_worker ?(tracer : Obs.Trace.t option) ~(id : int) () : worker =
+  Obs.Padding.copy_as_padded
   {
     id;
     deque = Ws_deque.create ();
-    beat = Padding.atomic false;
+    beat = Obs.Padding.atomic false;
     rng = 0x9E3779B1 + (id * 0x85EBCA77);
     current_marks = ref [];
     last_beat_ns = Mclock.now_ns ();
+    ring =
+      Option.map
+        (fun tr -> Obs.Trace.track tr (Printf.sprintf "worker %d" id))
+        tracer;
+    region = 0;
     st_beats = 0;
     st_promotions = 0;
     st_loop_promotions = 0;
@@ -636,6 +732,8 @@ let make_worker ~(id : int) : worker =
     st_steal_attempts = 0;
     st_tasks = 0;
     st_max_deque = 0;
+    st_idle_ns = 0;
+    st_callback_errors = 0;
   }
 
 let worker_stats (w : worker) : worker_stats =
@@ -650,6 +748,8 @@ let worker_stats (w : worker) : worker_stats =
     steal_attempts = w.st_steal_attempts;
     tasks_run = w.st_tasks;
     max_deque = w.st_max_deque;
+    idle_ns = w.st_idle_ns;
+    callback_errors = w.st_callback_errors;
   }
 
 let zero_stats =
@@ -664,6 +764,8 @@ let zero_stats =
     steal_attempts = 0;
     tasks_run = 0;
     max_deque = 0;
+    idle_ns = 0;
+    callback_errors = 0;
   }
 
 let sum_stats (per : worker_stats array) : worker_stats =
@@ -680,8 +782,50 @@ let sum_stats (per : worker_stats array) : worker_stats =
         steal_attempts = acc.steal_attempts + s.steal_attempts;
         tasks_run = acc.tasks_run + s.tasks_run;
         max_deque = max acc.max_deque s.max_deque;
+        idle_ns = acc.idle_ns + s.idle_ns;
+        callback_errors = acc.callback_errors + s.callback_errors;
       })
     zero_stats per
+
+(** [live_stats ()]: a racy-but-safe snapshot of the running session's
+    per-worker counters, from inside {!run} (any worker domain, or
+    user code).  Counters are plain owner-written ints, so a reader on
+    another domain sees a slightly stale but untorn value — exact
+    accounting comes from the stats {!run} returns after joining its
+    domains. *)
+let live_stats () : stats =
+  let ctx = cur_ctx () in
+  let pool = ctx.pool in
+  let per_worker = Array.map worker_stats pool.workers in
+  {
+    domains = Array.length pool.workers;
+    elapsed_s = float_of_int (Mclock.now_ns () - pool.t0_ns) *. 1e-9;
+    total = sum_stats per_worker;
+    per_worker;
+  }
+
+(** [metrics ?tracer st]: fold a session's stats (and its trace rings,
+    when it had a tracer) into the unified {!Obs.Metrics} snapshot. *)
+let metrics ?(tracer : Obs.Trace.t option) (st : stats) : Obs.Metrics.t =
+  {
+    Obs.Metrics.domains = st.domains;
+    elapsed_s = st.elapsed_s;
+    beats = st.total.beats;
+    promotions = st.total.promotions;
+    loop_promotions = st.total.loop_promotions;
+    branch_promotions = st.total.branch_promotions;
+    joins = st.total.joins;
+    resumes = st.total.resumes;
+    steals = st.total.steals;
+    steal_attempts = st.total.steal_attempts;
+    tasks = st.total.tasks_run;
+    max_deque = st.total.max_deque;
+    idle_ns = st.total.idle_ns;
+    callback_errors = st.total.callback_errors;
+    traced = (match tracer with None -> 0 | Some tr -> Obs.Trace.total_written tr);
+    dropped =
+      (match tracer with None -> 0 | Some tr -> Obs.Trace.total_dropped tr);
+  }
 
 (* Sessions cannot nest or overlap: one pool per process at a time. *)
 let active = Atomic.make false
@@ -703,11 +847,13 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
         {
           cfg = config;
           heart_ns = int_of_float (Float.max 0. config.heart_us *. 1e3);
-          workers = Array.init n (fun id -> make_worker ~id);
+          t0_ns = Mclock.now_ns ();
+          workers =
+            Array.init n (fun id -> make_worker ?tracer:config.tracer ~id ());
           stop = Atomic.make false;
           ping_stop = Atomic.make false;
           error = Atomic.make None;
-          urgency = Padding.atomic 0;
+          urgency = Obs.Padding.atomic 0;
         }
       in
       let result = ref None in
@@ -721,6 +867,10 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
               result := Some (main ());
               Atomic.set pool.stop true);
           marks = ref [];
+          region =
+            (match config.tracer with
+            | Some tr -> Obs.Trace.intern tr "main"
+            | None -> 0);
         };
       let ping =
         match config.source with

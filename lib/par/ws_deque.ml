@@ -34,7 +34,7 @@
     Two single-domain-overhead measures on top of the classic layout:
 
     - [top], [bottom] and the buffer pointer each live alone on a
-      cache-line pair ({!Padding}), so thieves CASing [top] stop
+      cache-line pair ({!Obs.Padding}), so thieves CASing [top] stop
       invalidating the owner's [bottom] line and vice versa;
     - the owner keeps plain (non-atomic) caches of [top] and the
       buffer.  [top] only moves away from the owner, so a stale cache
@@ -59,11 +59,11 @@ let min_capacity = 16
 
 let create () : 'a t =
   let tab = Array.init min_capacity (fun _ -> Atomic.make None) in
-  Padding.copy_as_padded
+  Obs.Padding.copy_as_padded
     {
-      top = Padding.atomic 0;
-      bottom = Padding.atomic 0;
-      tab = Padding.atomic tab;
+      top = Obs.Padding.atomic 0;
+      bottom = Obs.Padding.atomic 0;
+      tab = Obs.Padding.atomic tab;
       owner_top = 0;
       owner_tab = tab;
     }

@@ -56,8 +56,11 @@ type report = {
   met : int;
   missed : int;
   p50_ms : float;
+  p95_ms : float;
   p99_ms : float;
   mean_ms : float;
+  pool_latency : Obs.Hist.summary;  (** the pool's own histogram view *)
+  latency_per_tenant : (string * Obs.Hist.summary) list;
   goodput_rps : float;  (** deadline-met completions / elapsed *)
   reject_rate : float;  (** rejections / offered *)
   per_tenant : (string * int) list;  (** served per tenant *)
@@ -210,8 +213,11 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
     met = !met;
     missed = !missed;
     p50_ms = 1e3 *. percentile sorted 0.50;
+    p95_ms = 1e3 *. percentile sorted 0.95;
     p99_ms = 1e3 *. percentile sorted 0.99;
     mean_ms;
+    pool_latency = ps.latency;
+    latency_per_tenant = ps.latency_per_tenant;
     goodput_rps = (if elapsed_s > 0. then float_of_int !met /. elapsed_s else 0.);
     reject_rate =
       (if spec.requests = 0 then 0.
@@ -227,14 +233,14 @@ let pp_report (ppf : Format.formatter) (r : report) : unit =
      rate %.3f@,\
      completed %d (met %d, missed %d), failed %d, lost %d, duplicated %d, \
      mismatched %d@,\
-     latency p50 %.3f ms, p99 %.3f ms, mean %.3f ms@,\
+     latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, mean %.3f ms@,\
      goodput %.0f req/s over %.2f s@,\
      served per tenant: %a@]"
     r.offered r.admitted
     (r.rejected_full + r.rejected_shed)
     r.rejected_full r.rejected_shed r.reject_rate r.completed r.met r.missed
-    r.failed r.lost r.duplicated r.mismatched r.p50_ms r.p99_ms r.mean_ms
-    r.goodput_rps r.elapsed_s
+    r.failed r.lost r.duplicated r.mismatched r.p50_ms r.p95_ms r.p99_ms
+    r.mean_ms r.goodput_rps r.elapsed_s
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (t, n) -> Format.fprintf ppf "%s=%d" t n))

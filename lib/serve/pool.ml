@@ -76,6 +76,12 @@ type config = {
                         watchdog *)
   shed_when_degraded : bool;
       (** reject new work while a wedged request holds the session *)
+  tracer : Obs.Trace.t option;
+      (** when set, the pool records every admission / DRR–EDF
+          dispatch / completion / degradation decision on a "server"
+          track of this trace.  Pass the same tracer in
+          [runtime.tracer] to interleave the worker domains' beats,
+          steals and task spans in the same document. *)
 }
 
 let default_config =
@@ -85,6 +91,7 @@ let default_config =
     default_slo_s = 1.0;
     lease_s = 10.;
     shed_when_degraded = true;
+    tracer = None;
   }
 
 type t = {
@@ -114,6 +121,11 @@ type t = {
   mutable domain : unit Domain.t option;
   mutable watchdog : Thread.t option;
   watchdog_stop : bool Atomic.t;
+  ring : Obs.Ring.t option;
+      (** the "server" trace track; written under [m] only, so the
+          single-writer ring discipline holds *)
+  lat_all : Obs.Hist.t;  (** sojourn histogram, all completions *)
+  lat_tenant : (string, Obs.Hist.t) Hashtbl.t;  (** per-tenant sojourns *)
 }
 
 type stats = {
@@ -129,6 +141,8 @@ type stats = {
   degraded : bool;
   sched : Sched.stats;
   runtime : Par.Runtime.stats option;  (** available after [close] *)
+  latency : Obs.Hist.summary;  (** sojourn p50/p95/p99 over completions *)
+  latency_per_tenant : (string * Obs.Hist.summary) list;  (** by tenant name *)
 }
 
 let stats_locked (t : t) : stats =
@@ -146,6 +160,12 @@ let stats_locked (t : t) : stats =
     degraded = t.degraded;
     sched = sc;
     runtime = t.rt_stats;
+    latency = Obs.Hist.summary t.lat_all;
+    latency_per_tenant =
+      Hashtbl.fold
+        (fun tenant h acc -> (tenant, Obs.Hist.summary h) :: acc)
+        t.lat_tenant []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
   }
 
 let stats (t : t) : stats =
@@ -153,6 +173,33 @@ let stats (t : t) : stats =
   let s = stats_locked t in
   Mutex.unlock t.m;
   s
+
+(* ------------------------------------------------------------------ *)
+(* Observability: the pool's trace track and latency accounting.
+   Every helper below is called under [t.m], which is what makes the
+   single-writer ring emission and the histogram updates safe. *)
+
+let pemit (t : t) (e : Obs.Event.t) : unit =
+  match (t.ring, t.cfg.tracer) with
+  | Some ring, Some tr -> Obs.Trace.emit tr ring e
+  | _ -> ()
+
+let tenant_id (t : t) (name : string) : int =
+  match t.cfg.tracer with Some tr -> Obs.Trace.intern tr name | None -> 0
+
+(* Latency histograms are always on (a bucket increment per request,
+   not gated on tracing): they power [stats.latency]. *)
+let record_latency (t : t) ~(tenant : string) (sojourn_s : float) : unit =
+  Obs.Hist.add_s t.lat_all sojourn_s;
+  let h =
+    match Hashtbl.find_opt t.lat_tenant tenant with
+    | Some h -> h
+    | None ->
+        let h = Obs.Hist.create () in
+        Hashtbl.add t.lat_tenant tenant h;
+        h
+  in
+  Obs.Hist.add_s h sojourn_s
 
 (* ------------------------------------------------------------------ *)
 (* Request execution, inside the warm session. *)
@@ -197,19 +244,30 @@ let serve_main (t : t) : unit =
            session's main task returns — so domain shutdown never
            races a half-drained queue. *)
         let dropped = Sched.drain t.sched in
+        let now = Mclock.now_s () in
         List.iter
           (fun (r : work Sched.req) ->
             Hashtbl.replace t.results r.id (Error Pool_closed);
-            t.cancelled <- t.cancelled + 1)
+            t.cancelled <- t.cancelled + 1;
+            pemit t
+              (Obs.Event.Complete
+                 {
+                   tenant = tenant_id t r.tenant;
+                   outcome = `Cancelled;
+                   sojourn_ns = int_of_float ((now -. r.enqueued) *. 1e9);
+                 }))
           dropped;
         Condition.broadcast t.cv;
         Mutex.unlock t.m
     | Some r ->
         t.running <- Some (r.id, Mclock.now_s ());
-        Mutex.unlock t.m;
         (* the deadline-aware promotion hint: near-SLO requests get a
            shorter effective beat period for their whole execution *)
-        Par.Runtime.set_urgency (Sched.promotion_hint ~now:(Mclock.now_s ()) r);
+        let hint = Sched.promotion_hint ~now:(Mclock.now_s ()) r in
+        pemit t
+          (Obs.Event.Dispatch { tenant = tenant_id t r.tenant; urgency = hint });
+        Mutex.unlock t.m;
+        Par.Runtime.set_urgency hint;
         let res = try Ok (exec r.payload) with e -> Error e in
         Par.Runtime.set_urgency 0;
         let fin = Mclock.now_s () in
@@ -219,20 +277,32 @@ let serve_main (t : t) : unit =
           (* the wedged request finally finished: degradation clears,
              the stall stays on the books *)
           t.flagged <- None;
-          t.degraded <- false
+          t.degraded <- false;
+          pemit t (Obs.Event.Degraded { on = false })
         end;
+        let sojourn_s = fin -. r.enqueued in
         let resolved =
           match res with
           | Ok outcome ->
               let verdict = Sched.complete t.sched ~now:fin r in
-              Ok
-                {
-                  outcome;
-                  sojourn_s = fin -. r.enqueued;
-                  met_deadline = (verdict = `Met);
-                }
+              record_latency t ~tenant:r.tenant sojourn_s;
+              pemit t
+                (Obs.Event.Complete
+                   {
+                     tenant = tenant_id t r.tenant;
+                     outcome = (if verdict = `Met then `Met else `Missed);
+                     sojourn_ns = int_of_float (sojourn_s *. 1e9);
+                   });
+              Ok { outcome; sojourn_s; met_deadline = (verdict = `Met) }
           | Error e ->
               t.failures <- t.failures + 1;
+              pemit t
+                (Obs.Event.Complete
+                   {
+                     tenant = tenant_id t r.tenant;
+                     outcome = `Failed;
+                     sojourn_ns = int_of_float (sojourn_s *. 1e9);
+                   });
               Error (Failed e)
         in
         Hashtbl.replace t.results r.id resolved;
@@ -255,7 +325,8 @@ let watchdog_loop (t : t) : unit =
            && Mclock.now_s () -. started > t.cfg.lease_s ->
         t.stalls <- t.stalls + 1;
         t.flagged <- Some id;
-        t.degraded <- true
+        t.degraded <- true;
+        pemit t (Obs.Event.Degraded { on = true })
     | _ -> ());
     Mutex.unlock t.m
   done
@@ -292,6 +363,9 @@ let create ?(config = default_config) () : t =
       domain = None;
       watchdog = None;
       watchdog_stop = Atomic.make false;
+      ring = Option.map (fun tr -> Obs.Trace.track tr "server") config.tracer;
+      lat_all = Obs.Hist.create ();
+      lat_tenant = Hashtbl.create 16;
     }
   in
   let d =
@@ -351,6 +425,7 @@ let submit (t : t) ~(tenant : string) ?deadline_s ?(size = 1) (w : work) :
       | None ->
           if t.degraded && t.cfg.shed_when_degraded then begin
             t.shed <- t.shed + 1;
+            pemit t (Obs.Event.Reject { shed = true });
             Error (Rejected `Shedding)
           end
           else begin
@@ -368,9 +443,12 @@ let submit (t : t) ~(tenant : string) ?deadline_s ?(size = 1) (w : work) :
               }
             in
             match Sched.admit t.sched req with
-            | Error `Queue_full -> Error (Rejected `Queue_full)
+            | Error `Queue_full ->
+                pemit t (Obs.Event.Reject { shed = false });
+                Error (Rejected `Queue_full)
             | Ok () ->
                 t.next_id <- id + 1;
+                pemit t (Obs.Event.Admit { tenant = tenant_id t tenant });
                 Condition.broadcast t.cv;
                 Ok id
           end

@@ -429,6 +429,45 @@ let test_pool_closed_typed () =
    queues.  Awaits are bounded so a scheduler regression fails here
    instead of hanging CI. *)
 
+(* The pool's own latency histograms: every completion lands in the
+   all-tenants histogram and its tenant's, the percentile digest is
+   ordered, and the load report carries both through. *)
+let test_latency_histograms () =
+  let pool = Serve.Pool.create ~config:(pool_config ()) () in
+  let spec =
+    {
+      Serve.Load.default_spec with
+      requests = 300;
+      tenants = 3;
+      rate_rps = 0.;
+      (* submit as fast as possible: keep the test quick *)
+    }
+  in
+  let report = Serve.Load.run pool spec in
+  ignore (Serve.Pool.close pool);
+  check_int "audit clean" 0
+    (report.lost + report.duplicated + report.mismatched);
+  let lat = report.pool_latency in
+  check_int "histogram saw every completion" report.completed lat.count;
+  check "digest ordered" true
+    (lat.p50_ms <= lat.p95_ms && lat.p95_ms <= lat.p99_ms
+   && lat.p99_ms <= lat.max_ms);
+  check "positive latency" true (lat.p50_ms > 0.);
+  check "per-tenant histograms present" true
+    (List.length report.latency_per_tenant > 0);
+  let tenant_total =
+    List.fold_left
+      (fun acc ((_, s) : string * Obs.Hist.summary) -> acc + s.count)
+      0 report.latency_per_tenant
+  in
+  check_int "tenant histograms partition completions" report.completed
+    tenant_total;
+  List.iter
+    (fun ((_, s) : string * Obs.Hist.summary) ->
+      check "tenant digest ordered" true
+        (s.p50_ms <= s.p99_ms && s.p99_ms <= s.max_ms))
+    report.latency_per_tenant
+
 let test_concurrent_stress () =
   let n_threads = 4 and per_thread = 100 in
   let total = n_threads * per_thread in
@@ -548,6 +587,8 @@ let suite =
         test_pool_backpressure;
       Alcotest.test_case "pool: typed Pool_closed teardown" `Quick
         test_pool_closed_typed;
+      Alcotest.test_case "pool: latency histograms and percentiles" `Quick
+        test_latency_histograms;
       Alcotest.test_case "pool: concurrent-submit exactly-once stress" `Quick
         test_concurrent_stress;
       Alcotest.test_case "pool: lease watchdog degradation" `Quick

@@ -23,6 +23,7 @@ let () =
       Suite_par.suite;
       Suite_fuzz.suite;
       Suite_serve.suite;
+      Suite_obs.suite;
       Suite_stats.suite;
       Suite_repro.suite;
     ]
