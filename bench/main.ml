@@ -548,7 +548,8 @@ let run_par_bench ~(domains : int list) ~(scale : int) ~(json : string option)
    (BENCH_serve.json; same accumulating shape as BENCH_par.json, so
    [prior_runs] reuses the textual appender). *)
 
-let serve_run_json ~(label : string) (r : Serve.Load.report) : string =
+let serve_run_json ~(label : string) ~(chaos_seed : int option)
+    ~(retries : int) (r : Serve.Load.report) : string =
   let spec = r.spec in
   let latency_per_tenant =
     String.concat ", "
@@ -567,9 +568,12 @@ let serve_run_json ~(label : string) (r : Serve.Load.report) : string =
     \      \"rate_rps\": %.0f,\n\
     \      \"seed\": %d,\n\
     \      \"slo_ms\": %.3f,\n\
+    \      \"chaos_seed\": %s,\n\
+    \      \"retry_budget\": %d,\n\
     \      \"results\": [\n\
     \        {\"offered\": %d, \"admitted\": %d, \"rejected_full\": %d, \
-     \"rejected_shed\": %d, \"completed\": %d, \"failed\": %d, \"lost\": %d, \
+     \"rejected_shed\": %d, \"completed\": %d, \"failed\": %d, \
+     \"cancelled\": %d, \"retried\": %d, \"restarts\": %d, \"lost\": %d, \
      \"duplicated\": %d, \"mismatched\": %d, \"met\": %d, \"missed\": %d, \
      \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": \
      %.4f, \"goodput_rps\": %.1f, \"reject_rate\": %.4f, \"elapsed_s\": \
@@ -579,19 +583,22 @@ let serve_run_json ~(label : string) (r : Serve.Load.report) : string =
     (json_escape label)
     (Domain.recommended_domain_count ())
     spec.requests spec.tenants spec.rate_rps spec.seed (1e3 *. spec.slo_s)
-    r.offered r.admitted r.rejected_full r.rejected_shed r.completed r.failed
-    r.lost r.duplicated r.mismatched r.met r.missed r.p50_ms r.p95_ms
-    r.p99_ms r.mean_ms r.goodput_rps r.reject_rate r.elapsed_s
+    (match chaos_seed with None -> "null" | Some n -> string_of_int n)
+    retries r.offered r.admitted r.rejected_full r.rejected_shed r.completed
+    r.failed r.cancelled r.retried r.restarts r.lost r.duplicated
+    r.mismatched r.met r.missed r.p50_ms r.p95_ms r.p99_ms r.mean_ms
+    r.goodput_rps r.reject_rate r.elapsed_s
     (Obs.Hist.summary_json r.pool_latency)
     latency_per_tenant
 
 let write_serve_json ~(path : string) ~(label : string) ~(append : bool)
-    (r : Serve.Load.report) : unit =
+    ~(chaos_seed : int option) ~(retries : int) (r : Serve.Load.report) : unit
+    =
   let prior = if append then prior_runs path else None in
   let entries =
     match prior with
-    | None -> serve_run_json ~label r
-    | Some old -> old ^ ",\n" ^ serve_run_json ~label r
+    | None -> serve_run_json ~label ~chaos_seed ~retries r
+    | Some old -> old ^ ",\n" ^ serve_run_json ~label ~chaos_seed ~retries r
   in
   let oc = open_out path in
   Printf.fprintf oc
@@ -608,12 +615,25 @@ let write_serve_json ~(path : string) ~(label : string) ~(append : bool)
 
 let run_serve_bench ~(requests : int) ~(tenants : int) ~(rate : float)
     ~(seed : int) ~(domains : int) ~(cap : int) ~(slo_ms : float)
-    ~(json : string option) ~(append : bool) ~(label : string) : unit =
+    ~(chaos_seed : int option) ~(retries : int) ~(json : string option)
+    ~(append : bool) ~(label : string) : unit =
   Printf.printf
     "=== serve bench: %d requests, %d tenants, %.0f req/s offered, %d \
-     domain(s), cap %d, SLO %.1f ms, seed %d ===\n\
+     domain(s), cap %d, SLO %.1f ms, seed %d%s, retries %d ===\n\
      %!"
-    requests tenants rate domains cap slo_ms seed;
+    requests tenants rate domains cap slo_ms seed
+    (match chaos_seed with
+    | None -> ""
+    | Some n -> Printf.sprintf ", chaos seed %d" n)
+    retries;
+  let chaos =
+    (* timing-only faults: the bench's audit gate must stay meaningful
+       (an injected raise without a retry budget is a guaranteed
+       failure, not a robustness measurement) *)
+    Option.map
+      (fun cs -> Par.Chaos.random_plan ~raises:(retries > 0) ~seed:cs ~domains ())
+      chaos_seed
+  in
   let config =
     {
       Serve.Pool.default_config with
@@ -623,9 +643,11 @@ let run_serve_bench ~(requests : int) ~(tenants : int) ~(rate : float)
           domains;
           heart_us = 30.;
           source = `Polling;
+          chaos;
         };
       sched = { Serve.Sched.default_config with cap };
       default_slo_s = slo_ms /. 1e3;
+      retries;
     }
   in
   let spec =
@@ -644,7 +666,7 @@ let run_serve_bench ~(requests : int) ~(tenants : int) ~(rate : float)
   Format.printf "%a@." Serve.Load.pp_report report;
   (match json with
   | None -> ()
-  | Some path -> write_serve_json ~path ~label ~append report);
+  | Some path -> write_serve_json ~path ~label ~append ~chaos_seed ~retries report);
   (* the exactly-once gate: a lost, duplicated or corrupted request is
      a correctness failure regardless of the latency numbers *)
   if report.lost > 0 || report.duplicated > 0 || report.mismatched > 0 then begin
@@ -679,6 +701,7 @@ let usage () =
      server, audit exactly-once execution, and write the latency/goodput\n\
      trajectory (--json PATH; e.g. BENCH_serve.json).  Extra flags:\n\
     \  --requests N --tenants N --rate RPS --seed N --cap N --slo-ms F\n\
+    \  --chaos-seed N --retries N\n\
     \  (--domains takes its first element for the pool's session)\n\
     \  --append            add this run to the file's trajectory instead\n\
     \                      of overwriting (legacy single-run files are\n\
@@ -717,6 +740,8 @@ let () =
   let seed = ref 0x5E12E in
   let cap = ref 512 in
   let slo_ms = ref 50. in
+  let chaos_seed = ref None in
+  let retries = ref 0 in
   let int_flag what v r rest parse =
     (match int_of_string_opt v with
     | Some n when n >= 0 -> r := n
@@ -737,6 +762,14 @@ let () =
     | "--tenants" :: v :: rest -> int_flag "--tenants" v tenants rest parse
     | "--seed" :: v :: rest -> int_flag "--seed" v seed rest parse
     | "--cap" :: v :: rest -> int_flag "--cap" v cap rest parse
+    | "--retries" :: v :: rest -> int_flag "--retries" v retries rest parse
+    | "--chaos-seed" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n -> chaos_seed := Some n
+        | None ->
+            Printf.eprintf "bad --chaos-seed %S\n%!" v;
+            exit 2);
+        parse rest
     | "--rate" :: v :: rest ->
         (match float_of_string_opt v with
         | Some f when f >= 0. -> rate := f
@@ -808,7 +841,8 @@ let () =
     run_serve_bench ~requests:!requests ~tenants:!tenants ~rate:!rate
       ~seed:!seed
       ~domains:(match !domains with d :: _ -> d | [] -> 1)
-      ~cap:!cap ~slo_ms:!slo_ms ~json:!json ~append:!append ~label
+      ~cap:!cap ~slo_ms:!slo_ms ~chaos_seed:!chaos_seed ~retries:!retries
+      ~json:!json ~append:!append ~label
   end
   else if !par_bench then begin
     let label =

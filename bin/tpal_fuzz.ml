@@ -29,11 +29,11 @@ let parse_cores (s : string) : int list =
       | _ -> Fmt.failwith "bad core count %S (expected e.g. 1,4,15)" c)
     (String.split_on_char ',' s)
 
-let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~par ~serve ~minimize
-    ~out ~progress =
+let run ~seed ~count ~cores ~mech ~faults ~chaos ~chaos_par ~hb ~par ~serve
+    ~minimize ~out ~progress =
   match
     { Fuzz.Diff.cores = parse_cores cores; mechs = parse_mechs mech; faults;
-      chaos; hb; par = (if par = "" then [] else parse_cores par) }
+      chaos; hb; par = (if par = "" then [] else parse_cores par); chaos_par }
   with
   | exception Failure msg ->
       Fmt.epr "tpal_fuzz: %s@." msg;
@@ -69,13 +69,14 @@ let run ~seed ~count ~cores ~mech ~faults ~chaos ~hb ~par ~serve ~minimize
           let ds =
             if has_prefix "serve" oracle then
               serve_check p ~outputs:g.outputs
-            else Fuzz.Diff.check ~cfg p ~outputs:g.outputs
+            else Fuzz.Diff.check ~cfg ~seed:s p ~outputs:g.outputs
           in
           List.exists (fun (d : Fuzz.Diff.divergence) -> d.oracle = oracle) ds
         in
         let small = Fuzz.Shrink.minimize ~still_fails g.prog in
         let prefix =
-          if has_prefix "chaos" oracle then "chaos_"
+          if has_prefix "chaos-par" oracle then "chaos_par_"
+          else if has_prefix "chaos" oracle then "chaos_"
           else if has_prefix "serve" oracle then "serve_"
           else ""
         in
@@ -122,6 +123,13 @@ let chaos =
           conservation, Brent bound at the surviving core count, \
           determinism).")
 
+let chaos_par =
+  Arg.(value & flag & info [ "chaos-par" ]
+    ~doc:"Also run each program on the real multi-domain runtime under \
+          a seeded fault plan (beat stalls, slowdowns, dropped beats, \
+          injected raises) and require bit-identical outputs for \
+          timing-only plans and the typed fault for raising ones.")
+
 let no_hb =
   Arg.(value & flag & info [ "no-hb" ] ~doc:"Skip the real heartbeat-runtime executor.")
 
@@ -153,13 +161,13 @@ let cmd =
     (Cmd.info "tpal_fuzz" ~doc)
     Term.(
       const
-        (fun seed count cores mech no_faults chaos no_hb par no_par serve
-             minimize out quiet ->
+        (fun seed count cores mech no_faults chaos chaos_par no_hb par no_par
+             serve minimize out quiet ->
           run ~seed ~count ~cores ~mech ~faults:(not no_faults) ~chaos
-            ~hb:(not no_hb)
+            ~chaos_par ~hb:(not no_hb)
             ~par:(if no_par then "" else par)
             ~serve ~minimize ~out ~progress:(not quiet))
-      $ seed $ count $ cores $ mech $ no_faults $ chaos $ no_hb $ par $ no_par
-      $ serve $ minimize $ out $ quiet)
+      $ seed $ count $ cores $ mech $ no_faults $ chaos $ chaos_par $ no_hb
+      $ par $ no_par $ serve $ minimize $ out $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,7 +11,7 @@
    or mismatched requests) or an explicit request errors. *)
 
 let pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms ~lease_s
-    ~tracer : Serve.Pool.config =
+    ~tracer ~chaos ~retries : Serve.Pool.config =
   {
     Serve.Pool.default_config with
     (* one tracer for both layers: the server's admission/dispatch track
@@ -24,6 +24,7 @@ let pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms ~lease_s
         heart_us;
         source = `Polling;
         tracer;
+        chaos;
       };
     sched =
       {
@@ -33,6 +34,7 @@ let pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms ~lease_s
       };
     default_slo_s = slo_ms /. 1e3;
     lease_s;
+    retries;
   }
 
 let run_load pool ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac =
@@ -57,6 +59,7 @@ let run_load pool ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac =
   end
   else 0
 
+
 let run_kernel pool ~kernel ~scale =
   match Workloads.Real_bench.find kernel with
   | None ->
@@ -72,8 +75,8 @@ let run_kernel pool ~kernel ~scale =
         Serve.Pool.submit pool ~tenant:"cli"
           (Serve.Pool.Kernel { bench; scale })
       with
-      | Error _ ->
-          Fmt.epr "tpal_serve: submit rejected@.";
+      | Error e ->
+          Fmt.epr "tpal_serve: submit rejected (%a)@." Serve.Pool.pp_error e;
           1
       | Ok ticket -> (
           match Serve.Pool.await pool ticket with
@@ -86,8 +89,9 @@ let run_kernel pool ~kernel ~scale =
                 (if met_deadline then "met" else "missed");
               if c = expected then 0 else 1
           | Ok _ -> assert false
-          | Error _ ->
-              Fmt.epr "tpal_serve: kernel request errored@.";
+          | Error e ->
+              Fmt.epr "tpal_serve: kernel request errored (%a)@."
+                Serve.Pool.pp_error e;
               1))
 
 let read_file (path : string) : string =
@@ -132,8 +136,8 @@ let run_tpal pool ~path ~seeds =
         Serve.Pool.submit pool ~tenant:"cli"
           (Serve.Pool.Tpal { prog; options = Tpal.Eval.default_options })
       with
-      | Error _ ->
-          Fmt.epr "tpal_serve: submit rejected@.";
+      | Error e ->
+          Fmt.epr "tpal_serve: submit rejected (%a)@." Serve.Pool.pp_error e;
           1
       | Ok ticket -> (
           match Serve.Pool.await pool ticket with
@@ -146,21 +150,30 @@ let run_tpal pool ~path ~seeds =
                 e;
               1
           | Ok _ -> assert false
-          | Error _ ->
-              Fmt.epr "tpal_serve: request errored@.";
+          | Error e ->
+              Fmt.epr "tpal_serve: request errored (%a)@." Serve.Pool.pp_error
+                e;
               1))
 
 let run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains ~heart_us
-    ~cap ~quantum ~panic_ms ~lease_s ~kernel ~scale ~tpal ~seeds ~metrics
-    ~trace =
+    ~cap ~quantum ~panic_ms ~lease_s ~chaos_seed ~retries ~kernel ~scale ~tpal
+    ~seeds ~metrics ~trace =
   let tracer =
     match trace with None -> None | Some _ -> Some (Obs.Trace.create ())
   in
+  let chaos =
+    match chaos_seed with
+    | None -> None
+    | Some cs -> Some (Par.Chaos.random_plan ~raises:false ~seed:cs ~domains ())
+  in
+  (match chaos with
+  | Some plan -> Fmt.pr "chaos: %a@." Par.Chaos.pp_plan plan
+  | None -> ());
   let pool =
     Serve.Pool.create
       ~config:
         (pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms
-           ~lease_s ~tracer)
+           ~lease_s ~tracer ~chaos ~retries)
       ()
   in
   let code =
@@ -173,9 +186,11 @@ let run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains ~heart_us
   let st = Serve.Pool.close pool in
   Fmt.pr
     "pool: submitted %d, served %d (met %d, missed %d), shed %d, rejected \
-     %d, cancelled %d, failures %d, stalls %d@."
+     %d, cancelled %d, cancels %d, retried %d, restarts %d, failures %d, \
+     stalls %d@."
     st.submitted st.served st.met st.missed st.shed st.sched.rejected
-    st.cancelled st.failures st.stalls_detected;
+    st.cancelled st.cancels st.retried st.restarts st.failures
+    st.stalls_detected;
   if metrics then begin
     (match st.runtime with
     | Some rt -> Fmt.pr "%a@." Obs.Metrics.pp (Par.Runtime.metrics ?tracer rt)
@@ -240,6 +255,19 @@ let panic_ms =
 let lease_s =
   Arg.(value & opt float 10. & info [ "lease-s" ] ~docv:"S" ~doc:"Wedged-request lease before the pool degrades; 0 disables the watchdog.")
 
+let chaos_seed =
+  Arg.(value & opt (some int) None
+    & info [ "chaos-seed" ] ~docv:"N"
+        ~doc:"Inject a seeded timing-fault plan (beat stalls, slowdowns, \
+              dropped beats) into the warm session's worker domains; the \
+              exactly-once audit must still pass.")
+
+let retries =
+  Arg.(value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Per-tenant retry budget for retryable request failures \
+              (exponential backoff, idempotent re-admission).")
+
 let kernel =
   Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME" ~doc:"Submit one registry kernel instead of the synthetic load.")
 
@@ -287,12 +315,13 @@ let cmd =
     Term.(
       const
         (fun requests tenants rate seed slo_ms tight_frac domains heart_us cap
-             quantum panic_ms lease_s kernel scale tpal seeds metrics trace ->
+             quantum panic_ms lease_s chaos_seed retries kernel scale tpal
+             seeds metrics trace ->
           run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains
-            ~heart_us ~cap ~quantum ~panic_ms ~lease_s ~kernel ~scale ~tpal
-            ~seeds ~metrics ~trace)
+            ~heart_us ~cap ~quantum ~panic_ms ~lease_s ~chaos_seed ~retries
+            ~kernel ~scale ~tpal ~seeds ~metrics ~trace)
       $ requests $ tenants $ rate $ seed $ slo_ms $ tight_frac $ domains
-      $ heart_us $ cap $ quantum $ panic_ms $ lease_s $ kernel $ scale $ tpal
-      $ seeds $ metrics $ trace)
+      $ heart_us $ cap $ quantum $ panic_ms $ lease_s $ chaos_seed $ retries
+      $ kernel $ scale $ tpal $ seeds $ metrics $ trace)
 
 let () = exit (Cmd.eval' cmd)

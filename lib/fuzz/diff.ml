@@ -57,6 +57,13 @@ type cfg = {
   par : int list;
       (** domain counts for the multi-domain runtime oracle; [[]]
           switches it off *)
+  chaos_par : bool;
+      (** run the {e real} runtime under a seeded {!Par.Chaos} fault
+          plan (stalls / slow beats / dropped beats / injected raises)
+          at 1/2/4 domains: timing faults must leave outputs
+          bit-identical to the reference, an injected raise must
+          surface as the typed {!Par.Chaos.Injected} — never a hang,
+          a livelock, or a torn register file.  Off by default. *)
 }
 
 let default_cfg =
@@ -67,6 +74,7 @@ let default_cfg =
     chaos = false;
     hb = true;
     par = [ 1; 2; 4 ];
+    chaos_par = false;
   }
 
 (** Simulator cycles charged per TPAL instruction when lowering.
@@ -276,11 +284,56 @@ let check_chaos ~(params : Sim.Params.t) ~(mech : Sim.Interrupts.mech)
           List.rev !ds)
 
 (* ------------------------------------------------------------------ *)
+(* Chaos on the real runtime: a seeded Par.Chaos fault plan against the
+   multi-domain executor, with the sequential evaluator as reference. *)
 
-(** [check ?cfg prog ~outputs] runs the whole battery; returns all
-    divergences found (empty list = program agrees everywhere). *)
-let check ?(cfg = default_cfg) (prog : Ast.program) ~(outputs : Ast.reg list)
-    : divergence list =
+(** [check_chaos_par ~seed ~domains prog expected ~outputs]: for each
+    domain count, draw a fault plan from [seed] and run [prog] on the
+    real runtime under it.  Timing-only faults (stall / slow / drop)
+    must leave the outputs bit-identical to the reference; a plan
+    containing a [Raise] may legally surface the typed
+    {!Par.Chaos.Injected} instead.  Anything else — a stuck machine
+    ([chaos-par-stuck]), an unexpected exception ([chaos-par-abort]),
+    or divergent outputs ([chaos-par-outputs]) — is a robustness bug
+    in the runtime's unwinding or promotion machinery. *)
+let check_chaos_par ~(seed : int) ~(domains : int list)
+    ~(options : Eval.options) (prog : Ast.program)
+    (expected : (Ast.reg * Value.t option) list) ~(outputs : Ast.reg list) :
+    divergence list =
+  List.concat_map
+    (fun d ->
+      let plan = Par.Chaos.random_plan ~seed ~domains:d () in
+      let raising = Par.Chaos.has_raise plan in
+      match
+        (* a short beat period so the plan's beat-indexed faults
+           actually land inside these tiny generated programs *)
+        Par_exec.run ~options ~domains:d ~heart_us:20. ~chaos:plan prog
+      with
+      | Ok (task, _stats) ->
+          compare_outputs ~oracle:"chaos-par-outputs"
+            ~what:(Fmt.str "chaos par domains=%d seed=%d" d seed)
+            expected
+            (snapshot outputs task.regs)
+      | Error e ->
+          [ div "chaos-par-stuck" "domains=%d seed=%d: %a" d seed
+              Machine_error.pp e ]
+      | exception Par.Chaos.Injected _ when raising ->
+          (* the typed fault escaped through the fork tree: the legal
+             outcome of a raising plan *)
+          []
+      | exception e ->
+          [ div "chaos-par-abort" "domains=%d seed=%d: %s" d seed
+              (Printexc.to_string e) ])
+    domains
+
+(* ------------------------------------------------------------------ *)
+
+(** [check ?cfg ?seed prog ~outputs] runs the whole battery; returns
+    all divergences found (empty list = program agrees everywhere).
+    [seed] feeds the [chaos-par-*] fault plans (and nothing else) —
+    pass the generator's seed so a reproducer file pins the plan. *)
+let check ?(cfg = default_cfg) ?(seed = 0) (prog : Ast.program)
+    ~(outputs : Ast.reg list) : divergence list =
   match Check.errors prog with
   | _ :: _ as ds ->
       [ div "check" "static errors: %a" (Fmt.list Check.pp_diagnostic) ds ]
@@ -459,8 +512,14 @@ let check ?(cfg = default_cfg) (prog : Ast.program) ~(outputs : Ast.reg list)
                        ~what:(Fmt.str "par runtime domains=%d" domains)
                        expected (snapshot outputs task.regs)))
             cfg.par;
+          (* --- the multi-domain runtime under injected faults --- *)
+          if cfg.chaos_par then
+            add
+              (check_chaos_par ~seed
+                 ~domains:(if cfg.par = [] then [ 1; 2; 4 ] else cfg.par)
+                 ~options:(with_heart 17) prog expected ~outputs);
           !ds)
 
-(** [check_gen ?cfg g] = [check g.prog ~outputs:g.outputs]. *)
+(** [check_gen ?cfg g] = [check ~seed:g.seed g.prog ~outputs:g.outputs]. *)
 let check_gen ?cfg (g : Gen.t) : divergence list =
-  check ?cfg g.prog ~outputs:g.outputs
+  check ?cfg ~seed:g.seed g.prog ~outputs:g.outputs

@@ -17,24 +17,30 @@ module Drive = Tpal_drive.Make (struct
   let fork2 = Par.Runtime.fork2
 end)
 
-let config ~(domains : int) ~(heart_us : float) : Par.Runtime.config =
+let config ?(chaos : Par.Chaos.plan option) ~(domains : int)
+    ~(heart_us : float) () : Par.Runtime.config =
   {
     Par.Runtime.default_config with
     domains;
     heart_us;
     source = `Polling;
     poll_stride = 1;
+    chaos;
   }
 
-(** [run ?options ?domains ?heart_us p] interprets [p] inside one
-    {!Par.Runtime.run} session at the given domain count.  Returns the
-    final task and the scheduler's statistics. *)
+(** [run ?options ?domains ?heart_us ?chaos p] interprets [p] inside
+    one {!Par.Runtime.run} session at the given domain count,
+    optionally under a seeded {!Par.Chaos.plan}.  Returns the final
+    task and the scheduler's statistics.  A chaos [Raise] fault
+    escapes as {!Par.Chaos.Injected} — callers opting into raising
+    plans must treat it as a legal outcome. *)
 let run ?(options = Eval.default_options) ?(domains = 2) ?(heart_us = 50.)
-    (p : Ast.program) : (Task.t * Par.Runtime.stats, Machine_error.t) result =
+    ?chaos (p : Ast.program) :
+    (Task.t * Par.Runtime.stats, Machine_error.t) result =
   try
     let task, stats =
       Par.Runtime.run
-        ~config:(config ~domains ~heart_us)
+        ~config:(config ?chaos ~domains ~heart_us ())
         (fun () -> Drive.interpret ~options p)
     in
     Ok (task, stats)

@@ -346,6 +346,25 @@ let stats () : stats =
     stalls_detected = s.st_stalls;
   }
 
+(** [metrics ?elapsed_s st] folds a run's {!stats} into the unified
+    {!Obs.Metrics} snapshot, so the single-domain runtime reports
+    through the same surface as {!Par.Runtime} and the serve pool —
+    in particular its lease-watchdog trips land in [stalls]. *)
+let metrics ?(elapsed_s = 0.) (st : stats) : Obs.Metrics.t =
+  {
+    Obs.Metrics.zero with
+    domains = 1;
+    elapsed_s;
+    beats = st.beats;
+    promotions = st.promotions;
+    loop_promotions = st.loop_promotions;
+    branch_promotions = st.branch_promotions;
+    joins = st.joins;
+    tasks = st.promotions;
+    max_deque = st.max_queue;
+    stalls = st.stalls_detected;
+  }
+
 (** [run ?config main] executes [main] under the heartbeat scheduler
     and returns its result together with the run's statistics.
     Runs cannot nest. *)

@@ -35,8 +35,21 @@ type t =
       sojourn_ns : int;
     }
   | Degraded of { on : bool }  (** watchdog entered / left degradation *)
+  | Chaos of { kind : [ `Stall | `Slow | `Drop | `Raise ]; arg : int }
+      (** an injected fault fired at a beat boundary; [arg] is the
+          kind-specific magnitude (beats stalled / slowed / dropped) *)
+  | Cancel of { reason : [ `Explicit | `Deadline | `Lease ] }
+      (** a cancel token was set (pool side) or observed at a poll
+          (runtime side) *)
+  | Retry of { tenant : int; attempt : int }
+      (** a failed request was re-admitted for attempt [attempt] *)
+  | Restart of { attempt : int }
+      (** the pool warm-restarted its runtime session *)
 
 let bool_bit b = if b then 1 else 0
+
+let chaos_kind_code = function `Stall -> 0 | `Slow -> 1 | `Drop -> 2 | `Raise -> 3
+let cancel_reason_code = function `Explicit -> 0 | `Deadline -> 1 | `Lease -> 2
 
 let outcome_code = function
   | `Met -> 0
@@ -63,6 +76,10 @@ let encode : t -> int * int * int = function
   | Complete { tenant; outcome; sojourn_ns } ->
       (13, (tenant lsl 2) lor outcome_code outcome, sojourn_ns)
   | Degraded { on } -> (14, bool_bit on, 0)
+  | Chaos { kind; arg } -> (15, chaos_kind_code kind, arg)
+  | Cancel { reason } -> (16, cancel_reason_code reason, 0)
+  | Retry { tenant; attempt } -> (17, tenant, attempt)
+  | Restart { attempt } -> (18, attempt, 0)
 
 let decode ~(code : int) ~(a : int) ~(b : int) : t option =
   match code with
@@ -88,6 +105,18 @@ let decode ~(code : int) ~(a : int) ~(b : int) : t option =
       in
       Some (Complete { tenant = a asr 2; outcome; sojourn_ns = b })
   | 14 -> Some (Degraded { on = a = 1 })
+  | 15 ->
+      let kind =
+        match a with 0 -> `Stall | 1 -> `Slow | 2 -> `Drop | _ -> `Raise
+      in
+      Some (Chaos { kind; arg = b })
+  | 16 ->
+      let reason =
+        match a with 0 -> `Explicit | 1 -> `Deadline | _ -> `Lease
+      in
+      Some (Cancel { reason })
+  | 17 -> Some (Retry { tenant = a; attempt = b })
+  | 18 -> Some (Restart { attempt = a })
   | _ -> None
 
 let name : t -> string = function
@@ -108,3 +137,12 @@ let name : t -> string = function
   | Complete _ -> "complete"
   | Degraded { on = true } -> "degraded"
   | Degraded { on = false } -> "recovered"
+  | Chaos { kind = `Stall; _ } -> "chaos-stall"
+  | Chaos { kind = `Slow; _ } -> "chaos-slow"
+  | Chaos { kind = `Drop; _ } -> "chaos-drop"
+  | Chaos { kind = `Raise; _ } -> "chaos-raise"
+  | Cancel { reason = `Explicit } -> "cancel"
+  | Cancel { reason = `Deadline } -> "cancel-deadline"
+  | Cancel { reason = `Lease } -> "cancel-lease"
+  | Retry _ -> "retry"
+  | Restart _ -> "restart"

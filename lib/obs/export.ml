@@ -95,7 +95,20 @@ let to_chrome ?(pid = 0) ?(process = "tpal-par") (tr : Trace.t) :
                     ("sojourn_ms", C.Float (float_of_int sojourn_ns /. 1e6)) ]
                 "complete"
           | Degraded { on } ->
-              instant ~cat:"serve" (if on then "degraded" else "recovered"))
+              instant ~cat:"serve" (if on then "degraded" else "recovered")
+          | Chaos { arg; _ } as e ->
+              instant ~cat:"chaos" ~args:[ ("arg", C.Int arg) ] (Event.name e)
+          | Cancel _ as e -> instant ~cat:"cancel" (Event.name e)
+          | Retry { tenant; attempt } ->
+              instant ~cat:"serve"
+                ~args:
+                  [ ("tenant", C.Str (Trace.label tr tenant));
+                    ("attempt", C.Int attempt) ]
+                "retry"
+          | Restart { attempt } ->
+              instant ~cat:"serve"
+                ~args:[ ("attempt", C.Int attempt) ]
+                "restart")
         events;
       (* tasks still open when the trace ended (or whose finish was
          dropped): close them at the last timestamp seen *)

@@ -21,6 +21,11 @@ type t = {
   max_deque : int;
   idle_ns : int;  (** total nanoseconds workers slept in idle backoff *)
   callback_errors : int;  (** user [on_event] callbacks that raised *)
+  faults_injected : int;  (** chaos-schedule faults that actually fired *)
+  cancels : int;  (** cooperative cancellations observed at polls *)
+  retries : int;  (** failed requests re-admitted by the pool *)
+  restarts : int;  (** warm session restarts after a runtime death *)
+  stalls : int;  (** watchdog / lease stall detections *)
   traced : int;  (** events emitted into rings (0 when tracing is off) *)
   dropped : int;  (** ring events lost to drop-oldest overflow *)
 }
@@ -41,6 +46,11 @@ let zero =
     max_deque = 0;
     idle_ns = 0;
     callback_errors = 0;
+    faults_injected = 0;
+    cancels = 0;
+    retries = 0;
+    restarts = 0;
+    stalls = 0;
     traced = 0;
     dropped = 0;
   }
@@ -68,7 +78,8 @@ let pp ppf (m : t) =
      %.2f/beat)@,joins/resumes      %d/%d@,steals             %d/%d attempts \
      (%.1f%% failed)@,tasks              %d@,max deque depth    %d@,\
      idle sleep         %.3f ms (%.1f%% of worker-time)@,callback errors    \
-     %d@,traced events      %d (%d dropped)@]"
+     %d@,faults injected    %d@,cancels/retries    %d/%d@,\
+     restarts/stalls    %d/%d@,traced events      %d (%d dropped)@]"
     m.domains m.elapsed_s m.beats m.promotions m.loop_promotions
     m.branch_promotions (promotions_per_beat m) m.joins m.resumes m.steals
     m.steal_attempts
@@ -76,7 +87,8 @@ let pp ppf (m : t) =
     m.tasks m.max_deque
     (float_of_int m.idle_ns /. 1e6)
     (100. *. idle_frac m)
-    m.callback_errors m.traced m.dropped
+    m.callback_errors m.faults_injected m.cancels m.retries m.restarts
+    m.stalls m.traced m.dropped
 
 let num (x : float) : string =
   if Float.is_nan x || Float.abs x = infinity then "0"
@@ -90,11 +102,14 @@ let to_json_fields (m : t) : string =
      \"steals\": %d, \"steal_attempts\": %d, \"steal_failure_rate\": %s, \
      \"promotions_per_beat\": %s, \"joins\": %d, \"resumes\": %d, \
      \"tasks\": %d, \"max_deque\": %d, \"idle_ns\": %d, \
-     \"callback_errors\": %d, \"traced\": %d, \"dropped\": %d"
+     \"callback_errors\": %d, \"faults_injected\": %d, \"cancels\": %d, \
+     \"retries\": %d, \"restarts\": %d, \"stalls\": %d, \
+     \"traced\": %d, \"dropped\": %d"
     m.domains (num m.elapsed_s) m.beats m.promotions m.steals m.steal_attempts
     (num (steal_failure_rate m))
     (num (promotions_per_beat m))
-    m.joins m.resumes m.tasks m.max_deque m.idle_ns m.callback_errors m.traced
+    m.joins m.resumes m.tasks m.max_deque m.idle_ns m.callback_errors
+    m.faults_injected m.cancels m.retries m.restarts m.stalls m.traced
     m.dropped
 
 let to_json (m : t) : string = "{" ^ to_json_fields m ^ "}"

@@ -52,7 +52,17 @@
     below therefore re-reads the worker context from domain-local
     storage after potential suspension points. *)
 
-type join = { pending : int Atomic.t; waiter : waiter Atomic.t }
+type join = {
+  pending : int Atomic.t;
+  waiter : waiter Atomic.t;
+  err : exn option Atomic.t;
+      (** first exception raised under this join — by an inline branch,
+          a promoted child (which records here and still {e finishes},
+          so a parked parent always resumes), or a poll observing a
+          cancel token.  Re-raised by [join_on] at the fork point after
+          every child has drained: errors unwind the task tree
+          structurally instead of killing the session. *)
+}
 
 and waiter =
   | No_waiter
@@ -116,7 +126,40 @@ type worker = {
   mutable st_max_deque : int;
   mutable st_idle_ns : int;
   mutable st_callback_errors : int;
+  mutable st_faults : int;  (** chaos faults that fired on this worker *)
+  mutable st_cancels : int;  (** polls that observed a cancel token *)
+  mutable chaos : Chaos.state option;
+      (** fault-injection state, [Some] only for workers the session's
+          chaos plan actually targets — every other worker (and every
+          worker of a chaos-free session) keeps the exact unmodified
+          hot path, which is what makes the no-chaos metrics
+          bit-identical *)
 }
+
+(** Why a request's task tree was torn down: an explicit client abort,
+    a blown deadline, or the pool's lease watchdog recovering a wedged
+    session. *)
+type cancel_reason = [ `Explicit | `Deadline | `Lease ]
+
+type cancel_token = cancel_reason option Atomic.t
+(** A write-once cancellation flag shared between the computation and
+    whoever may abort it.  Polled at every promotion-ready beat check,
+    so cancellation latency is one beat period — the same amortized
+    bound the paper gives promotion. *)
+
+exception Cancelled of cancel_reason
+(** Raised (repeatedly, once per poll) inside the computation once its
+    token is set; unwinds through fork points like any task error. *)
+
+let reason_name = function
+  | `Explicit -> "explicit"
+  | `Deadline -> "deadline"
+  | `Lease -> "lease"
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled r -> Some (Printf.sprintf "Par.Runtime.Cancelled(%s)" (reason_name r))
+    | _ -> None)
 
 (** Observability hook events, fired from the worker's own code path
     (callbacks must be cheap, domain-safe, and must not call back into
@@ -136,6 +179,10 @@ type event =
   | Task_start
   | Task_finish
   | Nap of { ns : int }  (** an idle-backoff sleep of [ns] just ended *)
+  | Fault of Chaos.fault_kind  (** an injected chaos fault fired here *)
+  | Cancel_seen of cancel_reason
+      (** a poll observed the session's cancel token and is about to
+          unwind the running computation *)
 
 type config = {
   domains : int;  (** worker domains; 1 = serial with promotion *)
@@ -149,6 +196,10 @@ type config = {
       (** when set, every worker gets a per-domain {!Obs.Ring} track
           in this trace and feeds it the full event stream — export
           with {!Obs.Export}, digest with {!metrics} *)
+  chaos : Chaos.plan option;
+      (** seeded fault-injection schedule applied at beat boundaries;
+          [None] or an empty plan is strictly pay-for-use (bit-identical
+          counters to a chaos-free session) *)
 }
 
 let default_config =
@@ -159,6 +210,7 @@ let default_config =
     poll_stride = 32;
     on_event = None;
     tracer = None;
+    chaos = None;
   }
 
 type pool = {
@@ -178,6 +230,11 @@ type pool = {
           configured cadence; each step halves the period.  Session-
           wide by design: one request runs at a time on a warm pool,
           and beats are pool-global anyway. *)
+  cancel : cancel_token option Atomic.t;
+      (** the cancel token of the currently running request, installed
+          by the serving layer via {!set_cancel} ([None] between
+          requests and for plain sessions); polled by every worker at
+          its beat check *)
 }
 
 type ctx = { pool : pool; worker : worker }
@@ -199,6 +256,8 @@ type worker_stats = {
   max_deque : int;
   idle_ns : int;  (** nanoseconds slept in idle backoff (naps only) *)
   callback_errors : int;  (** [on_event] callbacks that raised *)
+  faults_injected : int;  (** chaos-schedule faults that fired *)
+  cancels : int;  (** polls that observed a cancel token and unwound *)
 }
 
 type stats = {
@@ -236,6 +295,26 @@ let set_urgency (u : int) : unit =
 (** The session's current urgency hint (0 when never set). *)
 let urgency () : int = Atomic.get (cur_ctx ()).pool.urgency
 
+(** A fresh, unset cancel token (cache-line-padded: the holder writes
+    it from another domain while every worker polls it). *)
+let cancel_token () : cancel_token = Obs.Padding.atomic None
+
+(** [cancel tok reason]: request cancellation.  First reason wins;
+    callable from any domain or thread — this is how a watchdog or a
+    client aborts a computation it does not run. *)
+let cancel (tok : cancel_token) (reason : cancel_reason) : unit =
+  ignore (Atomic.compare_and_set tok None (Some reason))
+
+let cancel_requested (tok : cancel_token) : bool = Atomic.get tok <> None
+let cancel_reason_of (tok : cancel_token) : cancel_reason option = Atomic.get tok
+
+(** [set_cancel tok]: install (or, with [None], clear) the cancel
+    token covering the work the session runs next.  Must be called
+    from inside {!run} — the serving layer brackets each request with
+    it. *)
+let set_cancel (tok : cancel_token option) : unit =
+  Atomic.set (cur_ctx ()).pool.cancel tok
+
 (* Runtime events in the unified {!Obs.Event} vocabulary; task events
    pick up the worker's current region label. *)
 let to_obs (w : worker) : event -> Obs.Event.t = function
@@ -248,6 +327,16 @@ let to_obs (w : worker) : event -> Obs.Event.t = function
   | Task_start -> Obs.Event.Task_start { region = w.region }
   | Task_finish -> Obs.Event.Task_finish { region = w.region }
   | Nap { ns } -> Obs.Event.Nap { ns }
+  | Fault k ->
+      let kind, arg =
+        match k with
+        | Chaos.Stall n -> (`Stall, n)
+        | Chaos.Slow { beats; _ } -> (`Slow, beats)
+        | Chaos.Drop n -> (`Drop, n)
+        | Chaos.Raise -> (`Raise, 0)
+      in
+      Obs.Event.Chaos { kind; arg }
+  | Cancel_seen reason -> Obs.Event.Cancel { reason }
 
 (* Feed the worker's ring (if tracing), then the user callback.  A
    raising callback must not kill the worker domain mid-session — the
@@ -270,7 +359,17 @@ let fire (ctx : ctx) (e : event) : unit =
         | _ -> ())
 
 (* pending starts at 1: the parent's stake (see the header comment) *)
-let fresh_join () = { pending = Atomic.make 1; waiter = Atomic.make No_waiter }
+let fresh_join () =
+  {
+    pending = Atomic.make 1;
+    waiter = Atomic.make No_waiter;
+    err = Atomic.make None;
+  }
+
+(* First error wins; the cascading [Cancelled] re-raises of an unwind
+   and simultaneous failures on other domains are dropped. *)
+let record_err (jr : join) (e : exn) : unit =
+  ignore (Atomic.compare_and_set jr.err None (Some e))
 
 let push_task (ctx : ctx) (t : task) : unit =
   let w = ctx.worker in
@@ -359,7 +458,10 @@ let rec promote (ctx : ctx) : unit =
       push_task ctx
         { run =
             (fun () ->
-              thunk ();
+              (* a raising child records into the join and still
+                 finishes: the parked parent must resume so the fork
+                 point can observe the error *)
+              (try thunk () with e -> record_err jr e);
               finish (cur_ctx ()) jr);
           marks = ref [];
           region = w.region }
@@ -375,7 +477,8 @@ let rec promote (ctx : ctx) : unit =
       push_task ctx
         { run =
             (fun () ->
-              par_for_range child_lo child_hi f jr;
+              (try par_for_range child_lo child_hi f jr
+               with e -> record_err jr e);
               finish (cur_ctx ()) jr);
           marks = ref [];
           region = w.region }
@@ -389,6 +492,19 @@ and poll () : unit = poll_ctx (cur_ctx ())
    known to be fresh (no user code ran since it was fetched). *)
 and poll_ctx (ctx : ctx) : unit =
   let w = ctx.worker in
+  (* cooperative cancellation: one relaxed load on the live path.  The
+     raise repeats at every poll of the unwinding computation, so a
+     [try ... poll ()] downstream cannot accidentally swallow the
+     abort for good. *)
+  (match Atomic.get ctx.pool.cancel with
+  | None -> ()
+  | Some tok -> (
+      match Atomic.get tok with
+      | None -> ()
+      | Some reason ->
+          w.st_cancels <- w.st_cancels + 1;
+          fire ctx (Cancel_seen reason);
+          raise (Cancelled reason)));
   let due =
     match ctx.pool.cfg.source with
     | `Ping_domain ->
@@ -408,11 +524,29 @@ and poll_ctx (ctx : ctx) : unit =
         end
         else false
   in
-  if due then begin
-    w.st_beats <- w.st_beats + 1;
-    fire ctx Beat;
-    promote ctx
-  end
+  if due then
+    match w.chaos with
+    | None ->
+        w.st_beats <- w.st_beats + 1;
+        fire ctx Beat;
+        promote ctx
+    | Some cs ->
+        let d = Chaos.on_beat cs in
+        List.iter
+          (fun (f : Chaos.fault) ->
+            w.st_faults <- w.st_faults + 1;
+            fire ctx (Fault f.kind))
+          d.fired;
+        if d.pause_s > 0. then Unix.sleepf d.pause_s;
+        if d.raise_now then
+          (* the typed injected fault: unwinds through the join
+             machinery exactly like a user exception *)
+          raise (Chaos.Injected { domain = w.id; beat = cs.beat })
+        else if not d.drop then begin
+          w.st_beats <- w.st_beats + 1;
+          fire ctx Beat;
+          promote ctx
+        end
 
 (* The promotable loop runner: iterations of [lo, hi) with the range
    advertised on the mark list, strip-mined so the beat check
@@ -435,18 +569,27 @@ and par_for_range (lo : int) (hi : int) (f : int -> unit) (jr : join) : unit =
     let e = E_loop l in
     push_mark ctx e;
     let stride = max 1 ctx.pool.cfg.poll_stride in
-    while l.lo < l.hi do
-      let lo0 = l.lo in
-      let stop = if l.hi - lo0 <= stride then l.hi else lo0 + stride in
-      l.lo <- stop;
-      for i = lo0 to stop - 1 do
-        f i
-      done;
-      (* the strip body may have suspended and migrated the
-         computation, so the poll re-fetches the context *)
-      poll ()
-    done;
-    pop_mark (cur_ctx ()) e
+    match
+      while l.lo < l.hi do
+        let lo0 = l.lo in
+        let stop = if l.hi - lo0 <= stride then l.hi else lo0 + stride in
+        l.lo <- stop;
+        for i = lo0 to stop - 1 do
+          f i
+        done;
+        (* the strip body may have suspended and migrated the
+           computation, so the poll re-fetches the context *)
+        poll ()
+      done
+    with
+    | () -> pop_mark (cur_ctx ()) e
+    | exception exn ->
+        (* unwinding (user error, injected fault, cancellation): the
+           mark must come off on the worker currently running the
+           computation — nested frames already popped theirs — before
+           the error continues to the fork point *)
+        pop_mark (cur_ctx ()) e;
+        raise exn
   end
 
 (* Join point.  [pending = 1] means only our stake is left: every
@@ -458,22 +601,29 @@ and par_for_range (lo : int) (hi : int) (f : int -> unit) (jr : join) : unit =
    from tasks of the join), so re-arming for the next promotion
    generation is race-free. *)
 and join_on (jr : join) : unit =
-  if Atomic.get jr.pending > 1 then begin
-    let ctx = cur_ctx () in
-    ctx.worker.st_joins <- ctx.worker.st_joins + 1;
-    fire ctx Join_suspend;
-    Effect.perform (Wait jr);
-    Atomic.set jr.pending 1;
-    Atomic.set jr.waiter No_waiter
-  end
+  (if Atomic.get jr.pending > 1 then begin
+     let ctx = cur_ctx () in
+     ctx.worker.st_joins <- ctx.worker.st_joins + 1;
+     fire ctx Join_suspend;
+     Effect.perform (Wait jr);
+     Atomic.set jr.pending 1;
+     Atomic.set jr.waiter No_waiter
+   end);
+  (* every child has drained; if any party recorded an error, the fork
+     point re-raises it here — structural propagation, never a stray
+     task *)
+  match Atomic.get jr.err with None -> () | Some e -> raise e
 
 (** [par_for ~lo ~hi f]: a parallel-for with latent parallelism only —
     runs serially unless heartbeats promote remaining iterations onto
     other domains. *)
 let par_for ~(lo : int) ~(hi : int) (f : int -> unit) : unit =
   let jr = fresh_join () in
-  par_for_range lo hi f jr;
-  poll ();
+  (* an inline error is recorded, not re-raised here: promoted children
+     may still be running, and the join below must wait for all of them
+     before the error continues upward *)
+  (try par_for_range lo hi f jr with e -> record_err jr e);
+  (try poll () with e -> record_err jr e);
   join_on jr
 
 (** [fork2 a b]: run [a] then [b] serially by default, advertising [b]
@@ -483,15 +633,22 @@ let fork2 (a : unit -> unit) (b : unit -> unit) : unit =
   let bs = { thunk = Some b; bjr = jr } in
   let e = E_branch bs in
   push_mark (cur_ctx ()) e;
-  a ();
-  pop_mark (cur_ctx ()) e;
-  poll ();
-  match bs.thunk with
+  (match a () with
+  | () -> pop_mark (cur_ctx ()) e
+  | exception exn ->
+      record_err jr exn;
+      pop_mark (cur_ctx ()) e);
+  (try poll () with exn -> record_err jr exn);
+  (match bs.thunk with
   | Some b ->
-      (* never promoted: run serially; nothing can join on [jr] *)
+      (* never promoted: run serially — unless [a] (or the poll) already
+         failed, in which case serial semantics never reached [b] *)
       bs.thunk <- None;
-      b ()
-  | None -> join_on jr
+      (match Atomic.get jr.err with
+      | None -> ( try b () with exn -> record_err jr exn)
+      | Some _ -> ())
+  | None -> ());
+  join_on jr
 
 (** [with_region name f]: label the work done by [f] (and any tasks it
     forks) as source region [name] in the session's trace — the unit
@@ -708,7 +865,8 @@ let ping_loop (pool : pool) : unit =
 (* The worker record itself is padded: its stat fields are written by
    the owner on hot paths, and [Array.init] would otherwise allocate
    adjacent workers' records onto shared cache lines. *)
-let make_worker ?(tracer : Obs.Trace.t option) ~(id : int) () : worker =
+let make_worker ?(tracer : Obs.Trace.t option) ?(chaos : Chaos.state option)
+    ~(id : int) () : worker =
   Obs.Padding.copy_as_padded
   {
     id;
@@ -734,6 +892,9 @@ let make_worker ?(tracer : Obs.Trace.t option) ~(id : int) () : worker =
     st_max_deque = 0;
     st_idle_ns = 0;
     st_callback_errors = 0;
+    st_faults = 0;
+    st_cancels = 0;
+    chaos;
   }
 
 let worker_stats (w : worker) : worker_stats =
@@ -750,6 +911,8 @@ let worker_stats (w : worker) : worker_stats =
     max_deque = w.st_max_deque;
     idle_ns = w.st_idle_ns;
     callback_errors = w.st_callback_errors;
+    faults_injected = w.st_faults;
+    cancels = w.st_cancels;
   }
 
 let zero_stats =
@@ -766,6 +929,8 @@ let zero_stats =
     max_deque = 0;
     idle_ns = 0;
     callback_errors = 0;
+    faults_injected = 0;
+    cancels = 0;
   }
 
 let sum_stats (per : worker_stats array) : worker_stats =
@@ -784,6 +949,8 @@ let sum_stats (per : worker_stats array) : worker_stats =
         max_deque = max acc.max_deque s.max_deque;
         idle_ns = acc.idle_ns + s.idle_ns;
         callback_errors = acc.callback_errors + s.callback_errors;
+        faults_injected = acc.faults_injected + s.faults_injected;
+        cancels = acc.cancels + s.cancels;
       })
     zero_stats per
 
@@ -822,6 +989,11 @@ let metrics ?(tracer : Obs.Trace.t option) (st : stats) : Obs.Metrics.t =
     max_deque = st.total.max_deque;
     idle_ns = st.total.idle_ns;
     callback_errors = st.total.callback_errors;
+    faults_injected = st.total.faults_injected;
+    cancels = st.total.cancels;
+    retries = 0;
+    restarts = 0;
+    stalls = 0;
     traced = (match tracer with None -> 0 | Some tr -> Obs.Trace.total_written tr);
     dropped =
       (match tracer with None -> 0 | Some tr -> Obs.Trace.total_dropped tr);
@@ -834,8 +1006,11 @@ let active = Atomic.make false
     heartbeat scheduler: [config.domains] worker domains (the calling
     domain is worker 0) plus, with the [`Ping_domain] source, one ping
     domain.  Returns [main]'s result and the session statistics.
-    Exceptions raised by any task abort the session and re-raise
-    here. *)
+    An exception inside a task — user code, an injected {!Chaos}
+    fault, or a {!Cancelled} unwind — propagates structurally to its
+    fork point (children are always joined first, so no task strays);
+    only an exception escaping [main] itself aborts the session and
+    re-raises here. *)
 let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
   if not (Atomic.compare_and_set active false true) then
     invalid_arg "Par.Runtime.run: already running";
@@ -843,17 +1018,29 @@ let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
     ~finally:(fun () -> Atomic.set active false)
     (fun () ->
       let n = max 1 config.domains in
+      (* chaos state is materialized per targeted worker only; an
+         absent or empty plan leaves every worker's [chaos = None] —
+         the exact chaos-free hot path and counters *)
+      let chaos_for id =
+        match config.chaos with
+        | None -> None
+        | Some p ->
+            Chaos.state_for p ~domain:id
+              ~heart_s:(Float.max 0. config.heart_us *. 1e-6)
+      in
       let pool =
         {
           cfg = config;
           heart_ns = int_of_float (Float.max 0. config.heart_us *. 1e3);
           t0_ns = Mclock.now_ns ();
           workers =
-            Array.init n (fun id -> make_worker ?tracer:config.tracer ~id ());
+            Array.init n (fun id ->
+                make_worker ?tracer:config.tracer ?chaos:(chaos_for id) ~id ());
           stop = Atomic.make false;
           ping_stop = Atomic.make false;
           error = Atomic.make None;
           urgency = Obs.Padding.atomic 0;
+          cancel = Obs.Padding.atomic None;
         }
       in
       let result = ref None in

@@ -50,6 +50,9 @@ type report = {
   rejected_shed : int;
   completed : int;
   failed : int;
+  cancelled : int;  (** resolved as a typed {!Pool.Cancelled} *)
+  retried : int;  (** pool-level retry attempts (from {!Pool.stats}) *)
+  restarts : int;  (** warm session restarts (from {!Pool.stats}) *)
   lost : int;  (** admitted but never resolved/executed *)
   duplicated : int;  (** executed more than once (exactly-once breach) *)
   mismatched : int;  (** wrong checksum *)
@@ -143,10 +146,15 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
     let deadline_s = if tight then spec.slo_s /. 10. else spec.slo_s in
     let counter = exec_counts.(i) in
     let work =
+      (* the counter bumps at the END of the kernel, so it counts
+         {e completed} executions: a chaos fault or cancellation that
+         unwinds mid-kernel leaves it untouched, and a retried attempt
+         that finally completes counts exactly once *)
       Pool.Thunk
         (fun e ->
+          let c = kernel n e in
           Atomic.incr counter;
-          kernel n e)
+          c)
     in
     (* DRR size units ~ relative kernel cost *)
     let size = max 1 (n / sizes.(0)) in
@@ -159,6 +167,7 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
   (* drain: await every admitted request *)
   let completed = ref 0 and failed = ref 0 and lost = ref 0 in
   let met = ref 0 and missed = ref 0 and mismatched = ref 0 in
+  let cancelled = ref 0 in
   let sojourns = ref [] in
   Array.iteri
     (fun i ticket ->
@@ -173,6 +182,7 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
               sojourns := sojourn_s :: !sojourns
           | Ok _ -> incr mismatched
           | Error Pool.Timed_out -> incr lost
+          | Error (Pool.Cancelled _) -> incr cancelled
           | Error _ -> incr failed))
     tickets;
   let elapsed_s = Mclock.now_s () -. t0 in
@@ -207,6 +217,9 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
     rejected_shed = !rejected_shed;
     completed = !completed;
     failed = !failed;
+    cancelled = !cancelled;
+    retried = ps.retried;
+    restarts = ps.restarts;
     lost = !lost;
     duplicated;
     mismatched = !mismatched;
@@ -231,16 +244,16 @@ let pp_report (ppf : Format.formatter) (r : report) : unit =
   Format.fprintf ppf
     "@[<v>offered %d, admitted %d, rejected %d (full %d, shed %d), reject \
      rate %.3f@,\
-     completed %d (met %d, missed %d), failed %d, lost %d, duplicated %d, \
-     mismatched %d@,\
+     completed %d (met %d, missed %d), failed %d, cancelled %d, retried %d, \
+     restarts %d, lost %d, duplicated %d, mismatched %d@,\
      latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, mean %.3f ms@,\
      goodput %.0f req/s over %.2f s@,\
      served per tenant: %a@]"
     r.offered r.admitted
     (r.rejected_full + r.rejected_shed)
     r.rejected_full r.rejected_shed r.reject_rate r.completed r.met r.missed
-    r.failed r.lost r.duplicated r.mismatched r.p50_ms r.p95_ms r.p99_ms
-    r.mean_ms r.goodput_rps r.elapsed_s
+    r.failed r.cancelled r.retried r.restarts r.lost r.duplicated r.mismatched
+    r.p50_ms r.p95_ms r.p99_ms r.mean_ms r.goodput_rps r.elapsed_s
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (t, n) -> Format.fprintf ppf "%s=%d" t n))

@@ -57,7 +57,25 @@ type error =
           the submit raced [close]) *)
   | Timed_out  (** [await ~timeout_s] expired; the request itself may
                    still complete later *)
+  | Cancelled of Par.Runtime.cancel_reason
+      (** the request's task tree was cooperatively unwound: an
+          explicit {!cancel}, a blown deadline, or the lease watchdog
+          recovering the session *)
+  | Retry_exhausted of { attempts : int }
+      (** the request failed retryably [attempts] times and its
+          tenant's retry budget ran dry — the typed end of the backoff
+          ladder *)
   | Failed of exn  (** the request body (or the session) raised *)
+
+let pp_error ppf : error -> unit = function
+  | Rejected `Queue_full -> Fmt.pf ppf "rejected: queue full"
+  | Rejected `Shedding -> Fmt.pf ppf "rejected: shedding (pool degraded)"
+  | Pool_closed -> Fmt.pf ppf "pool closed"
+  | Timed_out -> Fmt.pf ppf "await timed out"
+  | Cancelled r -> Fmt.pf ppf "cancelled (%s)" (Par.Runtime.reason_name r)
+  | Retry_exhausted { attempts } ->
+      Fmt.pf ppf "retry budget exhausted after %d attempts" attempts
+  | Failed e -> Fmt.pf ppf "failed: %s" (Printexc.to_string e)
 
 type completion = {
   outcome : outcome;
@@ -76,6 +94,28 @@ type config = {
                         watchdog *)
   shed_when_degraded : bool;
       (** reject new work while a wedged request holds the session *)
+  cancel_on_lease : bool;
+      (** the watchdog also sets the wedged request's cancel token, so
+          a cooperative (polling) request unwinds at its next beat and
+          the session recovers instead of merely degrading.  A wedged
+          request that never polls is still only flagged — OCaml
+          domains cannot be preempted from outside. *)
+  deadline_cancel_slack_s : float option;
+      (** [Some s]: the watchdog cancels (reason [`Deadline]) any
+          in-flight request more than [s] seconds past its deadline;
+          [None] (default) never deadline-cancels — completion wins *)
+  retries : int;
+      (** per-tenant retry budget for retryable failures; 0 disables
+          the retry machinery entirely *)
+  retryable : exn -> bool;
+      (** which request failures may consume retry budget; defaults to
+          injected chaos faults ({!Par.Chaos.Injected}) only — real
+          bugs should surface, not loop *)
+  retry_backoff_s : float;  (** base delay before the first retry *)
+  retry_backoff_max_s : float;  (** backoff clamp (see {!Sched.backoff_s}) *)
+  max_restarts : int;
+      (** warm session restarts after a session-fatal error before the
+          pool gives up and fails over to the typed-drain path *)
   tracer : Obs.Trace.t option;
       (** when set, the pool records every admission / DRR–EDF
           dispatch / completion / degradation decision on a "server"
@@ -91,6 +131,13 @@ let default_config =
     default_slo_s = 1.0;
     lease_s = 10.;
     shed_when_degraded = true;
+    cancel_on_lease = true;
+    deadline_cancel_slack_s = None;
+    retries = 0;
+    retryable = (function Par.Chaos.Injected _ -> true | _ -> false);
+    retry_backoff_s = 0.001;
+    retry_backoff_max_s = 0.05;
+    max_restarts = 1;
     tracer = None;
   }
 
@@ -109,13 +156,34 @@ type t = {
   mutable shed : int;
   mutable failures : int;
   mutable cancelled : int;  (** tickets resolved [Pool_closed] *)
+  mutable cancels : int;  (** tickets resolved [Cancelled _] *)
+  mutable retried : int;  (** failed attempts re-admitted for retry *)
+  mutable restarts : int;  (** warm session restarts performed *)
   mutable running : (ticket * float) option;  (** in-flight id, start *)
+  mutable running_deadline : float;  (** in-flight absolute deadline *)
+  mutable cancel_tok : Par.Runtime.cancel_token option;
+      (** the in-flight request's token — the handle the watchdog and
+          {!cancel} use to unwind it from outside the session *)
+  mutable retry_q : (float * work Sched.req) list;
+      (** backoff parking lot, sorted by ready time; re-admitted to
+          [sched] by the dispatch loop once mature.  The request keeps
+          its original ticket — that id {e is} the idempotency key: an
+          awaiter observes exactly one resolution no matter how many
+          attempts ran *)
+  attempts : (ticket, int) Hashtbl.t;  (** dispatch count per live ticket *)
+  budgets : (string, int) Hashtbl.t;
+      (** per-tenant remaining retry budget (seeded from [cfg.retries]
+          on first use) *)
   mutable flagged : ticket option;  (** in-flight request past its lease *)
   mutable stalls : int;
   mutable degraded : bool;
   mutable close_requested : bool;
   mutable shutdown_done : bool;
   mutable up : bool;  (** the session's dispatch loop has started *)
+  mutable attempt_up : bool;
+      (** the {e current} session attempt's dispatch loop has started —
+          gates warm restart so a boot failure is never retried into a
+          spin *)
   mutable failed : exn option;  (** the session itself died *)
   mutable rt_stats : Par.Runtime.stats option;  (** set at teardown *)
   mutable domain : unit Domain.t option;
@@ -136,6 +204,9 @@ type stats = {
   missed : int;
   failures : int;
   cancelled : int;
+  cancels : int;  (** cooperative cancellations delivered *)
+  retried : int;  (** failed attempts re-admitted with backoff *)
+  restarts : int;  (** warm session restarts *)
   queued : int;
   stalls_detected : int;
   degraded : bool;
@@ -155,6 +226,9 @@ let stats_locked (t : t) : stats =
     missed = sc.missed;
     failures = t.failures;
     cancelled = t.cancelled;
+    cancels = t.cancels;
+    retried = t.retried;
+    restarts = t.restarts;
     queued = sc.queued;
     stalls_detected = t.stalls;
     degraded = t.degraded;
@@ -221,6 +295,7 @@ let exec (w : work) : outcome =
 let serve_main (t : t) : unit =
   Mutex.lock t.m;
   t.up <- true;
+  t.attempt_up <- true;
   Condition.broadcast t.cv;
   Mutex.unlock t.m;
   let rec loop () =
@@ -228,12 +303,46 @@ let serve_main (t : t) : unit =
     let next =
       let rec get () =
         if t.close_requested then None
-        else
-          match Sched.next t.sched ~now:(Mclock.now_s ()) with
+        else begin
+          let now = Mclock.now_s () in
+          (* mature retries re-enter the scheduler under their original
+             ticket; a queue that filled during the backoff resolves
+             them with the same typed backpressure a fresh submit gets *)
+          let due, later =
+            List.partition (fun (ready, _) -> ready <= now) t.retry_q
+          in
+          t.retry_q <- later;
+          List.iter
+            (fun (_, (r : work Sched.req)) ->
+              match Sched.admit t.sched r with
+              | Ok () -> ()
+              | Error `Queue_full ->
+                  t.failures <- t.failures + 1;
+                  Hashtbl.remove t.attempts r.id;
+                  Hashtbl.replace t.results r.id (Error (Rejected `Queue_full));
+                  Condition.broadcast t.cv)
+            due;
+          match Sched.next t.sched ~now with
           | Some r -> Some r
           | None ->
-              Condition.wait t.cv t.m;
-              get ()
+              if t.retry_q = [] then begin
+                Condition.wait t.cv t.m;
+                get ()
+              end
+              else begin
+                (* a retry is parked but not mature; stdlib [Condition]
+                   has no timed wait, so nap toward its ready time *)
+                let ready =
+                  List.fold_left
+                    (fun acc (rd, _) -> Float.min acc rd)
+                    infinity t.retry_q
+                in
+                Mutex.unlock t.m;
+                Thread.delay (Float.min 0.002 (Float.max 0.0002 (ready -. now)));
+                Mutex.lock t.m;
+                get ()
+              end
+        end
       in
       get ()
     in
@@ -243,7 +352,8 @@ let serve_main (t : t) : unit =
            still queued resolves here, under the mutex, BEFORE the
            session's main task returns — so domain shutdown never
            races a half-drained queue. *)
-        let dropped = Sched.drain t.sched in
+        let dropped = Sched.drain t.sched @ List.map snd t.retry_q in
+        t.retry_q <- [];
         let now = Mclock.now_s () in
         List.iter
           (fun (r : work Sched.req) ->
@@ -260,55 +370,112 @@ let serve_main (t : t) : unit =
         Condition.broadcast t.cv;
         Mutex.unlock t.m
     | Some r ->
+        let attempt =
+          1 + Option.value (Hashtbl.find_opt t.attempts r.id) ~default:0
+        in
+        Hashtbl.replace t.attempts r.id attempt;
+        (* a fresh token per dispatch: the watchdog and [cancel] unwind
+           THIS attempt; a retry starts with a clean slate *)
+        let tok = Par.Runtime.cancel_token () in
+        t.cancel_tok <- Some tok;
         t.running <- Some (r.id, Mclock.now_s ());
+        t.running_deadline <- r.deadline;
         (* the deadline-aware promotion hint: near-SLO requests get a
            shorter effective beat period for their whole execution *)
         let hint = Sched.promotion_hint ~now:(Mclock.now_s ()) r in
         pemit t
           (Obs.Event.Dispatch { tenant = tenant_id t r.tenant; urgency = hint });
         Mutex.unlock t.m;
+        Par.Runtime.set_cancel (Some tok);
         Par.Runtime.set_urgency hint;
         let res = try Ok (exec r.payload) with e -> Error e in
         Par.Runtime.set_urgency 0;
+        Par.Runtime.set_cancel None;
         let fin = Mclock.now_s () in
         Mutex.lock t.m;
         t.running <- None;
+        t.cancel_tok <- None;
         if t.flagged = Some r.id then begin
-          (* the wedged request finally finished: degradation clears,
-             the stall stays on the books *)
+          (* the wedged request finally finished (or was lease-
+             cancelled): degradation clears, the stall stays on the
+             books *)
           t.flagged <- None;
           t.degraded <- false;
           pemit t (Obs.Event.Degraded { on = false })
         end;
         let sojourn_s = fin -. r.enqueued in
-        let resolved =
+        let complete outcome =
+          pemit t
+            (Obs.Event.Complete
+               {
+                 tenant = tenant_id t r.tenant;
+                 outcome;
+                 sojourn_ns = int_of_float (sojourn_s *. 1e9);
+               })
+        in
+        (* [None] = the ticket stays open (a retry is scheduled);
+           [fatal] = the session's scheduler state can no longer be
+           trusted and the pool must warm-restart *)
+        let fatal = ref None in
+        let resolved : (completion, error) result option =
           match res with
           | Ok outcome ->
               let verdict = Sched.complete t.sched ~now:fin r in
               record_latency t ~tenant:r.tenant sojourn_s;
-              pemit t
-                (Obs.Event.Complete
-                   {
-                     tenant = tenant_id t r.tenant;
-                     outcome = (if verdict = `Met then `Met else `Missed);
-                     sojourn_ns = int_of_float (sojourn_s *. 1e9);
-                   });
-              Ok { outcome; sojourn_s; met_deadline = (verdict = `Met) }
+              complete (if verdict = `Met then `Met else `Missed);
+              Some (Ok { outcome; sojourn_s; met_deadline = (verdict = `Met) })
+          | Error (Par.Runtime.Cancelled reason) ->
+              t.cancels <- t.cancels + 1;
+              complete `Cancelled;
+              Some (Error (Cancelled reason))
+          | Error (Par.Runtime.Machine_fault _ as e) ->
+              (* a scheduler-invariant violation: resolve the victim,
+                 then tear the session down for a warm restart — its
+                 mark lists and deques are untrusted *)
+              t.failures <- t.failures + 1;
+              complete `Failed;
+              fatal := Some e;
+              Some (Error (Failed e))
+          | Error e when t.cfg.retries > 0 && t.cfg.retryable e ->
+              let left =
+                Option.value
+                  (Hashtbl.find_opt t.budgets r.tenant)
+                  ~default:t.cfg.retries
+              in
+              if left > 0 then begin
+                Hashtbl.replace t.budgets r.tenant (left - 1);
+                t.retried <- t.retried + 1;
+                pemit t
+                  (Obs.Event.Retry
+                     { tenant = tenant_id t r.tenant; attempt = attempt + 1 });
+                let delay =
+                  Sched.backoff_s ~base_s:t.cfg.retry_backoff_s
+                    ~max_s:t.cfg.retry_backoff_max_s ~seed:0 ~id:r.id ~attempt
+                in
+                t.retry_q <-
+                  List.sort
+                    (fun (a, _) (b, _) -> compare a b)
+                    ((fin +. delay, r) :: t.retry_q);
+                None
+              end
+              else begin
+                t.failures <- t.failures + 1;
+                complete `Failed;
+                Some (Error (Retry_exhausted { attempts = attempt }))
+              end
           | Error e ->
               t.failures <- t.failures + 1;
-              pemit t
-                (Obs.Event.Complete
-                   {
-                     tenant = tenant_id t r.tenant;
-                     outcome = `Failed;
-                     sojourn_ns = int_of_float (sojourn_s *. 1e9);
-                   });
-              Error (Failed e)
+              complete `Failed;
+              Some (Error (Failed e))
         in
-        Hashtbl.replace t.results r.id resolved;
+        (match resolved with
+        | Some res ->
+            Hashtbl.remove t.attempts r.id;
+            Hashtbl.replace t.results r.id res
+        | None -> ());
         Condition.broadcast t.cv;
         Mutex.unlock t.m;
-        loop ()
+        (match !fatal with Some e -> raise e | None -> loop ())
   in
   loop ()
 
@@ -319,14 +486,35 @@ let watchdog_loop (t : t) : unit =
   while not (Atomic.get t.watchdog_stop) do
     Thread.delay tick;
     Mutex.lock t.m;
+    let now = Mclock.now_s () in
     (match t.running with
     | Some (id, started)
-      when t.flagged <> Some id
-           && Mclock.now_s () -. started > t.cfg.lease_s ->
+      when t.flagged <> Some id && now -. started > t.cfg.lease_s ->
         t.stalls <- t.stalls + 1;
         t.flagged <- Some id;
         t.degraded <- true;
-        pemit t (Obs.Event.Degraded { on = true })
+        pemit t (Obs.Event.Degraded { on = true });
+        (* lease-based recovery: beyond marking the pool degraded, ask
+           the wedged request to unwind.  A cooperative (polling)
+           request aborts within a beat and the session serves on; one
+           that never polls stays wedged — flagged, shedding — until it
+           returns *)
+        if t.cfg.cancel_on_lease then (
+          match t.cancel_tok with
+          | Some tok when not (Par.Runtime.cancel_requested tok) ->
+              Par.Runtime.cancel tok `Lease;
+              pemit t (Obs.Event.Cancel { reason = `Lease })
+          | _ -> ())
+    | _ -> ());
+    (* deadline cancellation (config-gated): a request hopelessly past
+       its SLO is unwound rather than left burning the session *)
+    (match (t.cfg.deadline_cancel_slack_s, t.running) with
+    | Some slack, Some _ when now > t.running_deadline +. slack -> (
+        match t.cancel_tok with
+        | Some tok when not (Par.Runtime.cancel_requested tok) ->
+            Par.Runtime.cancel tok `Deadline;
+            pemit t (Obs.Event.Cancel { reason = `Deadline })
+        | _ -> ())
     | _ -> ());
     Mutex.unlock t.m
   done
@@ -351,13 +539,22 @@ let create ?(config = default_config) () : t =
       shed = 0;
       failures = 0;
       cancelled = 0;
+      cancels = 0;
+      retried = 0;
+      restarts = 0;
       running = None;
+      running_deadline = infinity;
+      cancel_tok = None;
+      retry_q = [];
+      attempts = Hashtbl.create 16;
+      budgets = Hashtbl.create 16;
       flagged = None;
       stalls = 0;
       degraded = false;
       close_requested = false;
       shutdown_done = false;
       up = false;
+      attempt_up = false;
       failed = None;
       rt_stats = None;
       domain = None;
@@ -370,26 +567,79 @@ let create ?(config = default_config) () : t =
   in
   let d =
     Domain.spawn (fun () ->
-        match Par.Runtime.run ~config:t.cfg.runtime (fun () -> serve_main t) with
-        | (), st ->
-            Mutex.lock t.m;
-            t.rt_stats <- Some st;
-            Condition.broadcast t.cv;
-            Mutex.unlock t.m
-        | exception e ->
-            (* the session died under us (boot failure, or a request
-               raising from a promoted task): resolve everything
-               queued so no awaiter hangs, and surface the exception *)
-            Mutex.lock t.m;
-            t.failed <- Some e;
-            t.up <- true;
-            let dropped = Sched.drain t.sched in
-            List.iter
-              (fun (r : work Sched.req) ->
-                Hashtbl.replace t.results r.id (Error (Failed e)))
-              dropped;
-            Condition.broadcast t.cv;
-            Mutex.unlock t.m)
+        (* the session loop: one warm Par.Runtime session normally; on
+           a session-fatal error (a Machine_fault, or anything escaping
+           the dispatch loop itself) the wreck is resolved and — within
+           [max_restarts], provided the dying attempt had actually
+           booted — a fresh session takes over the untouched queue *)
+        let rec session () =
+          Mutex.lock t.m;
+          t.attempt_up <- false;
+          Mutex.unlock t.m;
+          match
+            Par.Runtime.run ~config:t.cfg.runtime (fun () -> serve_main t)
+          with
+          | (), st ->
+              Mutex.lock t.m;
+              t.rt_stats <- Some st;
+              Condition.broadcast t.cv;
+              Mutex.unlock t.m
+          | exception e ->
+              Mutex.lock t.m;
+              let can_restart =
+                t.attempt_up && (not t.close_requested)
+                && t.restarts < t.cfg.max_restarts
+              in
+              if can_restart then begin
+                (* warm restart: the in-flight request (if any — its
+                   delivery is uncertain) resolves Failed; queued and
+                   parked-retry work survives untouched and is
+                   re-admitted by the fresh dispatch loop *)
+                t.restarts <- t.restarts + 1;
+                (match t.running with
+                | Some (id, _) ->
+                    t.running <- None;
+                    t.cancel_tok <- None;
+                    t.failures <- t.failures + 1;
+                    Hashtbl.remove t.attempts id;
+                    Hashtbl.replace t.results id (Error (Failed e))
+                | None -> ());
+                if t.flagged <> None then begin
+                  t.flagged <- None;
+                  t.degraded <- false;
+                  pemit t (Obs.Event.Degraded { on = false })
+                end;
+                pemit t (Obs.Event.Restart { attempt = t.restarts });
+                Condition.broadcast t.cv;
+                Mutex.unlock t.m;
+                session ()
+              end
+              else begin
+                (* boot failure, restart budget exhausted, or a close
+                   racing the death: resolve everything so no awaiter
+                   hangs, and surface the exception *)
+                t.failed <- Some e;
+                t.up <- true;
+                (match t.running with
+                | Some (id, _) ->
+                    t.running <- None;
+                    t.cancel_tok <- None;
+                    t.failures <- t.failures + 1;
+                    Hashtbl.replace t.results id (Error (Failed e))
+                | None -> ());
+                let dropped =
+                  Sched.drain t.sched @ List.map snd t.retry_q
+                in
+                t.retry_q <- [];
+                List.iter
+                  (fun (r : work Sched.req) ->
+                    Hashtbl.replace t.results r.id (Error (Failed e)))
+                  dropped;
+                Condition.broadcast t.cv;
+                Mutex.unlock t.m
+              end
+        in
+        session ())
   in
   t.domain <- Some d;
   Mutex.lock t.m;
@@ -506,6 +756,62 @@ let running (t : t) : ticket option =
   let r = Option.map fst t.running in
   Mutex.unlock t.m;
   r
+
+(** [cancel t ticket] aborts a request.  Still queued (or parked for
+    retry): it is removed and its ticket resolves
+    [Error (Cancelled reason)] immediately.  In flight: the attempt's
+    cancel token is set and the task tree unwinds cooperatively at its
+    next beat — completion can still win that race, in which case the
+    awaiter sees the completed result.  Returns [false] when the
+    ticket is unknown or already resolved. *)
+let cancel ?(reason : Par.Runtime.cancel_reason = `Explicit) (t : t)
+    (ticket : ticket) : bool =
+  Mutex.lock t.m;
+  let resolve_cancelled (r : work Sched.req) =
+    t.cancels <- t.cancels + 1;
+    Hashtbl.remove t.attempts r.id;
+    Hashtbl.replace t.results r.id (Error (Cancelled reason));
+    pemit t (Obs.Event.Cancel { reason });
+    pemit t
+      (Obs.Event.Complete
+         {
+           tenant = tenant_id t r.tenant;
+           outcome = `Cancelled;
+           sojourn_ns =
+             int_of_float ((Mclock.now_s () -. r.enqueued) *. 1e9);
+         });
+    Condition.broadcast t.cv
+  in
+  let hit =
+    if Hashtbl.mem t.results ticket then false
+    else
+      match t.running with
+      | Some (id, _) when id = ticket -> (
+          match t.cancel_tok with
+          | Some tok ->
+              Par.Runtime.cancel tok reason;
+              pemit t (Obs.Event.Cancel { reason });
+              true
+          | None -> false)
+      | _ -> (
+          match Sched.cancel t.sched ~id:ticket with
+          | Some r ->
+              resolve_cancelled r;
+              true
+          | None -> (
+              match
+                List.partition
+                  (fun (_, (r : work Sched.req)) -> r.id = ticket)
+                  t.retry_q
+              with
+              | (_, r) :: _, rest ->
+                  t.retry_q <- rest;
+                  resolve_cancelled r;
+                  true
+              | [], _ -> false))
+  in
+  Mutex.unlock t.m;
+  hit
 
 (** [close t] stops admission, lets the in-flight request (if any)
     finish, resolves every still-queued ticket with [Pool_closed],

@@ -298,6 +298,39 @@ let drain (s : 'a t) : 'a req list =
   s.queued <- 0;
   List.sort (fun (a : 'a req) b -> compare a.id b.id) all
 
+(** [cancel s ~id] removes a still-queued request by ticket, returning
+    it (the pool resolves its ticket with the typed [Cancelled]).
+    Linear in the owning tenant's backlog — cancellation is the rare
+    path; dispatch stays O(log n).  [None] when no queued request has
+    that id (it may be running, resolved, or unknown). *)
+let cancel (s : 'a t) ~(id : int) : 'a req option =
+  let found = ref None in
+  Hashtbl.iter
+    (fun _ (t : 'a tenant) ->
+      if Option.is_none !found then begin
+        let keep =
+          List.filter
+            (fun (r : 'a req) ->
+              if r.id = id && Option.is_none !found then begin
+                found := Some r;
+                false
+              end
+              else true)
+            (Heap.to_list t.heap)
+        in
+        if Option.is_some !found then begin
+          (* rebuild the EDF heap without the victim; an emptied tenant
+             keeps its ring entry and is lazily retired by the next
+             sweep, exactly like the panic path *)
+          t.heap.Heap.n <- 0;
+          List.iter (Heap.push t.heap) keep;
+          if Heap.is_empty t.heap then t.deficit <- 0
+        end
+      end)
+    s.tenants;
+  (match !found with Some _ -> s.queued <- s.queued - 1 | None -> ());
+  !found
+
 (** [complete s ~now r] classifies a finished request against its
     deadline and returns the verdict. *)
 let complete (s : _ t) ~(now : float) (r : _ req) : [ `Met | `Missed ] =
@@ -326,6 +359,33 @@ let stats (s : _ t) : stats =
   }
 
 (* ------------------------------------------------------------------ *)
+
+(** [backoff_s ~base_s ~max_s ~seed ~id ~attempt]: the retry delay
+    before attempt [attempt + 1] of request [id] — exponential in the
+    attempt number with deterministic jitter, a pure function of its
+    arguments so the virtual-clock tests can assert exact values and
+    two runs of one seed schedule retries identically.  The jitter is
+    a splitmix-style hash of (seed, id, attempt) mapped into
+    [0.5, 1.0] — full-jitter's thundering-herd spread without
+    randomness the audit could not replay.  Clamped to [max_s]. *)
+let backoff_s ~(base_s : float) ~(max_s : float) ~(seed : int) ~(id : int)
+    ~(attempt : int) : float =
+  let expo = base_s *. float_of_int (1 lsl min (max 0 (attempt - 1)) 16) in
+  let h = ref (Int64.of_int ((seed * 0x1000193) lxor (id * 31) lxor attempt)) in
+  h := Int64.add !h 0x9E3779B97F4A7C15L;
+  let z = !h in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  let u =
+    Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+  in
+  Float.min max_s (expo *. (0.5 +. (0.5 *. u)))
 
 (** [promotion_hint ~now r] maps a request's remaining slack to a
     {!Par.Runtime.set_urgency} shift: 0 with more than half its

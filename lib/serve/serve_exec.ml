@@ -9,7 +9,8 @@
 
 open Tpal
 
-let pool_config ~(domains : int) ~(heart_us : float) : Pool.config =
+let pool_config ?(chaos : Par.Chaos.plan option) ?(retries = 0)
+    ~(domains : int) ~(heart_us : float) () : Pool.config =
   {
     Pool.default_config with
     runtime =
@@ -19,19 +20,32 @@ let pool_config ~(domains : int) ~(heart_us : float) : Pool.config =
         heart_us;
         source = `Polling;
         poll_stride = 1;
+        chaos;
       };
     (* fuzz programs are tiny; a generous lease keeps the watchdog
        thread out of the measurement entirely *)
     lease_s = 0.;
+    retries;
   }
 
-(** [run ?options ?domains ?heart_us p] boots a fresh pool, executes
-    [p] through it, closes the pool, and returns the final task (or
-    the machine error) plus the pool statistics. *)
-let run ?(options = Eval.default_options) ?(domains = 1) ?(heart_us = 50.)
-    (p : Ast.program) :
-    (Task.t, Machine_error.t) result * Pool.stats =
-  let pool = Pool.create ~config:(pool_config ~domains ~heart_us) () in
+(** What a through-pool execution can come back as, with cancellation
+    as a {e typed} outcome rather than an exception to untangle. *)
+type served =
+  [ `Done of (Task.t, Machine_error.t) result
+    (** the machine ran; [Error] = it got stuck (a program-level
+        fault, not a pool failure) *)
+  | `Cancelled of Par.Runtime.cancel_reason
+  | `Error of Pool.error ]
+
+(** [run_outcome ?options ?domains ?heart_us ?chaos ?retries p] boots
+    a fresh pool, executes [p] through it, closes the pool, and
+    returns the typed outcome plus the pool statistics. *)
+let run_outcome ?(options = Eval.default_options) ?(domains = 1)
+    ?(heart_us = 50.) ?chaos ?(retries = 0) (p : Ast.program) :
+    served * Pool.stats =
+  let pool =
+    Pool.create ~config:(pool_config ?chaos ~retries ~domains ~heart_us ()) ()
+  in
   let finish r =
     let st = Pool.close pool in
     (r, st)
@@ -40,25 +54,27 @@ let run ?(options = Eval.default_options) ?(domains = 1) ?(heart_us = 50.)
   | Error e ->
       ignore (Pool.close pool);
       failwith
-        (Fmt.str "Serve_exec: submit rejected on an empty pool (%s)"
-           (match e with
-           | Pool.Rejected `Queue_full -> "queue full"
-           | Pool.Rejected `Shedding -> "shedding"
-           | Pool.Pool_closed -> "pool closed"
-           | Pool.Timed_out -> "timed out"
-           | Pool.Failed e -> Printexc.to_string e))
+        (Fmt.str "Serve_exec: submit rejected on an empty pool (%a)"
+           Pool.pp_error e)
   | Ok ticket -> (
       match Pool.await pool ticket with
-      | Ok { outcome = Pool.Tpal_result r; _ } -> finish r
+      | Ok { outcome = Pool.Tpal_result r; _ } -> finish (`Done r)
       | Ok { outcome = Pool.Checksum _; _ } ->
           ignore (Pool.close pool);
           assert false (* a Tpal submission always yields Tpal_result *)
-      | Error (Pool.Failed e) ->
-          ignore (Pool.close pool);
-          raise e
-      | Error _ ->
-          ignore (Pool.close pool);
-          failwith "Serve_exec: single request on a fresh pool unresolved")
+      | Error (Pool.Cancelled reason) -> finish (`Cancelled reason)
+      | Error e -> finish (`Error e))
+
+(** [run ?options ?domains ?heart_us p]: {!run_outcome} for callers
+    that expect the request to complete — a request-body exception
+    re-raises, any other pool error fails typed. *)
+let run ?(options = Eval.default_options) ?(domains = 1) ?(heart_us = 50.)
+    (p : Ast.program) : (Task.t, Machine_error.t) result * Pool.stats =
+  match run_outcome ~options ~domains ~heart_us p with
+  | `Done r, st -> (r, st)
+  | `Error (Pool.Failed e), _ -> raise e
+  | (`Cancelled _ | `Error _), _ ->
+      failwith "Serve_exec: single request on a fresh pool unresolved"
 
 (** [check ?domains ?options prog ~outputs] compares the through-pool
     execution against the sequential evaluator on [outputs], returning

@@ -25,11 +25,32 @@ let quick_cfg =
     chaos = false;
     hb = true;
     par = [ 2 ];
+    chaos_par = false;
   }
 
 (* a smaller slice with the crash-schedule battery switched on, so the
    recovery oracles run on every commit too *)
 let chaos_cfg = { quick_cfg with Diff.chaos = true }
+
+(* the real-runtime fault-injection slice: every oracle off except the
+   chaos-par battery itself (the plain batteries above already cover
+   the rest), at 1 and 2 domains *)
+let chaos_par_cfg =
+  {
+    quick_cfg with
+    Diff.faults = false;
+    hb = false;
+    par = [ 1; 2 ];
+    chaos_par = true;
+  }
+
+let test_battery_chaos_par () =
+  for seed = 1 to 15 do
+    let g = Gen.generate ~seed in
+    match Diff.check_gen ~cfg:chaos_par_cfg g with
+    | [] -> ()
+    | ds -> Alcotest.failf "seed %d: %s" seed (pp_divs ds)
+  done
 
 let test_battery_chaos () =
   for seed = 1 to 10 do
@@ -136,14 +157,18 @@ let test_corpus_replay () =
               check (path ^ " checks") true (Tpal.Check.errors e.prog = []);
               (* chaos-oracle reproducers replay with the crash-schedule
                  battery switched on, so they guard the recovery layer *)
+              let has_prefix p o =
+                String.length o >= String.length p
+                && String.sub o 0 (String.length p) = p
+              in
               let cfg =
-                if
-                  String.length e.oracle >= 5
-                  && String.sub e.oracle 0 5 = "chaos"
-                then chaos_cfg
+                if has_prefix "chaos-par" e.oracle then chaos_par_cfg
+                else if has_prefix "chaos" e.oracle then chaos_cfg
                 else quick_cfg
               in
-              match Diff.check ~cfg e.prog ~outputs:e.outputs with
+              (* ~seed pins the chaos-par fault plan to the one the
+                 reproducer was shrunk under *)
+              match Diff.check ~cfg ~seed:e.seed e.prog ~outputs:e.outputs with
               | [] -> ()
               | ds ->
                   Alcotest.failf "%s (guards oracle %s): %s" path e.oracle
@@ -171,6 +196,8 @@ let suite =
         test_battery_quick;
       Alcotest.test_case "full battery, 5 seeds" `Quick test_battery_full_cfg;
       Alcotest.test_case "chaos battery, 10 seeds" `Quick test_battery_chaos;
+      Alcotest.test_case "chaos-par battery, 15 seeds" `Quick
+        test_battery_chaos_par;
       Alcotest.test_case "generator is seed-deterministic" `Quick
         test_generator_deterministic;
       QCheck_alcotest.to_alcotest prop_generated_valid;

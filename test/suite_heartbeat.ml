@@ -189,6 +189,29 @@ let test_serial_when_heart_huge () =
   in
   check_int "no promotions with huge heart" 0 st.promotions
 
+let test_stalls_flow_into_metrics () =
+  (* the lease watchdog's trips must reach the unified Obs.Metrics
+     snapshot (the same surface Par.Runtime and the serve pool report
+     through), not stay private to Hb_runtime.stats *)
+  let stall_cfg =
+    { hot with Hb.heart_us = 50.; poll_stride = 1; lease_beats = 2 }
+  in
+  let (), st =
+    Hb.run ~config:stall_cfg (fun () ->
+        Hb.par_for ~lo:0 ~hi:8 (fun i ->
+            (* one iteration wedges far past the lease TTL
+               (lease_beats·♥ = 100 µs) *)
+            if i = 4 then Unix.sleepf 0.01))
+  in
+  check "watchdog tripped" true (st.stalls_detected >= 1);
+  let m = Hb.metrics ~elapsed_s:0.02 st in
+  check_int "stalls fold into Obs.Metrics" st.stalls_detected
+    m.Obs.Metrics.stalls;
+  check_int "beats fold" st.beats m.Obs.Metrics.beats;
+  check_int "promotions fold" st.promotions m.Obs.Metrics.promotions;
+  check_int "joins fold" st.joins m.Obs.Metrics.joins;
+  check_int "single-domain snapshot" 1 m.Obs.Metrics.domains
+
 let prop_par_for_sums_correctly =
   QCheck.Test.make ~name:"heartbeat par_for computes serial sums" ~count:25
     QCheck.(int_range 0 5_000)
@@ -222,5 +245,7 @@ let suite =
       Alcotest.test_case "ping-thread source" `Quick test_ping_thread_source;
       Alcotest.test_case "huge heart stays serial" `Quick
         test_serial_when_heart_huge;
+      Alcotest.test_case "stall watchdog reaches Obs.Metrics" `Quick
+        test_stalls_flow_into_metrics;
       QCheck_alcotest.to_alcotest prop_par_for_sums_correctly;
     ] )

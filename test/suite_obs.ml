@@ -84,6 +84,15 @@ let test_event_roundtrip () =
       Complete { tenant = 5; outcome = `Cancelled; sojourn_ns = 42 };
       Degraded { on = true };
       Degraded { on = false };
+      Chaos { kind = `Stall; arg = 3 };
+      Chaos { kind = `Slow; arg = 8 };
+      Chaos { kind = `Drop; arg = 1 };
+      Chaos { kind = `Raise; arg = 0 };
+      Cancel { reason = `Explicit };
+      Cancel { reason = `Deadline };
+      Cancel { reason = `Lease };
+      Retry { tenant = 3; attempt = 2 };
+      Restart { attempt = 1 };
     ]
   in
   List.iter

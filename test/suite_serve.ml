@@ -562,6 +562,248 @@ let test_watchdog_degradation () =
   check "stall stayed on the books" true (st.stalls_detected >= 1);
   check "not degraded at close" false st.degraded
 
+(* ------------------------------------------------------------------ *)
+(* Cancellation, retry and warm-restart: the chaos-hardening PR's
+   serving-layer edges. *)
+
+(* Sched.cancel as a pure policy operation: surgical removal, heap
+   rebuilt, unknown ids refused. *)
+let test_sched_cancel () =
+  let s = sched () in
+  admit_ok s (req ~id:1 ~tenant:"a" ~deadline:1e9 ());
+  admit_ok s (req ~id:2 ~tenant:"a" ~deadline:1e9 ());
+  admit_ok s (req ~id:3 ~tenant:"b" ~deadline:1e9 ());
+  (match Serve.Sched.cancel s ~id:2 with
+  | Some r -> check_int "cancel returns the victim" 2 r.Serve.Sched.id
+  | None -> Alcotest.fail "queued request not found by cancel");
+  check_int "length shrinks" 2 (Serve.Sched.length s);
+  check "unknown id refused" true (Serve.Sched.cancel s ~id:99 = None);
+  check "cancelled id not re-cancellable" true
+    (Serve.Sched.cancel s ~id:2 = None);
+  (* the survivors still dispatch, and 2 never does *)
+  let a = next_id s ~now:0. in
+  let b = next_id s ~now:0. in
+  check "victim never dispatches" true
+    (a <> 2 && b <> 2 && List.sort compare [ a; b ] = [ 1; 3 ]);
+  check "drained" true (Serve.Sched.next s ~now:0. = None)
+
+(* Deterministic exponential backoff with jitter: pure, seeded,
+   monotone in attempt, clamped. *)
+let test_backoff () =
+  let b ~attempt =
+    Serve.Sched.backoff_s ~base_s:0.001 ~max_s:10. ~seed:7 ~id:3 ~attempt
+  in
+  check "deterministic" true (b ~attempt:1 = b ~attempt:1);
+  check "different attempts differ" true (b ~attempt:1 <> b ~attempt:2);
+  (* jitter multiplier lives in [0.5, 1.0]: attempt n is bounded by
+     base·2^(n-1), and 3 doublings always dominate one halving *)
+  for n = 1 to 8 do
+    let v = b ~attempt:n in
+    let expo = 0.001 *. (2. ** float_of_int (n - 1)) in
+    check (Printf.sprintf "attempt %d in [expo/2, expo]" n) true
+      (v >= (expo /. 2.) -. 1e-12 && v <= expo +. 1e-12)
+  done;
+  check "monotone across 3 doublings" true (b ~attempt:4 > b ~attempt:1);
+  check "clamped to max_s" true
+    (Serve.Sched.backoff_s ~base_s:1. ~max_s:0.05 ~seed:0 ~id:0 ~attempt:30
+    = 0.05)
+
+(* Cancel while queued: the victim resolves with the typed error
+   without ever executing; the pool keeps serving. *)
+let test_cancel_queued () =
+  let pool = Serve.Pool.create ~config:(pool_config ()) () in
+  let gate, started, work = gated () in
+  let t1 =
+    match Serve.Pool.submit pool ~tenant:"a" work with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "gated submit rejected"
+  in
+  spin_until "gated request to start" (fun () -> Atomic.get started);
+  let ran = Atomic.make false in
+  let t2 =
+    match
+      Serve.Pool.submit pool ~tenant:"a"
+        (Serve.Pool.Thunk
+           (fun _ ->
+             Atomic.set ran true;
+             2))
+    with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "queued submit rejected"
+  in
+  check "queued cancel lands" true (Serve.Pool.cancel pool t2);
+  check "second cancel is a no-op" false (Serve.Pool.cancel pool t2);
+  (match Serve.Pool.await pool t2 with
+  | Error (Serve.Pool.Cancelled `Explicit) -> ()
+  | Ok _ -> Alcotest.fail "cancelled request completed"
+  | Error _ -> Alcotest.fail "cancelled request got the wrong error");
+  Atomic.set gate true;
+  (match Serve.Pool.await ~timeout_s:30. pool t1 with
+  | Ok { outcome = Serve.Pool.Checksum 42; _ } -> ()
+  | _ -> Alcotest.fail "gated request did not complete");
+  check "victim never executed" false (Atomic.get ran);
+  let st = Serve.Pool.close pool in
+  check_int "one cooperative cancel" 1 st.cancels;
+  check_int "one served" 1 st.served
+
+(* Cancel mid-strip: a cooperatively-polling request (par_for through
+   the session) unwinds at a beat boundary with the typed reason. *)
+let test_cancel_in_flight () =
+  let pool = Serve.Pool.create ~config:(pool_config ()) () in
+  let started = Atomic.make false in
+  let work =
+    Serve.Pool.Thunk
+      (fun (module E : Workloads.Exec.S) ->
+        Atomic.set started true;
+        (* ~100 s of strip-mined work: cancellation must cut it short
+           at a poll, or the bounded await below fails the test *)
+        E.par_for ~lo:0 ~hi:1_000_000 (fun _ -> Unix.sleepf 0.0001);
+        0)
+  in
+  let t =
+    match Serve.Pool.submit pool ~tenant:"a" work with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "submit rejected"
+  in
+  spin_until "request to start" (fun () -> Atomic.get started);
+  check "in-flight cancel lands" true (Serve.Pool.cancel pool t);
+  (match Serve.Pool.await ~timeout_s:30. pool t with
+  | Error (Serve.Pool.Cancelled `Explicit) -> ()
+  | Ok _ -> Alcotest.fail "cancelled loop ran to completion"
+  | Error _ -> Alcotest.fail "cancelled loop got the wrong error");
+  (* the session survived the unwinding *)
+  (match Serve.Pool.submit pool ~tenant:"a" (quick_thunk 7) with
+  | Ok t -> (
+      match Serve.Pool.await ~timeout_s:30. pool t with
+      | Ok { outcome = Serve.Pool.Checksum 7; _ } -> ()
+      | _ -> Alcotest.fail "post-cancel request did not complete")
+  | Error _ -> Alcotest.fail "post-cancel submit rejected");
+  let st = Serve.Pool.close pool in
+  check_int "one cancel on the books" 1 st.cancels
+
+(* A timeout racing completion, both directions: an await that expires
+   leaves the ticket open for a later await to win. *)
+let test_timeout_races_completion () =
+  let pool = Serve.Pool.create ~config:(pool_config ()) () in
+  let gate, started, work = gated () in
+  let t =
+    match Serve.Pool.submit pool ~tenant:"a" work with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "submit rejected"
+  in
+  spin_until "request to start" (fun () -> Atomic.get started);
+  (match Serve.Pool.await ~timeout_s:0.05 pool t with
+  | Error Serve.Pool.Timed_out -> ()
+  | Ok _ -> Alcotest.fail "gated request completed early"
+  | Error _ -> Alcotest.fail "expired await got the wrong error");
+  Atomic.set gate true;
+  (match Serve.Pool.await ~timeout_s:30. pool t with
+  | Ok { outcome = Serve.Pool.Checksum 42; _ } -> ()
+  | _ -> Alcotest.fail "second await did not see the completion");
+  (* completion first: a generous timeout returns Ok, not Timed_out *)
+  (match Serve.Pool.submit pool ~tenant:"a" (quick_thunk 5) with
+  | Ok t -> (
+      match Serve.Pool.await ~timeout_s:30. pool t with
+      | Ok { outcome = Serve.Pool.Checksum 5; _ } -> ()
+      | _ -> Alcotest.fail "quick request lost to its timeout")
+  | Error _ -> Alcotest.fail "quick submit rejected");
+  ignore (Serve.Pool.close pool)
+
+let retry_config ~retries () =
+  { (pool_config ()) with Serve.Pool.retries = retries }
+
+(* A transient injected fault with budget left: the request is
+   re-admitted under the same ticket (idempotent), backs off, and the
+   second attempt resolves it — exactly-once for the awaiter. *)
+let test_retry_recovers () =
+  let pool = Serve.Pool.create ~config:(retry_config ~retries:2 ()) () in
+  let attempts = Atomic.make 0 in
+  let work =
+    Serve.Pool.Thunk
+      (fun _ ->
+        if Atomic.fetch_and_add attempts 1 = 0 then
+          raise (Par.Chaos.Injected { domain = 0; beat = 0 });
+        17)
+  in
+  let t =
+    match Serve.Pool.submit pool ~tenant:"a" work with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "submit rejected"
+  in
+  (match Serve.Pool.await ~timeout_s:30. pool t with
+  | Ok { outcome = Serve.Pool.Checksum 17; _ } -> ()
+  | Ok _ -> Alcotest.fail "unexpected outcome kind"
+  | Error _ -> Alcotest.fail "retried request did not recover");
+  check_int "two attempts ran" 2 (Atomic.get attempts);
+  let st = Serve.Pool.close pool in
+  check_int "one retry on the books" 1 st.retried;
+  check_int "no failures" 0 st.failures;
+  (* sched-level [served] counts dispatches (it feeds the DRR share
+     accounting), so the retried attempt shows up there — while the
+     awaiter above saw exactly one resolution *)
+  check_int "both attempts dispatched" 2 st.served
+
+(* Budget exhaustion: a permanently-failing request burns the tenant's
+   budget and resolves with the typed Retry_exhausted, not a hang. *)
+let test_retry_budget_exhaustion () =
+  let pool = Serve.Pool.create ~config:(retry_config ~retries:1 ()) () in
+  let attempts = Atomic.make 0 in
+  let work =
+    Serve.Pool.Thunk
+      (fun _ ->
+        Atomic.incr attempts;
+        raise (Par.Chaos.Injected { domain = 0; beat = 0 }))
+  in
+  let t =
+    match Serve.Pool.submit pool ~tenant:"a" work with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "submit rejected"
+  in
+  (match Serve.Pool.await ~timeout_s:30. pool t with
+  | Error (Serve.Pool.Retry_exhausted { attempts = n }) ->
+      check_int "typed rejection counts the attempts" 2 n
+  | Ok _ -> Alcotest.fail "doomed request completed"
+  | Error _ -> Alcotest.fail "doomed request got the wrong error");
+  check_int "budget bounded the attempts" 2 (Atomic.get attempts);
+  let st = Serve.Pool.close pool in
+  check_int "one retry spent" 1 st.retried;
+  check_int "one failure" 1 st.failures
+
+(* Lease-based recovery, the full loop: a Machine_fault kills the warm
+   session; the pool resolves the victim with the typed error,
+   warm-restarts, and serves queued work on the fresh session. *)
+let test_warm_restart () =
+  let pool = Serve.Pool.create ~config:(pool_config ()) () in
+  let boom = Par.Runtime.Machine_fault (Tpal.Machine_error.Halted) in
+  let t1 =
+    match
+      Serve.Pool.submit pool ~tenant:"a"
+        (Serve.Pool.Thunk (fun _ -> raise boom))
+    with
+    | Ok t -> t
+    | Error _ -> Alcotest.fail "submit rejected"
+  in
+  (match Serve.Pool.await ~timeout_s:30. pool t1 with
+  | Error (Serve.Pool.Failed (Par.Runtime.Machine_fault _)) -> ()
+  | Ok _ -> Alcotest.fail "faulting request completed"
+  | Error _ -> Alcotest.fail "faulting request got the wrong error");
+  (* the restarted session serves — repeatedly, to show it is warm *)
+  for i = 1 to 3 do
+    match Serve.Pool.submit pool ~tenant:"b" (quick_thunk i) with
+    | Ok t -> (
+        match Serve.Pool.await ~timeout_s:30. pool t with
+        | Ok { outcome = Serve.Pool.Checksum c; _ } ->
+            check_int "post-restart checksum" i c
+        | _ -> Alcotest.fail "post-restart request did not complete")
+    | Error _ -> Alcotest.fail "post-restart submit rejected"
+  done;
+  let st = Serve.Pool.close pool in
+  check_int "one warm restart" 1 st.restarts;
+  check_int "one failure (the victim)" 1 st.failures;
+  (* dispatch count survives the restart: the victim plus the three
+     post-restart requests *)
+  check_int "dispatches include the victim" 4 st.served
+
 let suite =
   ( "serve",
     [
@@ -593,4 +835,16 @@ let suite =
         test_concurrent_stress;
       Alcotest.test_case "pool: lease watchdog degradation" `Quick
         test_watchdog_degradation;
+      Alcotest.test_case "sched: surgical cancel" `Quick test_sched_cancel;
+      Alcotest.test_case "sched: deterministic backoff" `Quick test_backoff;
+      Alcotest.test_case "pool: cancel while queued" `Quick test_cancel_queued;
+      Alcotest.test_case "pool: cancel mid-strip" `Quick test_cancel_in_flight;
+      Alcotest.test_case "pool: timeout races completion" `Quick
+        test_timeout_races_completion;
+      Alcotest.test_case "pool: retry recovers a transient fault" `Quick
+        test_retry_recovers;
+      Alcotest.test_case "pool: retry budget exhausts typed" `Quick
+        test_retry_budget_exhaustion;
+      Alcotest.test_case "pool: warm restart after Machine_fault" `Quick
+        test_warm_restart;
     ] )

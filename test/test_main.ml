@@ -21,6 +21,7 @@ let () =
       Suite_workloads.suite;
       Suite_heartbeat.suite;
       Suite_par.suite;
+      Suite_chaos.suite;
       Suite_fuzz.suite;
       Suite_serve.suite;
       Suite_obs.suite;
