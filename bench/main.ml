@@ -576,7 +576,8 @@ let serve_run_json ~(label : string) ~(chaos_seed : int option)
      \"cancelled\": %d, \"retried\": %d, \"restarts\": %d, \"lost\": %d, \
      \"duplicated\": %d, \"mismatched\": %d, \"met\": %d, \"missed\": %d, \
      \"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": \
-     %.4f, \"goodput_rps\": %.1f, \"reject_rate\": %.4f, \"elapsed_s\": \
+     %.4f, \"goodput_rps\": %.1f, \"throughput_rps\": %.1f, \
+     \"reject_rate\": %.4f, \"elapsed_s\": \
      %.3f, \"pool_latency\": %s, \"latency_per_tenant\": {%s}}\n\
     \      ]\n\
     \    }"
@@ -587,18 +588,17 @@ let serve_run_json ~(label : string) ~(chaos_seed : int option)
     retries r.offered r.admitted r.rejected_full r.rejected_shed r.completed
     r.failed r.cancelled r.retried r.restarts r.lost r.duplicated
     r.mismatched r.met r.missed r.p50_ms r.p95_ms r.p99_ms r.mean_ms
-    r.goodput_rps r.reject_rate r.elapsed_s
+    r.goodput_rps r.throughput_rps r.reject_rate r.elapsed_s
     (Obs.Hist.summary_json r.pool_latency)
     latency_per_tenant
 
-let write_serve_json ~(path : string) ~(label : string) ~(append : bool)
-    ~(chaos_seed : int option) ~(retries : int) (r : Serve.Load.report) : unit
+(* both the in-process serve rows and the loopback net rows land in the
+   same accumulating trajectory file *)
+let write_serve_entry ~(path : string) ~(append : bool) (entry : string) : unit
     =
   let prior = if append then prior_runs path else None in
   let entries =
-    match prior with
-    | None -> serve_run_json ~label ~chaos_seed ~retries r
-    | Some old -> old ^ ",\n" ^ serve_run_json ~label ~chaos_seed ~retries r
+    match prior with None -> entry | Some old -> old ^ ",\n" ^ entry
   in
   let oc = open_out path in
   Printf.fprintf oc
@@ -612,6 +612,11 @@ let write_serve_json ~(path : string) ~(label : string) ~(append : bool)
   close_out oc;
   Printf.printf "wrote %s%s\n%!" path
     (if prior <> None then " (appended to prior trajectory)" else "")
+
+let write_serve_json ~(path : string) ~(label : string) ~(append : bool)
+    ~(chaos_seed : int option) ~(retries : int) (r : Serve.Load.report) : unit
+    =
+  write_serve_entry ~path ~append (serve_run_json ~label ~chaos_seed ~retries r)
 
 let run_serve_bench ~(requests : int) ~(tenants : int) ~(rate : float)
     ~(seed : int) ~(domains : int) ~(cap : int) ~(slo_ms : float)
@@ -676,6 +681,180 @@ let run_serve_bench ~(requests : int) ~(tenants : int) ~(rate : float)
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* The network serving fabric: the same audit-gated load, but over a
+   loopback socket through Net.Server — shards, router policies and
+   micro-batching included.  One leg per placement policy, all in one
+   process, so a single run yields the FIFO-vs-size-aware head-of-line
+   comparison the trajectory tracks. *)
+
+let net_run_json ~(label : string) ~(policy : string) ~(shards : int)
+    ~(batch_max : int) ~(batch_us : float) ~(chaos_seed : int option)
+    ~(retries : int) (r : Net.Netload.report) : string =
+  let spec = r.spec in
+  Printf.sprintf
+    "    {\n\
+    \      \"label\": \"%s\",\n\
+    \      \"host_cores\": %d,\n\
+    \      \"requests\": %d,\n\
+    \      \"tenants\": %d,\n\
+    \      \"seed\": %d,\n\
+    \      \"slo_ms\": %.3f,\n\
+    \      \"chaos_seed\": %s,\n\
+    \      \"retry_budget\": %d,\n\
+    \      \"net\": {\"policy\": \"%s\", \"shards\": %d, \"conns\": %d, \
+     \"window\": %d, \"batch_max\": %d, \"batch_us\": %.0f},\n\
+    \      \"results\": [\n\
+    \        {\"submitted\": %d, \"completed\": %d, \"met\": %d, \"missed\": \
+     %d, \"rejected\": %d, \"cancelled\": %d, \"failed\": %d, \"closed\": \
+     %d, \"lost\": %d, \"duplicated\": %d, \"mismatched\": %d, \
+     \"throughput_rps\": %.1f, \"p50_ms\": %.4f, \"p95_ms\": %.4f, \
+     \"p99_ms\": %.4f, \"small_p95_ms\": %.4f, \"small_p99_ms\": %.4f, \
+     \"large_p95_ms\": %.4f, \"elapsed_s\": %.3f}\n\
+    \      ]\n\
+    \    }"
+    (json_escape label)
+    (Domain.recommended_domain_count ())
+    spec.requests spec.tenants spec.seed (1e3 *. spec.slo_s)
+    (match chaos_seed with None -> "null" | Some n -> string_of_int n)
+    retries (json_escape policy) shards spec.conns spec.window batch_max
+    batch_us r.submitted r.completed r.met r.missed r.rejected r.cancelled
+    r.failed r.closed r.lost r.duplicated r.mismatched r.throughput_rps
+    r.all.p50_ms r.all.p95_ms r.all.p99_ms r.small.p95_ms r.small.p99_ms
+    r.large.p95_ms r.elapsed_s
+
+let run_net_bench ~(requests : int) ~(tenants : int) ~(seed : int)
+    ~(domains : int) ~(cap : int) ~(slo_ms : float)
+    ~(chaos_seed : int option) ~(retries : int) ~(shards : int)
+    ~(conns : int) ~(window : int) ~(batch_max : int) ~(batch_us : float)
+    ~(small_max : int) ~(json : string option) ~(append : bool)
+    ~(label : string) : unit =
+  let legs =
+    (* the FIFO baseline is one pool with no routing decision at all;
+       the policy legs split the same domain budget across [shards] *)
+    [
+      ("fifo", 1, Net.Router.Jsq);
+      ("hash", shards, Net.Router.Tenant_hash);
+      ("jsq", shards, Net.Router.Jsq);
+      ("size", shards, Net.Router.Size_aware { small_max });
+    ]
+  in
+  let chaos () =
+    Option.map
+      (fun cs ->
+        Par.Chaos.random_plan ~raises:(retries > 0) ~seed:cs ~domains ())
+      chaos_seed
+  in
+  let spec =
+    {
+      Net.Netload.default_spec with
+      requests;
+      conns;
+      tenants;
+      seed;
+      slo_s = slo_ms /. 1e3;
+      tight_frac = 0.;
+      (* a heavy large class so the single-pool baseline actually pays a
+         head-of-line price that the size-aware split can remove *)
+      sizes = [ (256, 0.85); (8192, 0.10); (262144, 0.05) ];
+      small_max;
+      window;
+    }
+  in
+  let results =
+    List.map
+      (fun (name, shards, policy) ->
+        Printf.printf
+          "=== net bench [%s]: %d requests, %d conns, window %d, %d \
+           shard(s) x %d domain(s), batch <=%d @ %.0f us, cap %d, SLO %.1f \
+           ms%s ===\n\
+           %!"
+          name requests conns window shards domains batch_max batch_us cap
+          slo_ms
+          (match chaos_seed with
+          | None -> ""
+          | Some n -> Printf.sprintf ", chaos seed %d" n);
+        let pool_cfg =
+          {
+            Serve.Pool.default_config with
+            runtime =
+              {
+                Par.Runtime.default_config with
+                domains;
+                heart_us = 30.;
+                source = `Polling;
+                chaos = chaos ();
+              };
+            sched = { Serve.Sched.default_config with cap };
+            default_slo_s = slo_ms /. 1e3;
+            retries;
+          }
+        in
+        let srv =
+          Net.Server.create
+            ~config:
+              {
+                Net.Server.default_config with
+                shard =
+                  {
+                    Net.Shard.default_config with
+                    shards;
+                    pool = pool_cfg;
+                    policy;
+                    batch_max;
+                    batch_delay_us = batch_us;
+                    batch_size_max = small_max;
+                  };
+              }
+            (Net.Server.Tcp { host = "127.0.0.1"; port = 0 })
+            ()
+        in
+        let r = Net.Netload.run (Net.Server.bound_addr srv) spec in
+        let st = Net.Server.stop srv in
+        Format.printf "%a@." Net.Netload.pp_report r;
+        Printf.printf "batched members: %d of %d routed\n%!"
+          st.shard.batched_members st.shard.submitted;
+        (name, shards, r))
+      legs
+  in
+  (match json with
+  | None -> ()
+  | Some path ->
+      List.iteri
+        (fun i (name, shards, r) ->
+          write_serve_entry ~path
+            ~append:(append || i > 0)
+            (net_run_json
+               ~label:(Printf.sprintf "%s-net-%s" label name)
+               ~policy:name ~shards ~batch_max ~batch_us ~chaos_seed ~retries
+               r))
+        results);
+  (* the head-of-line contrast the size-aware policy exists for *)
+  (match
+     ( List.find_opt (fun (n, _, _) -> n = "fifo") results,
+       List.find_opt (fun (n, _, _) -> n = "size") results )
+   with
+  | Some (_, _, fifo), Some (_, _, size) ->
+      Printf.printf
+        "small-request p95: fifo %.2f ms vs size-aware %.2f ms (%s)\n%!"
+        fifo.small.p95_ms size.small.p95_ms
+        (if size.small.p95_ms < fifo.small.p95_ms then
+           "size-aware isolates the small class"
+         else "no isolation win on this host")
+  | _ -> ());
+  (* the audit gate covers every leg *)
+  List.iter
+    (fun (name, _, (r : Net.Netload.report)) ->
+      if not (Net.Netload.audit_ok r) then begin
+        Printf.eprintf
+          "FAIL: net audit [%s] (lost %d, duplicated %d, mismatched %d, \
+           completed %d)\n\
+           %!"
+          name r.lost r.duplicated r.mismatched r.completed;
+        exit 1
+      end)
+    results
+
 let parse_int_list (what : string) (s : string) : int list =
   String.split_on_char ',' s
   |> List.filter (fun s -> s <> "")
@@ -703,6 +882,12 @@ let usage () =
     \  --requests N --tenants N --rate RPS --seed N --cap N --slo-ms F\n\
     \  --chaos-seed N --retries N\n\
     \  (--domains takes its first element for the pool's session)\n\
+     With --serve-bench --net: the same audit-gated load over a loopback\n\
+     socket through Net.Server — one leg per router policy (fifo 1-shard\n\
+     baseline, tenant-hash, jsq, size-aware), each a labelled trajectory\n\
+     row with req/s and client-side p50/p95/p99.  Extra flags:\n\
+    \  --shards N --conns N --window N (per-conn in-flight bound)\n\
+    \  --batch-max N --batch-us F (micro-batching) --small-max N\n\
     \  --append            add this run to the file's trajectory instead\n\
     \                      of overwriting (legacy single-run files are\n\
     \                      wrapped as the first trajectory entry)\n\
@@ -742,6 +927,13 @@ let () =
   let slo_ms = ref 50. in
   let chaos_seed = ref None in
   let retries = ref 0 in
+  let net = ref false in
+  let shards = ref 2 in
+  let conns = ref 2 in
+  let window = ref 64 in
+  let batch_max = ref 8 in
+  let batch_us = ref 200. in
+  let small_max = ref 4 in
   let int_flag what v r rest parse =
     (match int_of_string_opt v with
     | Some n when n >= 0 -> r := n
@@ -757,6 +949,21 @@ let () =
         parse rest
     | "--serve-bench" :: rest ->
         serve_bench := true;
+        parse rest
+    | "--net" :: rest ->
+        net := true;
+        parse rest
+    | "--shards" :: v :: rest -> int_flag "--shards" v shards rest parse
+    | "--conns" :: v :: rest -> int_flag "--conns" v conns rest parse
+    | "--window" :: v :: rest -> int_flag "--window" v window rest parse
+    | "--batch-max" :: v :: rest -> int_flag "--batch-max" v batch_max rest parse
+    | "--small-max" :: v :: rest -> int_flag "--small-max" v small_max rest parse
+    | "--batch-us" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0. -> batch_us := f
+        | _ ->
+            Printf.eprintf "bad --batch-us %S\n%!" v;
+            exit 2);
         parse rest
     | "--requests" :: v :: rest -> int_flag "--requests" v requests rest parse
     | "--tenants" :: v :: rest -> int_flag "--tenants" v tenants rest parse
@@ -838,11 +1045,17 @@ let () =
       | Some l -> l
       | None -> Printf.sprintf "run-%.0f" (Unix.time ())
     in
-    run_serve_bench ~requests:!requests ~tenants:!tenants ~rate:!rate
-      ~seed:!seed
-      ~domains:(match !domains with d :: _ -> d | [] -> 1)
-      ~cap:!cap ~slo_ms:!slo_ms ~chaos_seed:!chaos_seed ~retries:!retries
-      ~json:!json ~append:!append ~label
+    let domains = match !domains with d :: _ -> d | [] -> 1 in
+    if !net then
+      run_net_bench ~requests:!requests ~tenants:!tenants ~seed:!seed ~domains
+        ~cap:!cap ~slo_ms:!slo_ms ~chaos_seed:!chaos_seed ~retries:!retries
+        ~shards:!shards ~conns:!conns ~window:!window ~batch_max:!batch_max
+        ~batch_us:!batch_us ~small_max:!small_max ~json:!json ~append:!append
+        ~label
+    else
+      run_serve_bench ~requests:!requests ~tenants:!tenants ~rate:!rate
+        ~seed:!seed ~domains ~cap:!cap ~slo_ms:!slo_ms ~chaos_seed:!chaos_seed
+        ~retries:!retries ~json:!json ~append:!append ~label
   end
   else if !par_bench then begin
     let label =

@@ -1,14 +1,33 @@
 (* Heartbeat-as-a-service driver: boot one warm multi-tenant execution
    pool and drive it, either with the seeded open-loop synthetic load
    (the default; same generator as `bench --serve-bench`) or with
-   explicit requests — a registry kernel or a .tpal program.
+   explicit requests — a registry kernel or a .tpal program.  With
+   --listen it instead becomes the socket front-end: a sharded pool
+   fabric behind the Net.Wire protocol; with --connect it is the
+   matching load-generating client.
 
      tpal_serve --requests 10000 --tenants 4 --rate 20000
      tpal_serve --kernel plus_reduce --scale 2 --domains 4
      tpal_serve --tpal examples/asm/fib.tpal
+     tpal_serve --listen 127.0.0.1:7411 --shards 2 --policy size --batch-us 200
+     tpal_serve --connect 127.0.0.1:7411 --requests 100000 --conns 4
+
+   SIGINT/SIGTERM are graceful everywhere: the in-process load stops
+   submitting and drains; the server stops accepting, notifies
+   clients, drains or typed-rejects queued requests, flushes metrics
+   and trace output, and exits 0.
 
    Exits non-zero when the exactly-once audit fails (lost, duplicated
    or mismatched requests) or an explicit request errors. *)
+
+(* a signal flag both the load loop and the server wait-loop poll;
+   handlers only flip the atomic — nothing async-unsafe *)
+let stop_requested = Atomic.make false
+
+let install_signal_handlers () =
+  let h = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
+  (try Sys.set_signal Sys.sigint h with _ -> ());
+  try Sys.set_signal Sys.sigterm h with _ -> ()
 
 let pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms ~lease_s
     ~tracer ~chaos ~retries : Serve.Pool.config =
@@ -49,7 +68,9 @@ let run_load pool ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac =
       tight_frac;
     }
   in
-  let report = Serve.Load.run pool spec in
+  let report =
+    Serve.Load.run ~interrupted:(fun () -> Atomic.get stop_requested) pool spec
+  in
   Fmt.pr "%a@." Serve.Load.pp_report report;
   if report.lost > 0 || report.duplicated > 0 || report.mismatched > 0 then begin
     Fmt.epr
@@ -155,9 +176,132 @@ let run_tpal pool ~path ~seeds =
                 e;
               1))
 
+let write_trace ~(trace : string option) ~(tracer : Obs.Trace.t option) : unit
+    =
+  match (trace, tracer) with
+  | Some file, Some tr -> (
+      match open_out file with
+      | exception Sys_error msg -> Fmt.epr "cannot write trace: %s@." msg
+      | oc ->
+          output_string oc
+            (Obs.Export.to_chrome_string ~process:"tpal-serve" tr);
+          close_out oc;
+          Fmt.pr
+            "wrote %s (%d events, %d dropped) — load it at \
+             https://ui.perfetto.dev@."
+            file
+            (Obs.Trace.total_written tr)
+            (Obs.Trace.total_dropped tr))
+  | _ -> ()
+
+(* --listen: the socket front-end.  Blocks until SIGINT/SIGTERM, then
+   drains gracefully and exits 0. *)
+let run_server ~listen ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms
+    ~lease_s ~tracer ~chaos ~retries ~shards ~policy ~batch_us ~batch_max
+    ~small_max ~metrics ~trace =
+  match Net.Server.addr_of_string listen with
+  | None ->
+      Fmt.epr "tpal_serve: bad --listen address %S (want host:port or \
+               unix:/path)@." listen;
+      2
+  | Some addr -> (
+      match Net.Router.policy_of_string ~small_max policy with
+      | None ->
+          Fmt.epr
+            "tpal_serve: unknown --policy %S (want hash | jsq | size)@." policy;
+          2
+      | Some policy ->
+          install_signal_handlers ();
+          let shard_cfg =
+            {
+              Net.Shard.default_config with
+              shards;
+              pool =
+                pool_config ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms
+                  ~lease_s ~tracer ~chaos ~retries;
+              policy;
+              batch_max;
+              batch_delay_us = batch_us;
+              batch_size_max = small_max;
+            }
+          in
+          let srv =
+            Net.Server.create
+              ~config:
+                { Net.Server.default_config with shard = shard_cfg; tracer }
+              addr ()
+          in
+          Fmt.pr
+            "listening on %s: %d shard(s) x %d domain(s), policy %s, batch \
+             <=%d @@ %.0f us@."
+            (Net.Server.addr_to_string (Net.Server.bound_addr srv))
+            shards domains
+            (Net.Router.policy_name policy)
+            batch_max batch_us;
+          while not (Atomic.get stop_requested) do
+            Thread.delay 0.05
+          done;
+          Fmt.pr "draining...@.";
+          let st = Net.Server.stop srv in
+          Fmt.pr
+            "server: %d conns, %d submits, %d responses, frames rx %d / tx \
+             %d, %d skipped, %d dead conns@."
+            st.conns st.submits st.responses st.frames_rx st.frames_tx
+            st.skipped st.dead_conns;
+          Array.iteri
+            (fun i (ss : Net.Shard.shard_stats) ->
+              Fmt.pr
+                "shard %d: routed %d, submitted %d, served %d (met %d), \
+                 batches %d@."
+                i ss.routed ss.pool.submitted ss.pool.served ss.pool.met
+                ss.batch.flushes)
+            st.shard.per_shard;
+          if metrics then
+            Array.iteri
+              (fun i (ss : Net.Shard.shard_stats) ->
+                Fmt.pr "shard %d latency: %a@." i Obs.Hist.pp_summary
+                  ss.pool.latency)
+              st.shard.per_shard;
+          write_trace ~trace ~tracer;
+          0)
+
+(* --connect: the load-generating client; the exactly-once audit is
+   the exit code. *)
+let run_client ~connect ~requests ~conns ~tenants ~seed ~slo_ms ~tight_frac
+    ~window ~small_max =
+  match Net.Server.addr_of_string connect with
+  | None ->
+      Fmt.epr "tpal_serve: bad --connect address %S@." connect;
+      2
+  | Some addr ->
+      let spec =
+        {
+          Net.Netload.default_spec with
+          requests;
+          conns;
+          tenants;
+          seed;
+          slo_s = slo_ms /. 1e3;
+          tight_frac;
+          small_max;
+          window;
+        }
+      in
+      let r = Net.Netload.run addr spec in
+      Fmt.pr "%a@." Net.Netload.pp_report r;
+      if Net.Netload.audit_ok r then 0
+      else begin
+        Fmt.epr
+          "tpal_serve: audit FAILED (lost %d, duplicated %d, mismatched %d, \
+           completed %d)@."
+          r.lost r.duplicated r.mismatched r.completed;
+        1
+      end
+
 let run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains ~heart_us
     ~cap ~quantum ~panic_ms ~lease_s ~chaos_seed ~retries ~kernel ~scale ~tpal
-    ~seeds ~metrics ~trace =
+    ~seeds ~metrics ~trace ~listen ~connect ~shards ~policy ~batch_us
+    ~batch_max ~small_max ~conns ~window =
   let tracer =
     match trace with None -> None | Some _ -> Some (Obs.Trace.create ())
   in
@@ -169,6 +313,16 @@ let run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains ~heart_us
   (match chaos with
   | Some plan -> Fmt.pr "chaos: %a@." Par.Chaos.pp_plan plan
   | None -> ());
+  match (listen, connect) with
+  | Some listen, _ ->
+      run_server ~listen ~domains ~heart_us ~cap ~quantum ~panic_ms ~slo_ms
+        ~lease_s ~tracer ~chaos ~retries ~shards ~policy ~batch_us ~batch_max
+        ~small_max ~metrics ~trace
+  | None, Some connect ->
+      run_client ~connect ~requests ~conns ~tenants ~seed ~slo_ms ~tight_frac
+        ~window ~small_max
+  | None, None ->
+  install_signal_handlers ();
   let pool =
     Serve.Pool.create
       ~config:
@@ -201,19 +355,7 @@ let run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains ~heart_us
         Fmt.pr "latency %-8s %a@." tenant Obs.Hist.pp_summary s)
       st.latency_per_tenant
   end;
-  (match (trace, tracer) with
-  | Some file, Some tr -> (
-      match open_out file with
-      | exception Sys_error msg -> Fmt.epr "cannot write trace: %s@." msg
-      | oc ->
-          output_string oc (Obs.Export.to_chrome_string ~process:"tpal-serve" tr);
-          close_out oc;
-          Fmt.pr "wrote %s (%d events, %d dropped) — load it at \
-                  https://ui.perfetto.dev@."
-            file
-            (Obs.Trace.total_written tr)
-            (Obs.Trace.total_dropped tr))
-  | _ -> ());
+  write_trace ~trace ~tracer;
   code
 
 open Cmdliner
@@ -308,6 +450,61 @@ let trace =
               and write them to $(docv) as Chrome trace-event JSON \
               (Perfetto-loadable).")
 
+let listen =
+  Arg.(value & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:"Serve the wire protocol on $(docv) (host:port, port 0 picks a \
+              free one, or unix:/path).  Runs until SIGINT/SIGTERM, then \
+              drains gracefully and exits 0.")
+
+let connect =
+  Arg.(value & opt (some string) None
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:"Run as a load-generating client against a --listen server at \
+              $(docv); the exactly-once audit is the exit code.")
+
+let shards =
+  Arg.(value & opt int 2
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Server mode: number of pools, each with its own --domains \
+              worker domains over a disjoint domain set.")
+
+let policy =
+  Arg.(value & opt string "size"
+    & info [ "policy" ] ~docv:"P"
+        ~doc:"Server mode: request placement — $(b,hash) (tenant affinity), \
+              $(b,jsq) (join shortest queue), or $(b,size) (a reserved \
+              small-request shard; small requests never queue behind a \
+              large one).")
+
+let batch_us =
+  Arg.(value & opt float 200.
+    & info [ "batch-us" ] ~docv:"US"
+        ~doc:"Server mode: micro-batch delay bound — a small request waits \
+              at most this long for its batch to fill.")
+
+let batch_max =
+  Arg.(value & opt int 8
+    & info [ "batch-max" ] ~docv:"N"
+        ~doc:"Server mode: max small requests folded into one session \
+              entry; 1 disables micro-batching.")
+
+let small_max =
+  Arg.(value & opt int 4
+    & info [ "small-max" ] ~docv:"N"
+        ~doc:"DRR-size threshold for the small-request class (size policy \
+              routing and micro-batch eligibility).")
+
+let conns =
+  Arg.(value & opt int 2
+    & info [ "conns" ] ~docv:"N" ~doc:"Client mode: concurrent connections.")
+
+let window =
+  Arg.(value & opt int 64
+    & info [ "window" ] ~docv:"N"
+        ~doc:"Client mode: max in-flight requests per connection (windowed \
+              closed loop).")
+
 let cmd =
   let doc = "a multi-tenant TPAL execution server over one warm heartbeat session" in
   Cmd.v
@@ -316,12 +513,15 @@ let cmd =
       const
         (fun requests tenants rate seed slo_ms tight_frac domains heart_us cap
              quantum panic_ms lease_s chaos_seed retries kernel scale tpal
-             seeds metrics trace ->
+             seeds metrics trace listen connect shards policy batch_us
+             batch_max small_max conns window ->
           run ~requests ~tenants ~rate ~seed ~slo_ms ~tight_frac ~domains
             ~heart_us ~cap ~quantum ~panic_ms ~lease_s ~chaos_seed ~retries
-            ~kernel ~scale ~tpal ~seeds ~metrics ~trace)
+            ~kernel ~scale ~tpal ~seeds ~metrics ~trace ~listen ~connect
+            ~shards ~policy ~batch_us ~batch_max ~small_max ~conns ~window)
       $ requests $ tenants $ rate $ seed $ slo_ms $ tight_frac $ domains
       $ heart_us $ cap $ quantum $ panic_ms $ lease_s $ chaos_seed $ retries
-      $ kernel $ scale $ tpal $ seeds $ metrics $ trace)
+      $ kernel $ scale $ tpal $ seeds $ metrics $ trace $ listen $ connect
+      $ shards $ policy $ batch_us $ batch_max $ small_max $ conns $ window)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,253 @@
+(** A thin, thread-safe client for the {!Server} wire protocol: one
+    socket, one reader thread demultiplexing responses into a ticket
+    store, writes serialized by a mutex.  Used by the load generator
+    ({!Netload}), the CLI client mode, and the loopback tests.
+
+    The client is also the audit's witness: it counts {e duplicate}
+    responses (two responses for one ticket — an exactly-once breach
+    observed at the protocol level) and stamps each response's arrival
+    time, so round-trip latency is measured where a real caller would
+    feel it. *)
+
+type response = {
+  status : Wire.status;
+  value : int;
+  sojourn_us : int;  (** server-side sojourn, from the response frame *)
+  info : string;
+  at : float;  (** client-side arrival stamp ({!Mclock.now_s}) *)
+}
+
+type t = {
+  fd : Unix.file_descr;
+  w_m : Mutex.t;
+  m : Mutex.t;
+  cv : Condition.t;
+  results : (int, response) Hashtbl.t;
+  mutable next : int;
+  mutable duplicates : int;
+  mutable shards : int option;  (** from [Hello_ok] *)
+  mutable drain_pending : int option;  (** last [Drain] notice seen *)
+  mutable eof : bool;  (** server closed (or framing died) *)
+  mutable dead : Wire.error option;
+  mutable reader : Thread.t option;
+}
+
+let reader_loop (t : t) : unit =
+  let dec = Wire.Decoder.create () in
+  let buf = Bytes.create 65536 in
+  let on_frame = function
+    | Wire.Response { ticket; status; value; sojourn_us; info } ->
+        Mutex.lock t.m;
+        if Hashtbl.mem t.results ticket then t.duplicates <- t.duplicates + 1
+        else
+          Hashtbl.replace t.results ticket
+            { status; value; sojourn_us; info; at = Mclock.now_s () };
+        Condition.broadcast t.cv;
+        Mutex.unlock t.m
+    | Wire.Hello_ok { shards } ->
+        Mutex.lock t.m;
+        t.shards <- Some shards;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.m
+    | Wire.Drain { pending } ->
+        Mutex.lock t.m;
+        t.drain_pending <- Some pending;
+        Condition.broadcast t.cv;
+        Mutex.unlock t.m
+    | Wire.Metrics _ | Wire.Hello _ | Wire.Submit _ | Wire.Cancel _
+    | Wire.Metrics_request | Wire.Bye ->
+        ()
+  in
+  let rec drain () =
+    match Wire.Decoder.next dec with
+    | `Frame f ->
+        on_frame f;
+        drain ()
+    | `Skip _ -> drain ()
+    | `Await -> true
+    | `Dead e ->
+        Mutex.lock t.m;
+        t.dead <- Some e;
+        Mutex.unlock t.m;
+        false
+  in
+  let rec loop () =
+    match Unix.read t.fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        Wire.Decoder.feed dec buf 0 n;
+        if drain () then loop ()
+    | exception Unix.Unix_error ((EINTR | EAGAIN), _, _) -> loop ()
+    | exception _ -> ()
+  in
+  loop ();
+  Mutex.lock t.m;
+  t.eof <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+let send (t : t) (f : Wire.frame) : unit =
+  let s = Wire.encode f in
+  let b = Bytes.unsafe_of_string s in
+  Mutex.lock t.w_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.w_m)
+    (fun () ->
+      let off = ref 0 in
+      let n = Bytes.length b in
+      while !off < n do
+        let w = Unix.write t.fd b !off (n - !off) in
+        if w <= 0 then failwith "Net.Client: short write";
+        off := !off + w
+      done)
+
+(** [connect ?client addr] dials, sends [Hello], and waits for
+    [Hello_ok] (raising [Failure] if the server hangs up first). *)
+let connect ?(client = "tpal-client") (addr : Server.addr) : t =
+  let fd =
+    match addr with
+    | Server.Unix_path p ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX p);
+        fd
+    | Server.Tcp { host; port } ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        let inet =
+          match Unix.inet_addr_of_string host with
+          | a -> a
+          | exception _ -> (
+              try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+              with _ -> Unix.inet_addr_loopback)
+        in
+        Unix.connect fd (Unix.ADDR_INET (inet, port));
+        fd
+  in
+  let t =
+    {
+      fd;
+      w_m = Mutex.create ();
+      m = Mutex.create ();
+      cv = Condition.create ();
+      results = Hashtbl.create 1024;
+      next = 0;
+      duplicates = 0;
+      shards = None;
+      drain_pending = None;
+      eof = false;
+      dead = None;
+      reader = None;
+    }
+  in
+  t.reader <- Some (Thread.create reader_loop t);
+  send t (Wire.Hello { client });
+  Mutex.lock t.m;
+  while t.shards = None && not t.eof do
+    Condition.wait t.cv t.m
+  done;
+  let ok = t.shards <> None in
+  Mutex.unlock t.m;
+  if not ok then failwith "Net.Client.connect: no Hello_ok (server closed)";
+  t
+
+let shards (t : t) : int =
+  Mutex.lock t.m;
+  let s = Option.value t.shards ~default:0 in
+  Mutex.unlock t.m;
+  s
+
+(** [submit t ~tenant ?deadline_us ?size payload] sends a [Submit]
+    under a fresh client ticket and returns that ticket. *)
+let submit (t : t) ~(tenant : string) ?(deadline_us = 0) ?(size = 1)
+    (payload : Wire.payload) : int =
+  Mutex.lock t.m;
+  let ticket = t.next in
+  t.next <- ticket + 1;
+  Mutex.unlock t.m;
+  send t (Wire.Submit { ticket; tenant; deadline_us; size; payload });
+  ticket
+
+let cancel (t : t) (ticket : int) : unit = send t (Wire.Cancel { ticket })
+let bye (t : t) : unit = try send t Wire.Bye with _ -> ()
+
+let try_response (t : t) (ticket : int) : response option =
+  Mutex.lock t.m;
+  let r = Hashtbl.find_opt t.results ticket in
+  Mutex.unlock t.m;
+  r
+
+(** Responses received so far. *)
+let received (t : t) : int =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.results in
+  Mutex.unlock t.m;
+  n
+
+let duplicates (t : t) : int =
+  Mutex.lock t.m;
+  let d = t.duplicates in
+  Mutex.unlock t.m;
+  d
+
+(** [await t ticket]: block until the ticket's response arrives;
+    [None] if the connection dies first (a lost request). *)
+let await ?timeout_s (t : t) (ticket : int) : response option =
+  let deadline = Option.map (fun s -> Mclock.now_s () +. s) timeout_s in
+  Mutex.lock t.m;
+  let rec wait () =
+    match Hashtbl.find_opt t.results ticket with
+    | Some r ->
+        Mutex.unlock t.m;
+        Some r
+    | None ->
+        if t.eof then begin
+          Mutex.unlock t.m;
+          None
+        end
+        else begin
+          (match deadline with
+          | None -> Condition.wait t.cv t.m
+          | Some d ->
+              if Mclock.now_s () > d then raise Exit
+              else begin
+                Mutex.unlock t.m;
+                Thread.delay 0.001;
+                Mutex.lock t.m
+              end);
+          wait ()
+        end
+  in
+  try wait () with
+  | Exit ->
+      Mutex.unlock t.m;
+      None
+
+(** [wait_received t ~fewer_than] blocks until fewer than
+    [fewer_than] submitted tickets are unresponded — the windowed
+    closed-loop gate. *)
+let wait_inflight_below (t : t) ~(submitted : int) ~(window : int) : unit =
+  Mutex.lock t.m;
+  while submitted - Hashtbl.length t.results >= window && not t.eof do
+    Condition.wait t.cv t.m
+  done;
+  Mutex.unlock t.m
+
+(** [drain t ~submitted ~timeout_s] waits until every submitted ticket
+    has a response, the server hangs up, or the timeout passes. *)
+let drain (t : t) ~(submitted : int) ~(timeout_s : float) : unit =
+  let deadline = Mclock.now_s () +. timeout_s in
+  Mutex.lock t.m;
+  while
+    Hashtbl.length t.results < submitted
+    && (not t.eof)
+    && Mclock.now_s () < deadline
+  do
+    Mutex.unlock t.m;
+    Thread.delay 0.002;
+    Mutex.lock t.m
+  done;
+  Mutex.unlock t.m
+
+let close (t : t) : unit =
+  (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with _ -> ());
+  Option.iter Thread.join t.reader;
+  try Unix.close t.fd with _ -> ()

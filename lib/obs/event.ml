@@ -45,6 +45,18 @@ type t =
       (** a failed request was re-admitted for attempt [attempt] *)
   | Restart of { attempt : int }
       (** the pool warm-restarted its runtime session *)
+  | Conn of { up : bool }
+      (** a {!Net.Server} client connection opened ([up]) or closed *)
+  | Frame of { rx : bool; kind : int; bytes : int }
+      (** one wire frame crossed a connection; [kind] is the frame's
+          wire tag, [rx] its direction (received vs sent) *)
+  | Route of { shard : int; size : int }
+      (** the {!Net.Router} placed a request on [shard] *)
+  | Batch of { n : int; wait_us : int }
+      (** a micro-batch of [n] small requests flushed after the oldest
+          member waited [wait_us] *)
+  | Drain of { pending : int }
+      (** graceful shutdown began with [pending] requests in flight *)
 
 let bool_bit b = if b then 1 else 0
 
@@ -80,6 +92,11 @@ let encode : t -> int * int * int = function
   | Cancel { reason } -> (16, cancel_reason_code reason, 0)
   | Retry { tenant; attempt } -> (17, tenant, attempt)
   | Restart { attempt } -> (18, attempt, 0)
+  | Conn { up } -> (19, bool_bit up, 0)
+  | Frame { rx; kind; bytes } -> (20, (kind lsl 1) lor bool_bit rx, bytes)
+  | Route { shard; size } -> (21, shard, size)
+  | Batch { n; wait_us } -> (22, n, wait_us)
+  | Drain { pending } -> (23, pending, 0)
 
 let decode ~(code : int) ~(a : int) ~(b : int) : t option =
   match code with
@@ -117,6 +134,11 @@ let decode ~(code : int) ~(a : int) ~(b : int) : t option =
       Some (Cancel { reason })
   | 17 -> Some (Retry { tenant = a; attempt = b })
   | 18 -> Some (Restart { attempt = a })
+  | 19 -> Some (Conn { up = a = 1 })
+  | 20 -> Some (Frame { rx = a land 1 = 1; kind = a asr 1; bytes = b })
+  | 21 -> Some (Route { shard = a; size = b })
+  | 22 -> Some (Batch { n = a; wait_us = b })
+  | 23 -> Some (Drain { pending = a })
   | _ -> None
 
 let name : t -> string = function
@@ -146,3 +168,10 @@ let name : t -> string = function
   | Cancel { reason = `Lease } -> "cancel-lease"
   | Retry _ -> "retry"
   | Restart _ -> "restart"
+  | Conn { up = true } -> "conn-open"
+  | Conn { up = false } -> "conn-close"
+  | Frame { rx = true; _ } -> "frame-rx"
+  | Frame { rx = false; _ } -> "frame-tx"
+  | Route _ -> "route"
+  | Batch _ -> "batch"
+  | Drain _ -> "drain"

@@ -108,7 +108,24 @@ let to_chrome ?(pid = 0) ?(process = "tpal-par") (tr : Trace.t) :
           | Restart { attempt } ->
               instant ~cat:"serve"
                 ~args:[ ("attempt", C.Int attempt) ]
-                "restart")
+                "restart"
+          | Conn { up } -> instant ~cat:"net" (if up then "conn-open" else "conn-close")
+          | Frame { rx; kind; bytes } ->
+              instant ~cat:"net"
+                ~args:[ ("tag", C.Int kind); ("bytes", C.Int bytes) ]
+                (if rx then "frame-rx" else "frame-tx")
+          | Route { shard; size } ->
+              instant ~cat:"net"
+                ~args:[ ("shard", C.Int shard); ("size", C.Int size) ]
+                "route"
+          | Batch { n; wait_us } ->
+              instant ~cat:"net"
+                ~args:[ ("n", C.Int n); ("wait_us", C.Int wait_us) ]
+                "batch"
+          | Drain { pending } ->
+              instant ~cat:"net"
+                ~args:[ ("pending", C.Int pending) ]
+                "drain")
         events;
       (* tasks still open when the trace ended (or whose finish was
          dropped): close them at the last timestamp seen *)

@@ -999,8 +999,18 @@ let metrics ?(tracer : Obs.Trace.t option) (st : stats) : Obs.Metrics.t =
       (match tracer with None -> 0 | Some tr -> Obs.Trace.total_dropped tr);
   }
 
-(* Sessions cannot nest or overlap: one pool per process at a time. *)
-let active = Atomic.make false
+(* Sessions cannot nest (a domain already inside a session must not
+   boot another — its DLS ctx would be clobbered and the outer pool
+   would lose a worker), but independent sessions MAY coexist in one
+   process: every piece of scheduler state is pool-scoped and reached
+   through the domain-local ctx, so N disjoint domain sets can each
+   run their own heartbeat — the sharded serving layer ({!Net.Shard})
+   runs one warm session per shard.  [sessions] counts live sessions
+   (a diagnostics probe, not a guard). *)
+let sessions = Atomic.make 0
+
+(** Number of currently live sessions in this process. *)
+let session_count () : int = Atomic.get sessions
 
 (** [run ?config main] executes [main] under the multi-domain
     heartbeat scheduler: [config.domains] worker domains (the calling
@@ -1012,10 +1022,11 @@ let active = Atomic.make false
     only an exception escaping [main] itself aborts the session and
     re-raises here. *)
 let run ?(config = default_config) (main : unit -> 'a) : 'a * stats =
-  if not (Atomic.compare_and_set active false true) then
+  if Domain.DLS.get ctx_key <> None then
     invalid_arg "Par.Runtime.run: already running";
+  Atomic.incr sessions;
   Fun.protect
-    ~finally:(fun () -> Atomic.set active false)
+    ~finally:(fun () -> Atomic.decr sessions)
     (fun () ->
       let n = max 1 config.domains in
       (* chaos state is materialized per targeted worker only; an

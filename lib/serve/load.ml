@@ -65,6 +65,10 @@ type report = {
   pool_latency : Obs.Hist.summary;  (** the pool's own histogram view *)
   latency_per_tenant : (string * Obs.Hist.summary) list;
   goodput_rps : float;  (** deadline-met completions / elapsed *)
+  throughput_rps : float;
+      (** wall-clock requests/sec: {e all} completions / elapsed,
+          deadline-blind — the capacity axis of the trajectory, next
+          to the SLO-weighted [goodput_rps] *)
   reject_rate : float;  (** rejections / offered *)
   per_tenant : (string * int) list;  (** served per tenant *)
 }
@@ -111,7 +115,8 @@ let percentile (sorted : float array) (p : float) : float =
     awaited after the last arrival (open-loop: submission never blocks
     on service).  [await_timeout_s] bounds the post-arrival drain so a
     wedged pool yields a report with [lost > 0] instead of hanging. *)
-let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
+let run ?(await_timeout_s = 120.) ?(interrupted = fun () -> false)
+    (pool : Pool.t) (spec : spec) : report =
   if spec.requests < 0 then invalid_arg "Load.run: negative request count";
   let rng = Sim.Prng.create ~seed:spec.seed in
   let sizes = Array.of_list (List.map fst spec.sizes) in
@@ -127,7 +132,15 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
   let rejected_full = ref 0 and rejected_shed = ref 0 in
   let t0 = Mclock.now_s () in
   let arrival = ref t0 in
+  (* [interrupted] is polled between arrivals: a SIGINT-style stop
+     request ends submission early and falls through to the normal
+     drain + audit, so a Ctrl-C'd run still reports and exits clean *)
+  let stopped = ref false in
+  let offered = ref 0 in
   for i = 0 to spec.requests - 1 do
+    if not !stopped then begin
+    if interrupted () then stopped := true else begin
+    incr offered;
     (* Poisson: exponential inter-arrival times *)
     if spec.rate_rps > 0. then begin
       arrival :=
@@ -158,11 +171,13 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
     in
     (* DRR size units ~ relative kernel cost *)
     let size = max 1 (n / sizes.(0)) in
-    match Pool.submit pool ~tenant ~deadline_s ~size work with
+    (match Pool.submit pool ~tenant ~deadline_s ~size work with
     | Ok ticket -> tickets.(i) <- Some ticket
     | Error (Pool.Rejected `Queue_full) -> incr rejected_full
     | Error (Pool.Rejected `Shedding) -> incr rejected_shed
-    | Error _ -> incr rejected_full
+    | Error _ -> incr rejected_full)
+    end
+    end
   done;
   (* drain: await every admitted request *)
   let completed = ref 0 and failed = ref 0 and lost = ref 0 in
@@ -211,7 +226,7 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
   {
     spec;
     elapsed_s;
-    offered = spec.requests;
+    offered = !offered;
     admitted;
     rejected_full = !rejected_full;
     rejected_shed = !rejected_shed;
@@ -232,11 +247,13 @@ let run ?(await_timeout_s = 120.) (pool : Pool.t) (spec : spec) : report =
     pool_latency = ps.latency;
     latency_per_tenant = ps.latency_per_tenant;
     goodput_rps = (if elapsed_s > 0. then float_of_int !met /. elapsed_s else 0.);
+    throughput_rps =
+      (if elapsed_s > 0. then float_of_int !completed /. elapsed_s else 0.);
     reject_rate =
-      (if spec.requests = 0 then 0.
+      (if !offered = 0 then 0.
        else
          float_of_int (!rejected_full + !rejected_shed)
-         /. float_of_int spec.requests);
+         /. float_of_int !offered);
     per_tenant = ps.sched.per_tenant;
   }
 
@@ -247,13 +264,14 @@ let pp_report (ppf : Format.formatter) (r : report) : unit =
      completed %d (met %d, missed %d), failed %d, cancelled %d, retried %d, \
      restarts %d, lost %d, duplicated %d, mismatched %d@,\
      latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, mean %.3f ms@,\
-     goodput %.0f req/s over %.2f s@,\
+     throughput %.0f req/s (goodput %.0f req/s) over %.2f s@,\
      served per tenant: %a@]"
     r.offered r.admitted
     (r.rejected_full + r.rejected_shed)
     r.rejected_full r.rejected_shed r.reject_rate r.completed r.met r.missed
     r.failed r.cancelled r.retried r.restarts r.lost r.duplicated r.mismatched
-    r.p50_ms r.p95_ms r.p99_ms r.mean_ms r.goodput_rps r.elapsed_s
+    r.p50_ms r.p95_ms r.p99_ms r.mean_ms r.throughput_rps r.goodput_rps
+    r.elapsed_s
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
        (fun ppf (t, n) -> Format.fprintf ppf "%s=%d" t n))

@@ -14,11 +14,13 @@
     whole point: the committed BENCH_par.json history shows session
     setup dwarfing small kernels.
 
-    Requests execute {e one at a time}; each request is internally
-    parallel across every domain of the pool (space-sharing between
-    requests would dilute the heartbeat's outermost-first discipline
-    and is future work).  Concurrency lives at the boundary: any
-    number of client threads submit and await concurrently.
+    Requests execute {e one at a time} per pool; each request is
+    internally parallel across every domain of the pool (space-sharing
+    {e within} a pool would dilute the heartbeat's outermost-first
+    discipline — space-sharing across requests is instead provided by
+    {!Net.Shard}, which runs several pools over disjoint domain sets
+    behind a router).  Concurrency lives at the boundary: any number
+    of client threads submit and await concurrently.
 
     Failure containment mirrors the PR 3 lease/watchdog machinery: a
     watchdog thread leases each in-flight request [lease_s] seconds;
@@ -151,6 +153,14 @@ type t = {
           must run *)
   sched : work Sched.t;
   results : (ticket, (completion, error) result) Hashtbl.t;
+  cbs : (ticket, (completion, error) result -> unit) Hashtbl.t;
+      (** per-submit resolution hooks ([submit ~on_resolve]); fired
+          exactly once, after the result lands in [results] *)
+  mutable pending_cbs : (unit -> unit) list;
+      (** resolution hooks staged under [m] (newest first) and invoked
+          by {!run_cbs} after the mutex drops — callbacks never run
+          under the pool lock, so a hook may submit, await or close
+          without deadlocking *)
   mutable next_id : int;
   mutable submitted : int;  (** all submit attempts on an open pool *)
   mutable shed : int;
@@ -275,6 +285,30 @@ let record_latency (t : t) ~(tenant : string) (sojourn_s : float) : unit =
   in
   Obs.Hist.add_s h sojourn_s
 
+(* Every ticket resolution in the pool funnels through here: the
+   result lands in [results] (under [m]) and the ticket's [on_resolve]
+   hook, if any, is staged for {!run_cbs}.  Exactly-once by
+   construction — the hook is removed as it is staged. *)
+let resolve_locked (t : t) (id : ticket) (res : (completion, error) result) :
+    unit =
+  Hashtbl.replace t.results id res;
+  match Hashtbl.find_opt t.cbs id with
+  | Some cb ->
+      Hashtbl.remove t.cbs id;
+      t.pending_cbs <- (fun () -> cb res) :: t.pending_cbs
+  | None -> ()
+
+(* Invoke staged resolution hooks.  Call with [m] NOT held; every
+   code path that may have staged a hook calls this right after its
+   unlock.  A hook that raises is contained (counted as a failure of
+   the hook, not of the pool). *)
+let run_cbs (t : t) : unit =
+  Mutex.lock t.m;
+  let cbs = t.pending_cbs in
+  t.pending_cbs <- [];
+  Mutex.unlock t.m;
+  List.iter (fun f -> try f () with _ -> ()) (List.rev cbs)
+
 (* ------------------------------------------------------------------ *)
 (* Request execution, inside the warm session. *)
 
@@ -319,7 +353,7 @@ let serve_main (t : t) : unit =
               | Error `Queue_full ->
                   t.failures <- t.failures + 1;
                   Hashtbl.remove t.attempts r.id;
-                  Hashtbl.replace t.results r.id (Error (Rejected `Queue_full));
+                  resolve_locked t r.id (Error (Rejected `Queue_full));
                   Condition.broadcast t.cv)
             due;
           match Sched.next t.sched ~now with
@@ -357,7 +391,7 @@ let serve_main (t : t) : unit =
         let now = Mclock.now_s () in
         List.iter
           (fun (r : work Sched.req) ->
-            Hashtbl.replace t.results r.id (Error Pool_closed);
+            resolve_locked t r.id (Error Pool_closed);
             t.cancelled <- t.cancelled + 1;
             pemit t
               (Obs.Event.Complete
@@ -368,7 +402,8 @@ let serve_main (t : t) : unit =
                  }))
           dropped;
         Condition.broadcast t.cv;
-        Mutex.unlock t.m
+        Mutex.unlock t.m;
+        run_cbs t
     | Some r ->
         let attempt =
           1 + Option.value (Hashtbl.find_opt t.attempts r.id) ~default:0
@@ -386,6 +421,8 @@ let serve_main (t : t) : unit =
         pemit t
           (Obs.Event.Dispatch { tenant = tenant_id t r.tenant; urgency = hint });
         Mutex.unlock t.m;
+        (* retry re-admissions may have staged queue-full rejections *)
+        run_cbs t;
         Par.Runtime.set_cancel (Some tok);
         Par.Runtime.set_urgency hint;
         let res = try Ok (exec r.payload) with e -> Error e in
@@ -471,10 +508,11 @@ let serve_main (t : t) : unit =
         (match resolved with
         | Some res ->
             Hashtbl.remove t.attempts r.id;
-            Hashtbl.replace t.results r.id res
+            resolve_locked t r.id res
         | None -> ());
         Condition.broadcast t.cv;
         Mutex.unlock t.m;
+        run_cbs t;
         (match !fatal with Some e -> raise e | None -> loop ())
   in
   loop ()
@@ -525,7 +563,8 @@ let watchdog_loop (t : t) : unit =
     the dispatch loop; the session itself spawns [domains − 1] worker
     domains) and the lease watchdog, and waits until the dispatch loop
     is live.  Raises whatever the session boot raised (e.g. the
-    one-session-per-process guard of {!Par.Runtime.run}). *)
+    no-nested-sessions guard of {!Par.Runtime.run}).  Several pools
+    may coexist in one process, each owning its own domain set. *)
 let create ?(config = default_config) () : t =
   let t =
     {
@@ -534,6 +573,8 @@ let create ?(config = default_config) () : t =
       cv = Condition.create ();
       sched = Sched.create ~config:config.sched ();
       results = Hashtbl.create 64;
+      cbs = Hashtbl.create 64;
+      pending_cbs = [];
       next_id = 0;
       submitted = 0;
       shed = 0;
@@ -602,7 +643,7 @@ let create ?(config = default_config) () : t =
                     t.cancel_tok <- None;
                     t.failures <- t.failures + 1;
                     Hashtbl.remove t.attempts id;
-                    Hashtbl.replace t.results id (Error (Failed e))
+                    resolve_locked t id (Error (Failed e))
                 | None -> ());
                 if t.flagged <> None then begin
                   t.flagged <- None;
@@ -612,6 +653,7 @@ let create ?(config = default_config) () : t =
                 pemit t (Obs.Event.Restart { attempt = t.restarts });
                 Condition.broadcast t.cv;
                 Mutex.unlock t.m;
+                run_cbs t;
                 session ()
               end
               else begin
@@ -625,7 +667,7 @@ let create ?(config = default_config) () : t =
                     t.running <- None;
                     t.cancel_tok <- None;
                     t.failures <- t.failures + 1;
-                    Hashtbl.replace t.results id (Error (Failed e))
+                    resolve_locked t id (Error (Failed e))
                 | None -> ());
                 let dropped =
                   Sched.drain t.sched @ List.map snd t.retry_q
@@ -633,10 +675,11 @@ let create ?(config = default_config) () : t =
                 t.retry_q <- [];
                 List.iter
                   (fun (r : work Sched.req) ->
-                    Hashtbl.replace t.results r.id (Error (Failed e)))
+                    resolve_locked t r.id (Error (Failed e)))
                   dropped;
                 Condition.broadcast t.cv;
-                Mutex.unlock t.m
+                Mutex.unlock t.m;
+                run_cbs t
               end
         in
         session ())
@@ -657,13 +700,20 @@ let create ?(config = default_config) () : t =
     t.watchdog <- Some (Thread.create watchdog_loop t);
   t
 
-(** [submit t ~tenant ?deadline_s ?size w] queues [w] and returns its
-    ticket, or a typed rejection: [Rejected `Queue_full] at the
-    admission cap, [Rejected `Shedding] while degraded,
+(** [submit t ~tenant ?deadline_s ?size ?on_resolve w] queues [w] and
+    returns its ticket, or a typed rejection: [Rejected `Queue_full]
+    at the admission cap, [Rejected `Shedding] while degraded,
     [Pool_closed] after (or racing) [close].  [deadline_s] is relative
     to now (default [default_slo_s]); [size] is the DRR service-size
-    estimate (default 1). *)
-let submit (t : t) ~(tenant : string) ?deadline_s ?(size = 1) (w : work) :
+    estimate (default 1).  [on_resolve] is invoked exactly once, from
+    a pool-internal thread with no pool lock held, when the ticket
+    resolves (it may call back into the pool) — the push-style
+    completion hook the network front-end ({!Net}) rides instead of
+    parking an [await] thread per in-flight request.  It fires only
+    for admitted submissions (an immediate [Error] return means no
+    ticket exists to resolve). *)
+let submit (t : t) ~(tenant : string) ?deadline_s ?(size = 1)
+    ?(on_resolve : ((completion, error) result -> unit) option) (w : work) :
     (ticket, error) result =
   Mutex.lock t.m;
   let r =
@@ -698,6 +748,9 @@ let submit (t : t) ~(tenant : string) ?deadline_s ?(size = 1) (w : work) :
                 Error (Rejected `Queue_full)
             | Ok () ->
                 t.next_id <- id + 1;
+                (match on_resolve with
+                | Some cb -> Hashtbl.replace t.cbs id cb
+                | None -> ());
                 pemit t (Obs.Event.Admit { tenant = tenant_id t tenant });
                 Condition.broadcast t.cv;
                 Ok id
@@ -743,6 +796,19 @@ let await ?timeout_s (t : t) (ticket : ticket) : (completion, error) result =
   in
   wait ()
 
+(** [depth t]: queued + in-flight + parked-for-retry request count —
+    the cheap backlog probe a join-shortest-queue router polls per
+    placement decision. *)
+let depth (t : t) : int =
+  Mutex.lock t.m;
+  let d =
+    Sched.length t.sched
+    + (match t.running with Some _ -> 1 | None -> 0)
+    + List.length t.retry_q
+  in
+  Mutex.unlock t.m;
+  d
+
 (** [try_result t ticket] is a non-blocking probe. *)
 let try_result (t : t) (ticket : ticket) : (completion, error) result option =
   Mutex.lock t.m;
@@ -770,7 +836,7 @@ let cancel ?(reason : Par.Runtime.cancel_reason = `Explicit) (t : t)
   let resolve_cancelled (r : work Sched.req) =
     t.cancels <- t.cancels + 1;
     Hashtbl.remove t.attempts r.id;
-    Hashtbl.replace t.results r.id (Error (Cancelled reason));
+    resolve_locked t r.id (Error (Cancelled reason));
     pemit t (Obs.Event.Cancel { reason });
     pemit t
       (Obs.Event.Complete
@@ -811,6 +877,7 @@ let cancel ?(reason : Par.Runtime.cancel_reason = `Explicit) (t : t)
               | [], _ -> false))
   in
   Mutex.unlock t.m;
+  run_cbs t;
   hit
 
 (** [close t] stops admission, lets the in-flight request (if any)

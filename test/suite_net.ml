@@ -1,0 +1,549 @@
+(* The socket serving fabric (lib/net): the wire codec — roundtrip
+   under arbitrary chunking, resync after malformed bodies, typed
+   version-mismatch skips, latched death on oversized frames — the
+   deterministic router policies (tenant-hash stability, JSQ
+   tie-breaking, the size-aware small shard that never queues behind
+   large work), the virtual-clock micro-batcher, the shard layer's
+   exactly-once fan-in/fan-out, and a loopback server/client smoke
+   with a full lost/duplicated/mismatched audit.
+
+   Codec, router, and batch tests are pure (no sockets, no clocks);
+   the shard and server tests use single-domain polling pools so they
+   hold on a 1-core CI host. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec: generators. *)
+
+let gen_string_n max =
+  QCheck.Gen.(string_size ~gen:printable (int_bound max))
+
+let gen_payload : Net.Wire.payload QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Net.Wire.Synth { n }) (int_bound 100_000);
+        map2
+          (fun name scale -> Net.Wire.Kernel { name; scale })
+          (gen_string_n 24) (int_bound 1000);
+        map (fun src -> Net.Wire.Prog { src }) (gen_string_n 2000);
+      ])
+
+let gen_status : Net.Wire.status QCheck.Gen.t =
+  QCheck.Gen.oneofl
+    [
+      Net.Wire.Done { met = true };
+      Net.Wire.Done { met = false };
+      Net.Wire.Rejected_full;
+      Net.Wire.Rejected_shed;
+      Net.Wire.Rejected_draining;
+      Net.Wire.Cancelled `Explicit;
+      Net.Wire.Cancelled `Deadline;
+      Net.Wire.Cancelled `Lease;
+      Net.Wire.Failed;
+      Net.Wire.Closed;
+    ]
+
+let gen_frame : Net.Wire.frame QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun client -> Net.Wire.Hello { client }) (gen_string_n 40);
+        map (fun shards -> Net.Wire.Hello_ok { shards }) (int_bound 64);
+        map2
+          (fun (ticket, tenant) (deadline_us, (size, payload)) ->
+            Net.Wire.Submit { ticket; tenant; deadline_us; size; payload })
+          (pair (int_bound 0xFFFFFF) (gen_string_n 16))
+          (pair (int_bound 10_000_000) (pair (int_bound 0xFFFF) gen_payload));
+        map (fun ticket -> Net.Wire.Cancel { ticket }) (int_bound 0xFFFFFF);
+        map2
+          (fun (ticket, status) (value, (sojourn_us, info)) ->
+            Net.Wire.Response { ticket; status; value; sojourn_us; info })
+          (pair (int_bound 0xFFFFFF) gen_status)
+          (pair (int_bound max_int) (pair (int_bound 0xFFFFFF) (gen_string_n 60)));
+        return Net.Wire.Metrics_request;
+        map (fun body -> Net.Wire.Metrics { body }) (gen_string_n 400);
+        map (fun pending -> Net.Wire.Drain { pending }) (int_bound 0xFFFF);
+        return Net.Wire.Bye;
+      ])
+
+(* feed [s] to [dec] in chunks drawn from [rng] *)
+let feed_chunked rng (dec : Net.Wire.Decoder.t) (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    let k = 1 + Random.State.int rng (min 7 (n - !pos)) in
+    Net.Wire.Decoder.feed_string dec (String.sub s !pos k);
+    pos := !pos + k
+  done
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip under arbitrary chunking" ~count:300
+    (QCheck.make QCheck.Gen.(pair (list_size (int_range 1 5) gen_frame) int))
+    (fun (frames, salt) ->
+      let rng = Random.State.make [| salt |] in
+      let dec = Net.Wire.Decoder.create () in
+      let image = String.concat "" (List.map Net.Wire.encode frames) in
+      feed_chunked rng dec image;
+      let rec pull acc =
+        match Net.Wire.Decoder.next dec with
+        | `Frame f -> pull (f :: acc)
+        | `Await -> List.rev acc
+        | `Skip _ | `Dead _ -> QCheck.Test.fail_report "skip/dead on valid stream"
+      in
+      pull [] = frames)
+
+let test_roundtrip_every_split () =
+  (* one representative frame, split at every byte boundary *)
+  let f =
+    Net.Wire.Submit
+      {
+        ticket = 42;
+        tenant = "tenant-7";
+        deadline_us = 125_000;
+        size = 9;
+        payload = Net.Wire.Kernel { name = "mergesort"; scale = 3 };
+      }
+  in
+  let s = Net.Wire.encode f in
+  for cut = 1 to String.length s - 1 do
+    let dec = Net.Wire.Decoder.create () in
+    Net.Wire.Decoder.feed_string dec (String.sub s 0 cut);
+    check (Printf.sprintf "await at cut %d" cut) true
+      (Net.Wire.Decoder.next dec = `Await);
+    Net.Wire.Decoder.feed_string dec
+      (String.sub s cut (String.length s - cut));
+    check (Printf.sprintf "frame at cut %d" cut) true
+      (Net.Wire.Decoder.next dec = `Frame f);
+    check (Printf.sprintf "drained at cut %d" cut) true
+      (Net.Wire.Decoder.next dec = `Await)
+  done
+
+let test_resync_after_bad_body () =
+  (* hand-build a frame with an unknown tag, then a good frame: the
+     decoder must skip the first (typed) and decode the second *)
+  let good = Net.Wire.encode (Net.Wire.Cancel { ticket = 7 }) in
+  let bad =
+    let b = Buffer.create 16 in
+    Buffer.add_int32_be b 6l;
+    (* len: vers + tag + 4 body bytes *)
+    Buffer.add_uint8 b Net.Wire.version;
+    Buffer.add_uint8 b 250;
+    (* unknown tag *)
+    Buffer.add_string b "XYZW";
+    Buffer.contents b
+  in
+  let dec = Net.Wire.Decoder.create () in
+  Net.Wire.Decoder.feed_string dec (bad ^ good);
+  (match Net.Wire.Decoder.next dec with
+  | `Skip (Net.Wire.Bad_tag { tag }) -> check_int "skipped tag" 250 tag
+  | _ -> Alcotest.fail "expected Skip Bad_tag");
+  check "resynced to next frame" true
+    (Net.Wire.Decoder.next dec = `Frame (Net.Wire.Cancel { ticket = 7 }));
+  check_int "one skip counted" 1 (Net.Wire.Decoder.skipped dec)
+
+let test_truncated_body_is_bad_body () =
+  (* a Cancel frame whose body claims 6 bytes but carries garbage
+     shorter than the ticket field: Bad_body, then resync *)
+  let b = Buffer.create 16 in
+  Buffer.add_int32_be b 4l;
+  (* vers + tag + only 2 of the 4 ticket bytes *)
+  Buffer.add_uint8 b Net.Wire.version;
+  Buffer.add_uint8 b 4;
+  Buffer.add_string b "\x00\x01";
+  let good = Net.Wire.encode Net.Wire.Bye in
+  let dec = Net.Wire.Decoder.create () in
+  Net.Wire.Decoder.feed_string dec (Buffer.contents b ^ good);
+  (match Net.Wire.Decoder.next dec with
+  | `Skip (Net.Wire.Bad_body _) -> ()
+  | _ -> Alcotest.fail "expected Skip Bad_body");
+  check "stream continues" true (Net.Wire.Decoder.next dec = `Frame Net.Wire.Bye)
+
+let test_trailing_bytes_rejected () =
+  (* a well-formed Cancel body with 3 extra bytes inside the frame *)
+  let b = Buffer.create 16 in
+  Buffer.add_int32_be b 9l;
+  Buffer.add_uint8 b Net.Wire.version;
+  Buffer.add_uint8 b 4;
+  Buffer.add_int32_be b 7l;
+  Buffer.add_string b "pad";
+  let dec = Net.Wire.Decoder.create () in
+  Net.Wire.Decoder.feed_string dec (Buffer.contents b);
+  match Net.Wire.Decoder.next dec with
+  | `Skip (Net.Wire.Bad_body { reason; _ }) ->
+      check "mentions trailing" true
+        (String.length reason > 0
+        && String.ends_with ~suffix:"trailing bytes" reason)
+  | _ -> Alcotest.fail "expected Skip Bad_body on trailing bytes"
+
+let test_version_mismatch_typed () =
+  let s = Net.Wire.encode (Net.Wire.Hello { client = "old" }) in
+  let bs = Bytes.of_string s in
+  Bytes.set_uint8 bs 4 99;
+  (* stamp a future version *)
+  let good = Net.Wire.encode Net.Wire.Metrics_request in
+  let dec = Net.Wire.Decoder.create () in
+  Net.Wire.Decoder.feed_string dec (Bytes.to_string bs ^ good);
+  (match Net.Wire.Decoder.next dec with
+  | `Skip (Net.Wire.Bad_version { got }) -> check_int "typed version" 99 got
+  | _ -> Alcotest.fail "expected Skip Bad_version");
+  check "new-version frames still flow" true
+    (Net.Wire.Decoder.next dec = `Frame Net.Wire.Metrics_request)
+
+let test_oversized_frame_kills () =
+  let dec = Net.Wire.Decoder.create ~max_frame:64 () in
+  let b = Buffer.create 8 in
+  Buffer.add_int32_be b 65l;
+  Buffer.add_string b "~~~~";
+  Net.Wire.Decoder.feed_string dec (Buffer.contents b);
+  (match Net.Wire.Decoder.next dec with
+  | `Dead (Net.Wire.Oversized { len; max }) ->
+      check_int "len" 65 len;
+      check_int "max" 64 max
+  | _ -> Alcotest.fail "expected Dead Oversized");
+  (* latched: even after feeding a valid frame, still dead *)
+  Net.Wire.Decoder.feed_string dec (Net.Wire.encode Net.Wire.Bye);
+  (match Net.Wire.Decoder.next dec with
+  | `Dead _ -> ()
+  | _ -> Alcotest.fail "Dead must latch");
+  (* and encode refuses to build one *)
+  check "encode refuses oversized" true
+    (match
+       Net.Wire.encode ~max_frame:8
+         (Net.Wire.Metrics { body = String.make 64 'x' })
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Router policies: pure, deterministic, table-tested. *)
+
+let test_tenant_hash_stable () =
+  let depths = [| 5; 0; 9; 2 |] in
+  for k = 0 to 99 do
+    let tenant = Printf.sprintf "tenant-%d" k in
+    let s1 = Net.Router.route Net.Router.Tenant_hash ~depths ~tenant ~size:1 in
+    let s2 =
+      Net.Router.route Net.Router.Tenant_hash ~depths:[| 0; 0; 0; 0 |] ~tenant
+        ~size:999
+    in
+    check (Printf.sprintf "affinity %s" tenant) true (s1 = s2);
+    check "in range" true (s1 >= 0 && s1 < 4)
+  done;
+  (* the hash actually spreads: 100 tenants over 4 shards must hit
+     every shard (FNV-1a would have to be badly broken not to) *)
+  let hit = Array.make 4 false in
+  for k = 0 to 99 do
+    hit.(Net.Router.route Net.Router.Tenant_hash ~depths
+           ~tenant:(Printf.sprintf "tenant-%d" k) ~size:1)
+    <- true
+  done;
+  check "spreads over all shards" true (Array.for_all Fun.id hit)
+
+let test_jsq_argmin_and_ties () =
+  let r depths = Net.Router.route Net.Router.Jsq ~depths ~tenant:"t" ~size:1 in
+  check_int "picks the shortest" 2 (r [| 4; 3; 1; 3 |]);
+  check_int "tie breaks to lowest index" 1 (r [| 4; 2; 2; 2 |]);
+  check_int "all equal -> shard 0" 0 (r [| 7; 7; 7 |]);
+  check_int "single shard" 0 (r [| 42 |])
+
+let test_size_aware_small_never_blocked () =
+  let policy = Net.Router.Size_aware { small_max = 4 } in
+  (* virtual scenario: large requests have piled 100 deep everywhere
+     except the small shard; a small request still goes to shard 0,
+     and a large request never does, no matter how empty shard 0 is *)
+  let depths = [| 0; 100; 100 |] in
+  check_int "small -> small shard" 0
+    (Net.Router.route policy ~depths ~tenant:"a" ~size:4);
+  check_int "large avoids small shard even when empty" 1
+    (Net.Router.route policy ~depths:[| 0; 3; 7 |] ~tenant:"a" ~size:5);
+  (* large load balances over the non-small shards *)
+  check_int "large JSQ over the rest" 2
+    (Net.Router.route policy ~depths:[| 0; 9; 3 |] ~tenant:"a" ~size:100);
+  (* simulate a stream: larges keep arriving, smalls interleave; no
+     small request is ever placed behind the large backlog *)
+  let depths = [| 0; 0; 0 |] in
+  for i = 1 to 50 do
+    let size = if i mod 3 = 0 then 1 else 64 in
+    let s = Net.Router.route policy ~depths ~tenant:"t" ~size in
+    depths.(s) <- depths.(s) + size;
+    if size = 1 then check (Printf.sprintf "small %d isolated" i) true (s = 0)
+    else check (Printf.sprintf "large %d off the small shard" i) true (s <> 0)
+  done
+
+let test_policy_parse () =
+  check "hash" true (Net.Router.policy_of_string "hash" = Some Net.Router.Tenant_hash);
+  check "jsq" true (Net.Router.policy_of_string "jsq" = Some Net.Router.Jsq);
+  check "size" true
+    (Net.Router.policy_of_string ~small_max:7 "size-aware"
+    = Some (Net.Router.Size_aware { small_max = 7 }));
+  check "garbage" true (Net.Router.policy_of_string "lifo" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Micro-batcher: explicit clock, no threads. *)
+
+let test_batch_count_flush () =
+  let b = Net.Batch.create ~max:3 ~delay_s:1.0 in
+  check "hold 1" true (Net.Batch.add b ~now:0.0 "a" = `Hold);
+  check "hold 2" true (Net.Batch.add b ~now:0.1 "b" = `Hold);
+  (match Net.Batch.add b ~now:0.2 "c" with
+  | `Flush l -> check "arrival order" true (l = [ "a"; "b"; "c" ])
+  | `Hold -> Alcotest.fail "expected count flush");
+  check_int "empty after flush" 0 (Net.Batch.pending b);
+  let st = Net.Batch.stats b in
+  check_int "one flush" 1 st.flushes;
+  check_int "three items" 3 st.flushed_items;
+  check_int "count-triggered" 1 st.full_flushes
+
+let test_batch_age_flush () =
+  let b = Net.Batch.create ~max:100 ~delay_s:0.010 in
+  ignore (Net.Batch.add b ~now:1.000 "x");
+  ignore (Net.Batch.add b ~now:1.004 "y");
+  check "not yet" true (Net.Batch.poll b ~now:1.009 = None);
+  (match Net.Batch.poll b ~now:1.0101 with
+  | Some l -> check "aged out in order" true (l = [ "x"; "y" ])
+  | None -> Alcotest.fail "expected age flush");
+  check "idle poll" true (Net.Batch.poll b ~now:9.9 = None)
+
+let test_batch_remove_and_drain () =
+  let b = Net.Batch.create ~max:10 ~delay_s:1.0 in
+  List.iter (fun x -> ignore (Net.Batch.add b ~now:0. x)) [ 1; 2; 3; 4 ];
+  check "removes first match" true (Net.Batch.remove b ~f:(fun x -> x mod 2 = 0) = Some 2);
+  check "miss" true (Net.Batch.remove b ~f:(fun x -> x > 9) = None);
+  check "drain keeps arrival order" true (Net.Batch.drain b = [ 1; 3; 4 ]);
+  check "drain empty" true (Net.Batch.drain b = [])
+
+(* ------------------------------------------------------------------ *)
+(* Shard layer: fan-out, batching, exactly-once fan-in. *)
+
+let pool_config ?(cap = 4096) () : Serve.Pool.config =
+  {
+    Serve.Pool.default_config with
+    runtime =
+      {
+        Par.Runtime.default_config with
+        domains = 1;
+        heart_us = 100.;
+        source = `Polling;
+      };
+    sched = { Serve.Sched.default_config with cap };
+    lease_s = 0.;
+    default_slo_s = 30.;
+  }
+
+let shard_config ?(shards = 2) ?(batch_max = 1) () : Net.Shard.config =
+  {
+    Net.Shard.default_config with
+    shards;
+    pool = pool_config ();
+    policy = Net.Router.Size_aware { small_max = 4 };
+    batch_max;
+    batch_delay_us = 500.;
+    batch_size_max = 4;
+  }
+
+let test_shard_roundtrip_mixed () =
+  let t = Net.Shard.create ~config:(shard_config ~batch_max:8 ()) () in
+  let expect_small = Serve.Load.expected_checksum 128 in
+  let expect_large = Serve.Load.expected_checksum 8192 in
+  let tickets =
+    List.init 60 (fun i ->
+        let small = i mod 3 <> 0 in
+        let n = if small then 128 else 8192 in
+        let size = if small then 1 else 16 in
+        match
+          Net.Shard.submit t ~tenant:(Printf.sprintf "t%d" (i mod 5)) ~size
+            ~deadline_s:30.
+            (Serve.Pool.Thunk (Serve.Load.kernel n))
+        with
+        | Ok tk -> (tk, small)
+        | Error _ -> Alcotest.failf "submit %d rejected" i)
+  in
+  List.iter
+    (fun (tk, small) ->
+      match Net.Shard.await ~timeout_s:60. t tk with
+      | Ok { Serve.Pool.outcome = Serve.Pool.Checksum c; _ } ->
+          check_int "checksum" (if small then expect_small else expect_large) c
+      | Ok _ -> Alcotest.fail "unexpected outcome shape"
+      | Error e -> Alcotest.failf "await failed: %a" Serve.Pool.pp_error e)
+    tickets;
+  let st = Net.Shard.close t in
+  check "some requests batched" true (st.batched_members > 0);
+  check_int "all submitted" 60 st.submitted;
+  (* small-shard isolation held: every large went to shard 1 *)
+  check "large work avoided the small shard" true
+    (Array.length st.per_shard = 2);
+  let resolved_after = Net.Shard.submit t ~tenant:"late" (Serve.Pool.Thunk (fun _ -> 0)) in
+  check "closed shard refuses" true (resolved_after = Error Serve.Pool.Pool_closed)
+
+let test_shard_cancel_parked () =
+  (* batch_max high + long delay: a submitted small request stays
+     parked long enough to cancel deterministically *)
+  let cfg =
+    { (shard_config ~batch_max:64 ()) with batch_delay_us = 30_000_000. }
+  in
+  let t = Net.Shard.create ~config:cfg () in
+  let resolved = ref None in
+  let tk =
+    match
+      Net.Shard.submit t ~tenant:"a" ~size:1
+        ~on_resolve:(fun r -> resolved := Some r)
+        (Serve.Pool.Thunk (Serve.Load.kernel 64))
+    with
+    | Ok tk -> tk
+    | Error _ -> Alcotest.fail "submit rejected"
+  in
+  check "cancel hits the parked member" true (Net.Shard.cancel t tk);
+  (match !resolved with
+  | Some (Error (Serve.Pool.Cancelled `Explicit)) -> ()
+  | _ -> Alcotest.fail "expected a typed Cancelled resolution");
+  check "second cancel misses" true (not (Net.Shard.cancel t tk));
+  ignore (Net.Shard.close t)
+
+let test_shard_close_drains_parked () =
+  let cfg =
+    { (shard_config ~batch_max:64 ()) with batch_delay_us = 30_000_000. }
+  in
+  let t = Net.Shard.create ~config:cfg () in
+  let tks =
+    List.init 5 (fun i ->
+        match
+          Net.Shard.submit t ~tenant:(Printf.sprintf "t%d" i) ~size:1
+            (Serve.Pool.Thunk (Serve.Load.kernel 64))
+        with
+        | Ok tk -> tk
+        | Error _ -> Alcotest.fail "submit rejected")
+  in
+  let st = Net.Shard.close t in
+  (* parked members were flushed at close: they either executed
+     (pool drained them) or resolved typed — never lost *)
+  List.iter
+    (fun tk ->
+      match Net.Shard.try_result t tk with
+      | Some (Ok _) | Some (Error Serve.Pool.Pool_closed) -> ()
+      | Some (Error e) ->
+          Alcotest.failf "unexpected error: %a" Serve.Pool.pp_error e
+      | None -> Alcotest.fail "parked member lost at close")
+    tks;
+  check "close reports the policy" true (st.policy = "size-aware")
+
+(* ------------------------------------------------------------------ *)
+(* Loopback server: end-to-end smoke with the full audit. *)
+
+let server_config ?(shards = 2) ?(batch_max = 4) () : Net.Server.config =
+  {
+    Net.Server.default_config with
+    shard = shard_config ~shards ~batch_max ();
+    drain_timeout_s = 30.;
+  }
+
+let test_server_loopback_audit () =
+  let srv =
+    Net.Server.create ~config:(server_config ())
+      (Net.Server.Tcp { host = "127.0.0.1"; port = 0 })
+      ()
+  in
+  let addr = Net.Server.bound_addr srv in
+  let spec =
+    {
+      Net.Netload.default_spec with
+      requests = 600;
+      conns = 2;
+      window = 32;
+      sizes = [ (128, 0.8); (8192, 0.2) ];
+      slo_s = 30.;
+      tight_frac = 0.;
+      drain_timeout_s = 60.;
+    }
+  in
+  let r = Net.Netload.run addr spec in
+  check_int "nothing lost" 0 r.lost;
+  check_int "nothing duplicated" 0 r.duplicated;
+  check_int "nothing corrupted" 0 r.mismatched;
+  check_int "everything accounted" r.submitted
+    (r.completed + r.rejected + r.cancelled + r.failed + r.closed);
+  check "all completed under generous deadlines" true (r.completed = 600);
+  let st = Net.Server.stop srv in
+  check "server saw the submits" true (st.submits >= 600);
+  check "responses flowed" true (st.responses >= 600);
+  check_int "no framing deaths" 0 st.dead_conns
+
+let test_server_hello_shards () =
+  let srv =
+    Net.Server.create ~config:(server_config ~shards:3 ())
+      (Net.Server.Tcp { host = "127.0.0.1"; port = 0 })
+      ()
+  in
+  let c = Net.Client.connect (Net.Server.bound_addr srv) in
+  check_int "hello advertises shards" 3 (Net.Client.shards c);
+  Net.Client.close c;
+  ignore (Net.Server.stop srv)
+
+let test_server_drain_rejects_new () =
+  let srv =
+    Net.Server.create ~config:(server_config ~shards:1 ~batch_max:1 ())
+      (Net.Server.Tcp { host = "127.0.0.1"; port = 0 })
+      ()
+  in
+  let addr = Net.Server.bound_addr srv in
+  let c = Net.Client.connect addr in
+  (* park a couple of requests, then stop the server while holding the
+     connection open: stop must flush typed responses for everything *)
+  let tks =
+    List.init 8 (fun _ ->
+        Net.Client.submit c ~tenant:"t" ~size:1 (Net.Wire.Synth { n = 2048 }))
+  in
+  let stopper = Thread.create (fun () -> ignore (Net.Server.stop srv)) () in
+  List.iter
+    (fun tk ->
+      match Net.Client.await ~timeout_s:60. c tk with
+      | Some _ -> ()  (* completed or typed-rejected; never silent *)
+      | None -> Alcotest.fail "connection died with a response owed")
+    tks;
+  Thread.join stopper;
+  Net.Client.close c
+
+let suite =
+  ( "net",
+    [
+      Alcotest.test_case "wire: split at every byte" `Quick
+        test_roundtrip_every_split;
+      Alcotest.test_case "wire: resync after unknown tag" `Quick
+        test_resync_after_bad_body;
+      Alcotest.test_case "wire: truncated body is typed" `Quick
+        test_truncated_body_is_bad_body;
+      Alcotest.test_case "wire: trailing bytes rejected" `Quick
+        test_trailing_bytes_rejected;
+      Alcotest.test_case "wire: version mismatch is a typed skip" `Quick
+        test_version_mismatch_typed;
+      Alcotest.test_case "wire: oversized frame latches dead" `Quick
+        test_oversized_frame_kills;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      Alcotest.test_case "router: tenant-hash affinity is stable" `Quick
+        test_tenant_hash_stable;
+      Alcotest.test_case "router: jsq argmin with low-index ties" `Quick
+        test_jsq_argmin_and_ties;
+      Alcotest.test_case "router: small never queues behind large" `Quick
+        test_size_aware_small_never_blocked;
+      Alcotest.test_case "router: policy names parse" `Quick test_policy_parse;
+      Alcotest.test_case "batch: count-bound flush" `Quick
+        test_batch_count_flush;
+      Alcotest.test_case "batch: age-bound flush on a virtual clock" `Quick
+        test_batch_age_flush;
+      Alcotest.test_case "batch: remove and drain" `Quick
+        test_batch_remove_and_drain;
+      Alcotest.test_case "shard: mixed sizes roundtrip exactly once" `Slow
+        test_shard_roundtrip_mixed;
+      Alcotest.test_case "shard: cancel a parked member" `Quick
+        test_shard_cancel_parked;
+      Alcotest.test_case "shard: close never loses parked work" `Slow
+        test_shard_close_drains_parked;
+      Alcotest.test_case "server: loopback audit" `Slow
+        test_server_loopback_audit;
+      Alcotest.test_case "server: hello advertises shards" `Quick
+        test_server_hello_shards;
+      Alcotest.test_case "server: drain flushes typed responses" `Slow
+        test_server_drain_rejects_new;
+    ] )

@@ -93,6 +93,13 @@ let test_event_roundtrip () =
       Cancel { reason = `Lease };
       Retry { tenant = 3; attempt = 2 };
       Restart { attempt = 1 };
+      Conn { up = true };
+      Conn { up = false };
+      Frame { rx = true; kind = 3; bytes = 96 };
+      Frame { rx = false; kind = 5; bytes = 28 };
+      Route { shard = 2; size = 16 };
+      Batch { n = 8; wait_us = 150 };
+      Drain { pending = 12 };
     ]
   in
   List.iter

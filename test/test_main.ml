@@ -24,6 +24,7 @@ let () =
       Suite_chaos.suite;
       Suite_fuzz.suite;
       Suite_serve.suite;
+      Suite_net.suite;
       Suite_obs.suite;
       Suite_stats.suite;
       Suite_repro.suite;
